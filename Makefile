@@ -1,0 +1,44 @@
+# Reproduction targets for "A Web-Services Architecture for Efficient XML
+# Data Exchange" (ICDE 2004). See DESIGN.md and EXPERIMENTS.md.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per table and figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the paper's document sizes.
+experiments:
+	$(GO) run ./cmd/xdxbench -all
+
+experiments-quick:
+	$(GO) run ./cmd/xdxbench -all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/telecom
+	$(GO) run ./examples/auction
+	$(GO) run ./examples/negotiation
+
+# The artifacts requested for the reproduction record.
+test_output.txt:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench_output.txt:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

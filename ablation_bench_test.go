@@ -1,0 +1,162 @@
+package xdx
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   - sequential vs parallel program execution (§5.2's unexploited
+//     opportunity);
+//   - combine-ordering strategy (canonical vs greedy vs exhaustive);
+//   - shipment format (tagged XML with join keys vs sorted feeds);
+//   - placement algorithm (greedy vs exhaustive) at growing fragment
+//     counts.
+
+import (
+	"fmt"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/netsim"
+	"xdx/internal/sim"
+	"xdx/internal/wire"
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+func ablationSetup(b *testing.B) (*core.Mapping, map[string]*core.Instance) {
+	b.Helper()
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 200_000, Seed: 3})
+	src := core.MostFragmented(sch)
+	tgt := core.LeastFragmented(sch)
+	m, err := core.NewMapping(src, tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources, err := core.FromDocument(src, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, sources
+}
+
+func freshSources(b *testing.B, m *core.Mapping, seed int64) map[string]*core.Instance {
+	b.Helper()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 200_000, Seed: seed})
+	sources, err := core.FromDocument(m.Source, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sources
+}
+
+func BenchmarkAblation_ExecuteSequential(b *testing.B) {
+	m, _ := ablationSetup(b)
+	g, err := core.CanonicalProgram(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src := freshSources(b, m, 3)
+		b.StartTimer()
+		if _, err := core.Execute(g, m.Source.Schema, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ExecuteParallel(b *testing.B) {
+	m, _ := ablationSetup(b)
+	g, err := core.CanonicalProgram(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src := freshSources(b, m, 3)
+		b.StartTimer()
+		if _, err := core.ExecuteParallel(g, m.Source.Schema, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_OrderingCanonical(b *testing.B) {
+	m, _ := ablationSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CanonicalProgram(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_OrderingGreedy(b *testing.B) {
+	m, _ := ablationSetup(b)
+	scn := sim.New(sim.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyProgram(m, scn.Provider); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ShipFormatXML(b *testing.B) {
+	_, sources := ablationSetup(b)
+	out := map[string]*core.Instance{}
+	for name, in := range sources {
+		out["0:"+name] = in
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := wire.EncodeShipment(out)
+		b.SetBytes(xmltree.SizeWith(x, xmltree.WriteOptions{EmitAllIDs: true}))
+	}
+}
+
+func BenchmarkAblation_ShipFormatFeed(b *testing.B) {
+	m, sources := ablationSetup(b)
+	sch := m.Source.Schema
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink netsim.Discard
+		for _, in := range sources {
+			if err := wire.WriteFeed(&sink, in, sch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(sink.N)
+	}
+}
+
+func benchPlacement(b *testing.B, frags int, exhaustive bool) {
+	scn := sim.New(sim.Config{Depth: 2, Fanout: 4, FragsPerSide: frags, Seed: 1})
+	m, err := core.NewMapping(scn.Source, scn.Target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := core.CanonicalProgram(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if exhaustive {
+			if _, _, err := core.MinMaxPlacement(g, scn.Model); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := core.GreedyPlacement(g, scn.Model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_Placement(b *testing.B) {
+	for _, frags := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("greedy-%dfrags", frags), func(b *testing.B) { benchPlacement(b, frags, false) })
+		b.Run(fmt.Sprintf("exhaustive-%dfrags", frags), func(b *testing.B) { benchPlacement(b, frags, true) })
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPrintPlanText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printPlan(&buf, "MF:LF", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MF -> LF exchange program", "@S Scan(", "@T Write(", "Combine("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintPlanDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printPlan(&buf, "LF:MF", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph program") {
+		t.Errorf("dot output wrong prefix:\n%.100s", out)
+	}
+	if !strings.Contains(out, "Split(") {
+		t.Errorf("LF->MF plan should contain splits")
+	}
+}
+
+func TestPrintPlanErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, spec := range []string{"MF", "MF:XX", "XX:LF", "a:b:c"} {
+		if err := printPlan(&buf, spec, false); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}

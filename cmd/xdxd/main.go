@@ -1,0 +1,50 @@
+// Command xdxd runs the discovery agency (Figure 2) as a standalone SOAP
+// daemon. Systems register WSDL documents carrying the fragmentation
+// extension with <Register>, inspect generated programs with <Plan>, and
+// trigger end-to-end exchanges with <Exchange>.
+//
+// Usage:
+//
+//	xdxd -listen :8080 [-bandwidth 160000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"xdx/internal/netsim"
+	"xdx/internal/registry"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	bandwidth := flag.Float64("bandwidth", 0, "modeled source->target bandwidth in bytes/sec (0 = unlimited)")
+	latency := flag.Duration("latency", 0, "modeled link latency")
+	state := flag.String("state", "", "directory for persisted registrations (survives restarts)")
+	flag.Parse()
+
+	link := netsim.Link{BytesPerSecond: *bandwidth, Latency: *latency}
+	agency := registry.New()
+	if *state != "" {
+		restored, err := registry.LoadAgency(*state)
+		if err != nil {
+			log.Fatal("xdxd: ", err)
+		}
+		agency = restored
+		agency.SetAutoSave(*state)
+		log.Printf("xdxd: restored %d services from %s", len(agency.Services()), *state)
+	}
+	svc := registry.NewService(agency, link)
+
+	mux := http.NewServeMux()
+	mux.Handle("/soap", svc.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "xdx discovery agency\nservices: %v\nlink: %s\n", agency.Services(), link)
+	})
+	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("xdxd: discovery agency listening on %s (SOAP at /soap, %s)", *listen, link)
+	log.Fatal(srv.ListenAndServe())
+}

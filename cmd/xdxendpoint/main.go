@@ -1,0 +1,96 @@
+// Command xdxendpoint hosts one system of a data exchange: a relational
+// store laid out per a fragmentation of the auction schema, served over
+// SOAP. Point two of these (a loaded source and an empty target) at an
+// xdxd agency to run a distributed exchange.
+//
+// Usage:
+//
+//	xdxendpoint -listen :9001 -layout LF -data auction.xml   # source
+//	xdxendpoint -listen :9002 -layout MF                     # empty target
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"xdx/internal/core"
+	"xdx/internal/endpoint"
+	"xdx/internal/relstore"
+	"xdx/internal/wsdlx"
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+func main() {
+	listen := flag.String("listen", ":9001", "listen address")
+	layoutName := flag.String("layout", "LF", "fragmentation layout: MF or LF")
+	data := flag.String("data", "", "XML document to load (empty = start empty)")
+	name := flag.String("name", "endpoint", "endpoint name")
+	speed := flag.Float64("speed", 1, "relative processing speed reported to cost probes")
+	dumb := flag.Bool("dumb", false, "refuse to run Combine (dumb client)")
+	flag.Parse()
+
+	sch := xmark.Schema()
+	var layout *core.Fragmentation
+	switch *layoutName {
+	case "MF":
+		layout = core.MostFragmented(sch)
+	case "LF":
+		layout = core.LeastFragmented(sch)
+	default:
+		log.Fatalf("xdxendpoint: unknown layout %q (want MF or LF)", *layoutName)
+	}
+	store, err := relstore.NewStore(layout)
+	if err != nil {
+		log.Fatal("xdxendpoint: ", err)
+	}
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal("xdxendpoint: ", err)
+		}
+		doc, err := xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal("xdxendpoint: parse data: ", err)
+		}
+		core.AssignIDs(doc)
+		if err := store.LoadDocument(doc); err != nil {
+			log.Fatal("xdxendpoint: load: ", err)
+		}
+		log.Printf("xdxendpoint: loaded %d rows from %s", store.Rows(), *data)
+	}
+	defs := &wsdlx.Definitions{
+		Name:            "Auction",
+		TargetNamespace: "http://auction.wsdl",
+		ServiceName:     "AuctionService",
+		PortName:        "AuctionPort",
+		Address:         "http://" + *listen + "/soap",
+		Schema:          sch,
+		Fragmentations:  []*core.Fragmentation{layout},
+	}
+	ep := endpoint.New(*name, &endpoint.RelBackend{Store: store, Speed: *speed, CanCombine: !*dumb}, defs)
+
+	mux := http.NewServeMux()
+	mux.Handle("/soap", ep.Handler())
+	mux.HandleFunc("/wsdl", func(w http.ResponseWriter, r *http.Request) {
+		data, err := defs.Marshal()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml")
+		w.Write(data)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "xdx endpoint %s\nlayout: %s (%d fragments)\nrows: %d\n",
+			*name, layout.Name, layout.Len(), store.Rows())
+	})
+	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("xdxendpoint: %s serving layout %s on %s (SOAP at /soap, WSDL at /wsdl)", *name, layout.Name, *listen)
+	log.Fatal(srv.ListenAndServe())
+}

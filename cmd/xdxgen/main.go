@@ -1,0 +1,42 @@
+// Command xdxgen generates XMark-like auction documents conforming to the
+// Figure 7 DTD subset, sized by bytes — the workload generator of the
+// paper's experiments.
+//
+// Usage:
+//
+//	xdxgen -size 25000000 -seed 1 -out auction.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+func main() {
+	size := flag.Int64("size", 2_500_000, "approximate document size in bytes")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	ids := flag.Bool("ids", false, "emit ID/PARENT attributes on every element")
+	flag.Parse()
+
+	doc := xmark.Generate(xmark.Config{TargetBytes: *size, Seed: *seed})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xdxgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmltree.Write(w, doc, xmltree.WriteOptions{EmitAllIDs: *ids}); err != nil {
+		fmt.Fprintln(os.Stderr, "xdxgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,92 @@
+package xdx_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xdx"
+)
+
+// Example reproduces the paper's §1.1 negotiation in miniature: the source
+// offers the S-fragmentation, the target wants the T-fragmentation, and
+// the optimizer derives the Figure 5 exchange program.
+func Example() {
+	sch, err := xdx.ParseDTD(`
+		<!ELEMENT Customer (CustName, Order*)>
+		<!ELEMENT Order (Service)>
+		<!ELEMENT Service (ServiceName, Line*)>
+		<!ELEMENT Line (TelNo, Switch, Feature*)>
+		<!ELEMENT Switch (SwitchID)>
+		<!ELEMENT Feature (FeatureID)>
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, _ := xdx.FromPartition(sch, "S", [][]string{
+		{"Customer", "CustName"}, {"Order"}, {"Service", "ServiceName"},
+		{"Line", "TelNo", "Feature", "FeatureID"}, {"Switch", "SwitchID"},
+	})
+	target, _ := xdx.FromPartition(sch, "T", [][]string{
+		{"Customer", "CustName"}, {"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"}, {"Feature", "FeatureID"},
+	})
+	mapping, err := xdx.NewMapping(source, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := xdx.CanonicalProgram(mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.OpStats()
+	fmt.Printf("scans=%d combines=%d splits=%d writes=%d\n", st.Scans, st.Combines, st.Splits, st.Writes)
+	// Output:
+	// scans=5 combines=2 splits=1 writes=4
+}
+
+// ExampleExecute moves one document through a generated program and
+// reassembles it at the target.
+func ExampleExecute() {
+	sch, _ := xdx.ParseDTD(`<!ELEMENT a (b, c*)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>`)
+	src := xdx.MostFragmented(sch)
+	tgt := xdx.Trivial(sch)
+	m, _ := xdx.NewMapping(src, tgt)
+	g, _ := xdx.CanonicalProgram(m)
+
+	doc, _ := xdx.ParseDocument(strings.NewReader(`<a><b>hi</b><c>1</c><c>2</c></a>`))
+	xdx.AssignIDs(doc)
+	sources, _ := xdx.FromDocument(src, doc)
+	res, err := xdx.Execute(g, sch, sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, _ := xdx.Document(tgt, res.Written)
+	var b strings.Builder
+	xdx.WriteDocument(&b, back)
+	fmt.Println(b.String())
+	// Output:
+	// <a><b>hi</b><c>1</c><c>2</c></a>
+}
+
+// ExampleLeastFragmented shows the paper's LF layout for the auction DTD:
+// exactly three fragments.
+func ExampleLeastFragmented() {
+	sch, _ := xdx.ParseDTD(`
+		<!ELEMENT site (regions, categories)>
+		<!ELEMENT regions (africa)>
+		<!ELEMENT africa (item*)>
+		<!ELEMENT item (iname)>
+		<!ELEMENT iname (#PCDATA)>
+		<!ELEMENT categories (category+)>
+		<!ELEMENT category (cname)>
+		<!ELEMENT cname (#PCDATA)>
+	`)
+	for _, f := range xdx.LeastFragmented(sch).Fragments {
+		fmt.Println(f.Root)
+	}
+	// Output:
+	// site
+	// item
+	// category
+}

@@ -1,0 +1,3 @@
+module xdx
+
+go 1.22

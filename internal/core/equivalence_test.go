@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xdx/internal/schema"
+)
+
+// Program equivalence: every combine ordering the generator enumerates for
+// a mapping must deliver identical target instances — orderings may differ
+// in cost but never in semantics (§4: "There is often more than one
+// program that can be used to express a data transfer for a given
+// mapping").
+func TestEnumeratedProgramsAreEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sch := schema.Balanced(2, 3)
+		src := Random(sch, rng, rng.Intn(5)+2)
+		tgt := Random(sch, rng, rng.Intn(5)+2)
+		m, err := NewMapping(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs, err := GeneratePrograms(m, GenOptions{MaxPrograms: 8})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		doc := randomDoc(sch, rng, 3)
+		var ref *ExecResult
+		for i, g := range progs {
+			srcs, err := FromDocument(src, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Execute(g, sch, srcs)
+			if err != nil {
+				t.Fatalf("seed %d program %d: %v", seed, i, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !EqualWritten(ref, res) {
+				t.Errorf("seed %d: program %d wrote different data than program 0:\n%s", seed, i, g)
+			}
+		}
+	}
+}
+
+// Placement equivalence: the same program executed under different monotone
+// placements (via slices plus shipment) must deliver what the single-
+// process executor delivers.
+func TestSlicedExecutionMatchesLocal(t *testing.T) {
+	sch := customerSchema()
+	src := sFragmentation(t, sch)
+	tgt := tFragmentation(t, sch)
+	m, _ := NewMapping(src, tgt)
+	g, err := CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := modelFor(sch, 1, 4) // fast target pulls some ops over
+	best, worst, err := MinMaxPlacement(g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Execute(g, sch, mustSources(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Assignment{best.Assign, worst.Assign} {
+		srcs := mustSources(t, src)
+		scan := func(f *Fragment) (*Instance, error) {
+			for _, in := range srcs {
+				if in.Frag.SameElems(f) {
+					return &Instance{Frag: f, Records: in.Records}, nil
+				}
+			}
+			t.Fatalf("no source %q", f.Name)
+			return nil, nil
+		}
+		outbound, _, err := ExecuteSlice(g, sch, a, LocSource, SliceIO{Scan: scan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		written := map[string]*Instance{}
+		_, _, err = ExecuteSlice(g, sch, a, LocTarget, SliceIO{
+			Inbound: outbound,
+			Write: func(in *Instance) error {
+				written[in.Frag.Name] = in
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := &ExecResult{Written: written}
+		if !EqualWritten(local, res) {
+			t.Errorf("sliced execution differs from local under placement %v", a)
+		}
+	}
+}
+
+func mustSources(t *testing.T, fr *Fragmentation) map[string]*Instance {
+	t.Helper()
+	srcs, err := FromDocument(fr, customerDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srcs
+}
+
+// Cost sanity: for every enumerated program, the optimal placement's cost
+// is a lower bound on any other placement the search visits.
+func TestOptimalIsLowerBound(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	progs, err := GeneratePrograms(m, GenOptions{MaxPrograms: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := modelFor(sch, 2, 3)
+	for i, g := range progs {
+		best, worst, err := MinMaxPlacement(g, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := GreedyPlacement(g, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Cost < best.Cost-1e-9 || gr.Cost > worst.Cost+1e-9 {
+			t.Errorf("program %d: greedy %v outside [best %v, worst %v]", i, gr.Cost, best.Cost, worst.Cost)
+		}
+	}
+}

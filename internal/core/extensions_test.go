@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+func TestFilterSourcesByCustomer(t *testing.T) {
+	// Two customers; the service argument keeps only "Ann" (§3.2).
+	sch := customerSchema()
+	fr := sFragmentation(t, sch)
+	ann := customerDoc()
+	bobDoc := customerDoc()
+	bob := bobDoc.Find("CustName")
+	bob.Text = "Bob"
+	// Build per-fragment sources holding both customers.
+	srcA, _ := FromDocument(fr, ann)
+	srcB, _ := FromDocument(fr, bobDoc)
+	// Re-id Bob's records so IDs do not collide.
+	reID(bobDoc, "b")
+	srcB, _ = FromDocument(fr, bobDoc)
+	merged := map[string]*Instance{}
+	for name, in := range srcA {
+		merged[name] = &Instance{Frag: in.Frag, Records: append(append([]*xmltree.Node{}, in.Records...), srcB[name].Records...)}
+	}
+	kept, err := FilterSources(fr, merged, func(rec *xmltree.Node) bool {
+		n := rec.Find("CustName")
+		return n != nil && n.Text == "Ann"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range kept {
+		if in.Rows() != srcA[name].Rows() {
+			t.Errorf("fragment %q kept %d rows, want %d", name, in.Rows(), srcA[name].Rows())
+		}
+	}
+	// The filtered sources still execute and reassemble to Ann's document.
+	m, _ := NewMapping(fr, tFragmentation(t, sch))
+	g, err := CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(g, sch, kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Document(m.Target, res.Written)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Find("CustName").Text; got != "Ann" {
+		t.Errorf("filtered exchange delivered %q", got)
+	}
+}
+
+func reID(doc *xmltree.Node, prefix string) {
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		if n.ID != "" {
+			n.ID = prefix + n.ID
+		}
+		if n.Parent != "" {
+			n.Parent = prefix + n.Parent
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(doc)
+}
+
+func TestFilterSourcesNilPredicateKeepsAll(t *testing.T) {
+	sch := customerSchema()
+	fr := sFragmentation(t, sch)
+	src, _ := FromDocument(fr, customerDoc())
+	kept, err := FilterSources(fr, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range kept {
+		if in.Rows() != src[name].Rows() {
+			t.Errorf("fragment %q lost rows with nil predicate", name)
+		}
+	}
+}
+
+func TestFilterSourcesMissingFragment(t *testing.T) {
+	sch := customerSchema()
+	fr := sFragmentation(t, sch)
+	if _, err := FilterSources(fr, map[string]*Instance{}, nil); err == nil {
+		t.Error("missing sources must fail")
+	}
+}
+
+func TestSelectivityAndScale(t *testing.T) {
+	if Selectivity(1, 4) != 0.25 || Selectivity(5, 4) != 1 || Selectivity(1, 0) != 1 {
+		t.Error("Selectivity wrong")
+	}
+	p := testProvider(customerSchema(), 1, 1)
+	scaled := p.Scale(0.5)
+	if scaled.Card["Customer"] != p.Card["Customer"]/2 {
+		t.Errorf("Scale wrong: %v vs %v", scaled.Card["Customer"], p.Card["Customer"])
+	}
+	if p.Card["Customer"] == scaled.Card["Customer"] {
+		t.Error("Scale mutated the original")
+	}
+}
+
+func TestRecommendTargetPrefersAlignedLayout(t *testing.T) {
+	// With the source fixed, a recommended target should cost no more than
+	// the canonical layouts, and an identical layout should be near the
+	// floor (pure Scan->Write, no combines or splits).
+	sch := customerSchema()
+	src := sFragmentation(t, sch)
+	model := modelFor(sch, 1, 1)
+	rec, err := RecommendTarget(src, model, RecommendOptions{Candidates: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Evaluated < 13 {
+		t.Errorf("evaluated only %d candidates", rec.Evaluated)
+	}
+	identCost, err := exchangeCost(src, src, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cost > identCost+1e-9 {
+		t.Errorf("recommended cost %.1f worse than the identical layout %.1f", rec.Cost, identCost)
+	}
+	// And strictly better than the worst canonical baseline.
+	trivCost, _ := exchangeCost(src, Trivial(sch), model)
+	if rec.Cost > trivCost {
+		t.Errorf("recommendation %.1f no better than trivial %.1f", rec.Cost, trivCost)
+	}
+}
+
+func TestRecommendSourceRuns(t *testing.T) {
+	sch := schema.Balanced(2, 3)
+	rng := rand.New(rand.NewSource(4))
+	tgt := Random(sch, rng, 5)
+	model := modelFor(sch, 1, 1)
+	rec, err := RecommendSource(tgt, model, RecommendOptions{Candidates: 5, Seed: 2, MaxClimbSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fragmentation == nil || rec.Cost <= 0 {
+		t.Fatalf("bad recommendation: %+v", rec)
+	}
+	// The result must be a valid fragmentation.
+	if _, err := NewFragmentation(sch, "check", rec.Fragmentation.Fragments); err != nil {
+		t.Errorf("recommended fragmentation invalid: %v", err)
+	}
+}
+
+func TestFromCutsMatchesRandom(t *testing.T) {
+	sch := schema.Auction()
+	rng := rand.New(rand.NewSource(9))
+	fr := Random(sch, rng, 6)
+	cuts := cutsOf(sch, fr)
+	back, err := fromCuts(sch, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != fr.Len() {
+		t.Fatalf("fromCuts(cutsOf(fr)) has %d fragments, want %d", back.Len(), fr.Len())
+	}
+	for _, f := range fr.Fragments {
+		g := back.FragmentOf(f.Root)
+		if g == nil || !g.SameElems(f) {
+			t.Errorf("fragment rooted at %q changed", f.Root)
+		}
+	}
+}
+
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	sch := customerSchema()
+	src := sFragmentation(t, sch)
+	tgt := tFragmentation(t, sch)
+	m, _ := NewMapping(src, tgt)
+	g, err := CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSrc, _ := FromDocument(src, customerDoc())
+	seq, err := Execute(g, sch, seqSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSrc, _ := FromDocument(src, customerDoc())
+	par, err := ExecuteParallel(g, sch, parSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualWritten(seq, par) {
+		t.Error("parallel execution produced different results")
+	}
+	if len(par.Traces) != len(g.Ops) {
+		t.Errorf("parallel traced %d ops, want %d", len(par.Traces), len(g.Ops))
+	}
+}
+
+func TestExecuteParallelRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sch := schema.Balanced(2, 3)
+		src := Random(sch, rng, rng.Intn(6)+1)
+		tgt := Random(sch, rng, rng.Intn(6)+1)
+		m, err := NewMapping(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := CanonicalProgram(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := randomDoc(sch, rng, 3)
+		s1, _ := FromDocument(src, doc)
+		seq, err := Execute(g, sch, s1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s2, _ := FromDocument(src, doc)
+		par, err := ExecuteParallel(g, sch, s2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !EqualWritten(seq, par) {
+			t.Errorf("seed %d: results differ", seed)
+		}
+	}
+}
+
+func TestSummarizeTraces(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	g, _ := CanonicalProgram(m)
+	srcs, _ := FromDocument(m.Source, customerDoc())
+	res, err := Execute(g, sch, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SummarizeTraces(res.Traces)
+	for _, want := range []string{"Scan", "Combine", "Split", "Write", "total", "operations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != len(g.Ops)+2 {
+		t.Errorf("summary has %d lines, want %d", got, len(g.Ops)+2)
+	}
+}
+
+func TestExecuteParallelErrors(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	g, _ := CanonicalProgram(m)
+	_, err := ExecuteParallel(g, sch, map[string]*Instance{})
+	if err == nil {
+		t.Fatal("missing sources must fail")
+	}
+	if !strings.Contains(err.Error(), "no source instance") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

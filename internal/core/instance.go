@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// Instance is a fragment instance (Definition 3.2): a sequence of element
+// trees, each conforming to the fragment's subtree and carrying ID/PARENT
+// on its root.
+type Instance struct {
+	// Frag is the fragment this instance conforms to.
+	Frag *Fragment
+	// Records are the fragment's element trees in document order.
+	Records []*xmltree.Node
+}
+
+// Rows returns the number of records.
+func (in *Instance) Rows() int { return len(in.Records) }
+
+// Nodes returns the total number of element instances across all records.
+func (in *Instance) Nodes() int {
+	n := 0
+	for _, r := range in.Records {
+		n += r.Count()
+	}
+	return n
+}
+
+// SerializedSize returns the byte size of the instance when shipped in XML
+// format with root IDs, the size() function of the communication cost
+// (§4.1).
+func (in *Instance) SerializedSize() int64 {
+	var n int64
+	for _, r := range in.Records {
+		n += xmltree.SerializedSize(r, true)
+	}
+	return n
+}
+
+// AssignIDs walks a document tree assigning Dewey identifiers ("1",
+// "1.2", "1.2.1", ...) to ID fields and wiring PARENT fields, in the style
+// of the LDAP DN identifiers of §1.1. Existing IDs are overwritten.
+func AssignIDs(doc *xmltree.Node) {
+	var walk func(n *xmltree.Node, id, parent string)
+	walk = func(n *xmltree.Node, id, parent string) {
+		n.ID = id
+		n.Parent = parent
+		for i, k := range n.Kids {
+			walk(k, id+"."+strconv.Itoa(i+1), id)
+		}
+	}
+	walk(doc, "1", "")
+}
+
+// AssignIntIDs walks a document assigning compact sequential integer
+// identifiers ("1", "2", ...) and wiring PARENT fields — the integer keys
+// of the paper's relational feeds. Use AssignIDs when Dewey identifiers
+// are wanted (e.g. LDAP DNs).
+func AssignIntIDs(doc *xmltree.Node) {
+	next := 0
+	var walk func(n *xmltree.Node, parent string)
+	walk = func(n *xmltree.Node, parent string) {
+		next++
+		n.ID = strconv.Itoa(next)
+		n.Parent = parent
+		for _, k := range n.Kids {
+			walk(k, n.ID)
+		}
+	}
+	walk(doc, "")
+}
+
+// Combine implements Definition 3.7: it inlines the child instance into the
+// parent instance by attaching each child record under the parent-fragment
+// element instance whose ID matches the record's PARENT, recovering
+// document order of children from the schema. The result is a new Instance
+// over the merged fragment; parent's records are mutated in place (the
+// operation "modifies the input fragment f1").
+func Combine(sch *schema.Schema, parent, child *Instance) (*Instance, error) {
+	// Every possible schema parent of the child's root must lie inside the
+	// parent fragment (the paper's "specific join conditions"; for
+	// multi-parent elements such as XMark's item all six regions must be
+	// present or some records would be orphaned).
+	joinElems := sch.Parents(child.Frag.Root)
+	if len(joinElems) == 0 {
+		return nil, fmt.Errorf("core: cannot combine %q into %q: %q is the schema root", child.Frag.Name, parent.Frag.Name, child.Frag.Root)
+	}
+	for _, p := range joinElems {
+		if !parent.Frag.Elems[p] {
+			return nil, fmt.Errorf("core: cannot combine %q into %q: parent element %q of %q missing", child.Frag.Name, parent.Frag.Name, p, child.Frag.Root)
+		}
+	}
+	joinable := make(map[string]bool, len(joinElems))
+	for _, e := range joinElems {
+		joinable[e] = true
+	}
+	// Hash side: index parent-fragment element instances by ID.
+	idx := make(map[string]*xmltree.Node)
+	var index func(n *xmltree.Node)
+	index = func(n *xmltree.Node) {
+		if joinable[n.Name] {
+			idx[n.ID] = n
+		}
+		for _, k := range n.Kids {
+			index(k)
+		}
+	}
+	for _, r := range parent.Records {
+		index(r)
+	}
+	// Probe side: attach each child record.
+	touched := make(map[*xmltree.Node]bool)
+	for _, rec := range child.Records {
+		p := idx[rec.Parent]
+		if p == nil {
+			return nil, fmt.Errorf("core: combine %q into %q: orphan record %s (parent %s not found)",
+				child.Frag.Name, parent.Frag.Name, rec.ID, rec.Parent)
+		}
+		p.AddKid(rec)
+		touched[p] = true
+	}
+	// Recover child order dictated by the XML Schema (Definition 3.7).
+	for p := range touched {
+		sortKids(sch, p)
+	}
+	merged, err := mergeFragments(sch, parent.Frag, child.Frag)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Frag: merged, Records: parent.Records}, nil
+}
+
+// sortKids stably reorders n's children into schema order.
+func sortKids(sch *schema.Schema, n *xmltree.Node) {
+	order := make(map[string]int)
+	for i, c := range sch.AllChildren(n.Name) {
+		order[c] = i
+	}
+	sort.SliceStable(n.Kids, func(i, j int) bool {
+		return order[n.Kids[i].Name] < order[n.Kids[j].Name]
+	})
+}
+
+// mergeFragments returns the fragment covering the union of a and b, rooted
+// at a's root.
+func mergeFragments(sch *schema.Schema, a, b *Fragment) (*Fragment, error) {
+	elems := make([]string, 0, len(a.Elems)+len(b.Elems))
+	for e := range a.Elems {
+		elems = append(elems, e)
+	}
+	for e := range b.Elems {
+		elems = append(elems, e)
+	}
+	return NewFragment(sch, "", elems)
+}
+
+// Split implements Definition 3.8: it projects the input instance into the
+// given disjoint fragments, which must partition the input fragment's
+// elements. Each projected record keeps the ID/PARENT pair of its root so
+// that parent/child relationships dictated by the XML Schema are preserved.
+func Split(sch *schema.Schema, in *Instance, parts []*Fragment) ([]*Instance, error) {
+	// Verify the parts partition the input.
+	seen := make(map[string]string)
+	for _, p := range parts {
+		for e := range p.Elems {
+			if !in.Frag.Elems[e] {
+				return nil, fmt.Errorf("core: split of %q: part %q references %q outside the input", in.Frag.Name, p.Name, e)
+			}
+			if prev, dup := seen[e]; dup {
+				return nil, fmt.Errorf("core: split of %q: element %q in both %q and %q", in.Frag.Name, e, prev, p.Name)
+			}
+			seen[e] = p.Name
+		}
+	}
+	if len(seen) != len(in.Frag.Elems) {
+		return nil, fmt.Errorf("core: split of %q: parts cover %d of %d elements", in.Frag.Name, len(seen), len(in.Frag.Elems))
+	}
+	partOf := make(map[string]*Fragment)
+	rootOf := make(map[string]*Fragment)
+	for _, p := range parts {
+		rootOf[p.Root] = p
+		for e := range p.Elems {
+			partOf[e] = p
+		}
+	}
+	out := make(map[*Fragment][]*xmltree.Node, len(parts))
+	// extract returns a copy of n pruned to n's own part; subtrees rooted at
+	// other parts' roots are emitted as records of those parts.
+	var extract func(n *xmltree.Node) *xmltree.Node
+	extract = func(n *xmltree.Node) *xmltree.Node {
+		cp := &xmltree.Node{Name: n.Name, ID: n.ID, Parent: n.Parent, Text: n.Text}
+		myPart := partOf[n.Name]
+		for _, k := range n.Kids {
+			kc := extract(k)
+			if partOf[k.Name] == myPart {
+				cp.AddKid(kc)
+			} else {
+				p := rootOf[k.Name]
+				out[p] = append(out[p], kc)
+			}
+		}
+		return cp
+	}
+	for _, rec := range in.Records {
+		cp := extract(rec)
+		p := rootOf[rec.Name]
+		if p == nil {
+			return nil, fmt.Errorf("core: split of %q: record root %q is not a part root", in.Frag.Name, rec.Name)
+		}
+		out[p] = append(out[p], cp)
+	}
+	res := make([]*Instance, len(parts))
+	for i, p := range parts {
+		res[i] = &Instance{Frag: p, Records: out[p]}
+	}
+	return res, nil
+}
+
+// FromDocument extracts the instance of every fragment of fr from a full
+// document (which must conform to fr's schema and carry instance IDs, e.g.
+// via AssignIDs). It is the reference implementation of a source Scan and
+// is also how documents are loaded in tests.
+func FromDocument(fr *Fragmentation, doc *xmltree.Node) (map[string]*Instance, error) {
+	whole, err := NewFragment(fr.Schema, "", fr.Schema.Names())
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{Frag: whole, Records: []*xmltree.Node{doc.Clone()}}
+	if len(fr.Fragments) == 1 && fr.Fragments[0].SameElems(whole) {
+		return map[string]*Instance{fr.Fragments[0].Name: {Frag: fr.Fragments[0], Records: in.Records}}, nil
+	}
+	parts, err := Split(fr.Schema, in, fr.Fragments)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Instance, len(parts))
+	for _, p := range parts {
+		out[p.Frag.Name] = p
+	}
+	return out, nil
+}
+
+// Document reassembles a full document from per-fragment instances by
+// combining every fragment into the root fragment, in schema pre-order.
+// It is the inverse of FromDocument and the reference implementation of
+// publishing.
+func Document(fr *Fragmentation, insts map[string]*Instance) (*xmltree.Node, error) {
+	if len(fr.Fragments) == 0 {
+		return nil, fmt.Errorf("core: empty fragmentation")
+	}
+	cur := insts[fr.Fragments[0].Name]
+	if cur == nil {
+		return nil, fmt.Errorf("core: missing instance for root fragment %q", fr.Fragments[0].Name)
+	}
+	cur = &Instance{Frag: fr.Fragments[0], Records: cur.Records}
+	// Merge fragments in dependency order: a fragment may be combined only
+	// once every possible parent element of its root is present (a
+	// multi-parent fragment like XMark's item must wait for all regions).
+	remaining := append([]*Fragment(nil), fr.Fragments[1:]...)
+	for len(remaining) > 0 {
+		merged := -1
+		for i, f := range remaining {
+			ready := true
+			for _, p := range fr.Schema.Parents(f.Root) {
+				if !cur.Frag.Elems[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			child := insts[f.Name]
+			if child == nil {
+				return nil, fmt.Errorf("core: missing instance for fragment %q", f.Name)
+			}
+			var err error
+			cur, err = Combine(fr.Schema, cur, child)
+			if err != nil {
+				return nil, err
+			}
+			merged = i
+			break
+		}
+		if merged < 0 {
+			return nil, fmt.Errorf("core: fragments %v cannot be merged (unsatisfiable parent dependencies)", remaining)
+		}
+		remaining = append(remaining[:merged], remaining[merged+1:]...)
+	}
+	if len(cur.Records) != 1 {
+		return nil, fmt.Errorf("core: document root fragment has %d records, want 1", len(cur.Records))
+	}
+	return cur.Records[0], nil
+}

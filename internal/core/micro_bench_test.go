@@ -1,0 +1,137 @@
+package core
+
+// Micro-benchmarks for the data-plane primitives, complementing the
+// table/figure benches at the repository root.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func microFixture(b *testing.B) (*Fragmentation, *Fragmentation, map[string]*Instance) {
+	b.Helper()
+	sch := customerSchema()
+	src, err := FromPartition(sch, "S", [][]string{
+		{"Customer", "CustName"},
+		{"Order"},
+		{"Service", "ServiceName"},
+		{"Line", "TelNo", "Feature", "FeatureID"},
+		{"Switch", "SwitchID"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt, err := FromPartition(sch, "T", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	doc := randomDoc(sch, rng, 6)
+	sources, err := FromDocument(src, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src, tgt, sources
+}
+
+func BenchmarkCombine(b *testing.B) {
+	src, _, _ := microFixture(b)
+	sch := src.Schema
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		doc := randomDoc(sch, rng, 6)
+		sources, err := FromDocument(src, doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cust, ord *Instance
+		for _, in := range sources {
+			switch in.Frag.Root {
+			case "Customer":
+				cust = in
+			case "Order":
+				ord = in
+			}
+		}
+		b.StartTimer()
+		if _, err := Combine(sch, cust, ord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	src, _, _ := microFixture(b)
+	sch := src.Schema
+	rng := rand.New(rand.NewSource(3))
+	doc := randomDoc(sch, rng, 6)
+	whole, err := NewFragment(sch, "", sch.Names())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := &Instance{Frag: whole}
+		inst.Records = append(inst.Records, doc.Clone())
+		if _, err := Split(sch, inst, src.Fragments); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProgramGeneration(b *testing.B) {
+	src, tgt, _ := microFixture(b)
+	m, err := NewMapping(src, tgt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CanonicalProgram(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteProgram(b *testing.B) {
+	src, tgt, _ := microFixture(b)
+	m, _ := NewMapping(src, tgt)
+	g, err := CanonicalProgram(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch := src.Schema
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sources, err := FromDocument(src, randomDoc(sch, rng, 6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := Execute(g, sch, sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateInstance(b *testing.B) {
+	src, _, sources := microFixture(b)
+	sch := src.Schema
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range sources {
+			if err := ValidateInstance(sch, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

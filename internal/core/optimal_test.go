@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xdx/internal/schema"
+)
+
+func modelFor(sch *schema.Schema, srcSpeed, tgtSpeed float64) *Model {
+	return NewModel(testProvider(sch, srcSpeed, tgtSpeed))
+}
+
+func TestCostModelBasics(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	g, _ := CanonicalProgram(m)
+	model := modelFor(sch, 1, 1)
+	a := NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == OpWrite {
+			a[op.ID] = LocTarget
+		} else {
+			a[op.ID] = LocSource
+		}
+	}
+	c, err := model.Cost(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || math.IsInf(c, 0) {
+		t.Fatalf("cost = %v", c)
+	}
+	br, err := model.Breakdown(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(br.Computation+br.Communication-c) > 1e-9 {
+		t.Errorf("breakdown %v does not sum to cost %v", br, c)
+	}
+	if br.Communication <= 0 {
+		t.Errorf("all-source placement must ship fragments: %+v", br)
+	}
+	// Incomplete and non-monotone assignments are rejected.
+	if _, err := model.Cost(g, NewAssignment(g)); err == nil {
+		t.Error("incomplete assignment must fail")
+	}
+	bad := a.Clone()
+	// Find a Write and its producer; put producer at target, a consumer of
+	// the producer at source would be needed — instead invert an edge
+	// directly.
+	for _, e := range g.Edges {
+		if e.From.Kind != OpScan {
+			bad[e.From.ID] = LocTarget
+			bad[e.To.ID] = LocSource
+			break
+		}
+	}
+	if _, err := model.Cost(g, bad); err == nil {
+		t.Error("non-monotone assignment must fail")
+	}
+}
+
+func TestCommCostOnlyOnCrossEdges(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(tFragmentation(t, sch), tFragmentation(t, sch))
+	g, _ := CanonicalProgram(m)
+	model := modelFor(sch, 1, 1)
+	a := NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == OpScan {
+			a[op.ID] = LocSource
+		} else {
+			a[op.ID] = LocTarget
+		}
+	}
+	br, _ := model.Breakdown(g, a)
+	// Every Scan->Write edge crosses; comm equals sum of fragment sizes.
+	var want float64
+	for _, e := range g.Edges {
+		want += model.Provider.ShipBytes(e.Frag)
+	}
+	if math.Abs(br.Communication-want) > 1e-9 {
+		t.Errorf("comm = %v, want %v", br.Communication, want)
+	}
+}
+
+func TestMinMaxPlacementEqualSystems(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	g, _ := CanonicalProgram(m)
+	model := modelFor(sch, 1, 1)
+	best, worst, err := MinMaxPlacement(g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost > worst.Cost {
+		t.Fatalf("best %v > worst %v", best.Cost, worst.Cost)
+	}
+	if !best.Assign.Complete() || !best.Assign.Monotone(g) {
+		t.Fatal("best assignment malformed")
+	}
+	// Sanity: best is no worse than the all-source baseline.
+	a := NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == OpWrite {
+			a[op.ID] = LocTarget
+		} else {
+			a[op.ID] = LocSource
+		}
+	}
+	base, _ := model.Cost(g, a)
+	if best.Cost > base+1e-9 {
+		t.Errorf("best %v worse than all-source %v", best.Cost, base)
+	}
+}
+
+func TestFastTargetAttractsCombines(t *testing.T) {
+	// Figure 11: with a 10x faster target, the optimizer places combines at
+	// the target.
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), Trivial(sch))
+	g, _ := CanonicalProgram(m)
+	model := modelFor(sch, 1, 10)
+	best, _, err := MinMaxPlacement(g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combinesAtTarget := 0
+	for _, op := range g.Ops {
+		if op.Kind == OpCombine && best.Assign[op.ID] == LocTarget {
+			combinesAtTarget++
+		}
+	}
+	if combinesAtTarget == 0 {
+		t.Errorf("fast target should attract combines:\n%s", g)
+	}
+}
+
+func TestDumbClientForcesSourceCombines(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), Trivial(sch))
+	g, _ := CanonicalProgram(m)
+	p := testProvider(sch, 1, 100)
+	p.TargetCombines = false // dumb client despite being fast
+	model := NewModel(p)
+	best, _, err := MinMaxPlacement(g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.Ops {
+		if op.Kind == OpCombine && best.Assign[op.ID] == LocTarget {
+			t.Fatalf("combine placed at dumb client:\n%s", g)
+		}
+	}
+	if math.IsInf(best.Cost, 0) {
+		t.Fatal("best cost infinite")
+	}
+}
+
+func TestCostBasedOptimMatchesEnumeration(t *testing.T) {
+	// The literal Algorithm 1 must find the same optimal cost as the
+	// canonical monotone-cut enumeration.
+	cases := []struct {
+		src, tgt func(*testing.T, *schema.Schema) *Fragmentation
+		ss, ts   float64
+	}{
+		{sFragmentation, tFragmentation, 1, 1},
+		{sFragmentation, tFragmentation, 5, 1},
+		{sFragmentation, tFragmentation, 1, 5},
+		{tFragmentation, sFragmentation, 1, 2},
+	}
+	sch := customerSchema()
+	for i, c := range cases {
+		m, err := NewMapping(c.src(t, sch), c.tgt(t, sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := CanonicalProgram(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := modelFor(sch, c.ss, c.ts)
+		best, _, err := MinMaxPlacement(g, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg1, err := CostBasedOptim(g, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(best.Cost-alg1.Cost) > 1e-6 {
+			t.Errorf("case %d: enumeration %v != Algorithm 1 %v", i, best.Cost, alg1.Cost)
+		}
+	}
+}
+
+func TestCostBasedOptimRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sch := schema.Balanced(2, 2)
+		src := Random(sch, rng, rng.Intn(5)+1)
+		tgt := Random(sch, rng, rng.Intn(5)+1)
+		m, err := NewMapping(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := CanonicalProgram(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := modelFor(sch, float64(rng.Intn(5)+1), float64(rng.Intn(5)+1))
+		best, _, err := MinMaxPlacement(g, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg1, err := CostBasedOptim(g, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(best.Cost-alg1.Cost) > 1e-6 {
+			t.Errorf("seed %d: enumeration %v != Algorithm 1 %v\n%s", seed, best.Cost, alg1.Cost, g)
+		}
+	}
+}
+
+func TestGreedyPlacementNearOptimal(t *testing.T) {
+	// Table 5 finds the greedy within ~1% of optimal; allow a loose bound
+	// here, but require validity and sanity.
+	sch := customerSchema()
+	for _, speeds := range [][2]float64{{5, 1}, {2, 1}, {1, 1}, {1, 2}, {1, 5}} {
+		m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+		model := modelFor(sch, speeds[0], speeds[1])
+		opt, err := Optimal(m, model, GenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := Greedy(m, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Cost < opt.Cost-1e-9 {
+			t.Errorf("speeds %v: greedy %v beat optimal %v", speeds, gr.Cost, opt.Cost)
+		}
+		if gr.Cost > opt.Cost*1.5 {
+			t.Errorf("speeds %v: greedy %v far from optimal %v", speeds, gr.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestWorstCaseAtLeastOptimal(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	model := modelFor(sch, 5, 1)
+	opt, err := Optimal(m, model, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstCase(m, model, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Cost < opt.Cost {
+		t.Errorf("worst %v < optimal %v", worst.Cost, opt.Cost)
+	}
+}
+
+func TestGreedyPlacementRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sch := schema.Balanced(2, 3)
+		src := Random(sch, rng, rng.Intn(8)+1)
+		tgt := Random(sch, rng, rng.Intn(8)+1)
+		m, err := NewMapping(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := modelFor(sch, float64(rng.Intn(5)+1), float64(rng.Intn(5)+1))
+		gr, err := Greedy(m, model)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !gr.Assign.Complete() || !gr.Assign.Monotone(gr.Program) {
+			t.Fatalf("seed %d: greedy placement malformed", seed)
+		}
+		best, _, err := MinMaxPlacement(gr.Program, model)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if gr.Cost < best.Cost-1e-9 {
+			t.Errorf("seed %d: greedy %v below optimal %v for its own program", seed, gr.Cost, best.Cost)
+		}
+	}
+}
+
+func TestMinMaxPlacementRefusesHugeSearch(t *testing.T) {
+	// Beyond maxFreeOps the exhaustive search must refuse (the paper's
+	// ">40 nodes takes too long" wall) while greedy still succeeds.
+	rng := rand.New(rand.NewSource(1))
+	sch := schema.Balanced(3, 4) // 85 nodes
+	src := Random(sch, rng, 25)
+	tgt := Random(sch, rng, 25)
+	m, err := NewMapping(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := 0
+	for _, op := range g.Ops {
+		if op.Kind != OpScan && op.Kind != OpWrite {
+			free++
+		}
+	}
+	if free <= maxFreeOps {
+		t.Skipf("setup produced only %d free ops", free)
+	}
+	model := modelFor(sch, 1, 1)
+	if _, _, err := MinMaxPlacement(g, model); err == nil {
+		t.Error("exhaustive placement should refuse oversized programs")
+	}
+	if _, err := GreedyPlacement(g, model); err != nil {
+		t.Errorf("greedy should still handle it: %v", err)
+	}
+}
+
+func TestModelExplain(t *testing.T) {
+	sch := customerSchema()
+	m, _ := NewMapping(sFragmentation(t, sch), tFragmentation(t, sch))
+	g, _ := CanonicalProgram(m)
+	model := modelFor(sch, 1, 1)
+	best, _, err := MinMaxPlacement(g, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := model.Explain(g, best.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"@S", "@T", "comp=", "ship ", "comm=", "total="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := model.Explain(g, NewAssignment(g)); err == nil {
+		t.Error("incomplete assignment must fail")
+	}
+}
+
+func TestUniformStats(t *testing.T) {
+	c, b := UniformStats([]string{"a", "b"}, 3, 7)
+	if c["a"] != 3 || b["b"] != 7 {
+		t.Errorf("UniformStats wrong: %v %v", c, b)
+	}
+}
+
+func TestStatsProviderInfinities(t *testing.T) {
+	p := testProvider(customerSchema(), 0, 1)
+	f, _ := NewFragment(customerSchema(), "", []string{"Customer", "CustName"})
+	if !math.IsInf(p.CompCost(OpScan, nil, f, LocSource), 1) {
+		t.Error("zero speed must cost +Inf")
+	}
+	p2 := testProvider(customerSchema(), 1, 1)
+	p2.TargetCombines = false
+	if !math.IsInf(p2.CompCost(OpCombine, []*Fragment{f}, nil, LocTarget), 1) {
+		t.Error("dumb client combine must cost +Inf")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// ExecuteParallel runs a data-transfer program with independent operation
+// chains executing concurrently — the parallelism opportunity §5.2 notes
+// for Scan(f)→Write(f) programs but did not pursue. Semantics match
+// Execute; only wall-clock behaviour differs.
+func ExecuteParallel(g *Graph, sch *schema.Schema, sources map[string]*Instance) (*ExecResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	type opResult struct {
+		out map[string]*Instance
+		err error
+	}
+	done := make([]chan struct{}, len(g.Ops))
+	results := make([]opResult, len(g.Ops))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	res := &ExecResult{Written: make(map[string]*Instance)}
+	var mu sync.Mutex // guards res
+
+	input := func(op *Op, e *Edge) (*Instance, error) {
+		<-done[e.From.ID]
+		r := results[e.From.ID]
+		if r.err != nil {
+			return nil, fmt.Errorf("core: parallel: upstream %s failed: %w", e.From, r.err)
+		}
+		in := r.out[e.Frag.Name]
+		if in == nil {
+			return nil, fmt.Errorf("core: parallel: producer %s has no output %q", e.From, e.Frag.Name)
+		}
+		if consumers(g, e.From, e.Frag) > 1 {
+			in = cloneInstance(in)
+		}
+		return in, nil
+	}
+
+	var wg sync.WaitGroup
+	for _, op := range g.Ops {
+		op := op
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done[op.ID])
+			start := time.Now()
+			out := make(map[string]*Instance, 1)
+			rows := 0
+			var err error
+			switch op.Kind {
+			case OpScan:
+				src := sources[op.Out.Name]
+				if src == nil {
+					err = fmt.Errorf("core: parallel: no source instance for %q", op.Out.Name)
+					break
+				}
+				inst := &Instance{Frag: op.Out, Records: src.Records}
+				out[op.Out.Name] = inst
+				rows = inst.Rows()
+			case OpCombine:
+				ins := g.In(op)
+				var a, b *Instance
+				if a, err = input(op, ins[0]); err != nil {
+					break
+				}
+				if b, err = input(op, ins[1]); err != nil {
+					break
+				}
+				if !combinableFrags(sch, a.Frag, b.Frag) {
+					a, b = b, a
+				}
+				var merged *Instance
+				if merged, err = Combine(sch, a, b); err != nil {
+					break
+				}
+				merged.Frag = op.Out
+				out[op.Out.Name] = merged
+				rows = merged.Rows()
+			case OpSplit:
+				var in *Instance
+				if in, err = input(op, g.In(op)[0]); err != nil {
+					break
+				}
+				var parts []*Instance
+				if parts, err = Split(sch, in, op.Parts); err != nil {
+					break
+				}
+				for _, p := range parts {
+					out[p.Frag.Name] = p
+					rows += p.Rows()
+				}
+			case OpWrite:
+				var in *Instance
+				if in, err = input(op, g.In(op)[0]); err != nil {
+					break
+				}
+				mu.Lock()
+				res.Written[op.Out.Name] = &Instance{Frag: op.Out, Records: in.Records}
+				mu.Unlock()
+				rows = len(in.Records)
+			}
+			results[op.ID] = opResult{out: out, err: err}
+			if err == nil {
+				mu.Lock()
+				res.Traces = append(res.Traces, OpTrace{Op: op, Duration: time.Since(start), OutRows: rows})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, op := range g.Ops {
+		if results[op.ID].err != nil {
+			return nil, results[op.ID].err
+		}
+	}
+	return res, nil
+}
+
+// EqualWritten reports whether two execution results wrote the same
+// fragment instances (same rows per fragment, shape-equal records); used
+// to verify that parallel execution is semantics-preserving.
+func EqualWritten(a, b *ExecResult) bool {
+	if len(a.Written) != len(b.Written) {
+		return false
+	}
+	for name, ia := range a.Written {
+		ib := b.Written[name]
+		if ib == nil || ia.Rows() != ib.Rows() {
+			return false
+		}
+		for i := range ia.Records {
+			if !xmltree.EqualShape(ia.Records[i], ib.Records[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

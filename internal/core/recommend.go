@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xdx/internal/schema"
+)
+
+// This file implements the paper's stated future work (§7): "explore
+// solutions to derive the best fragmentation for a system based on its
+// internal indices and data structures." Recommendation searches the space
+// of valid fragmentations for one side of an exchange, holding the peer
+// fixed, and minimizes the estimated exchange cost under the same §4.1
+// model the optimizers use. The search samples random cut sets and then
+// hill-climbs by toggling individual cut points.
+
+// RecommendOptions tune the search.
+type RecommendOptions struct {
+	// Candidates is the number of random starting fragmentations
+	// (default 20).
+	Candidates int
+	// MaxFragments bounds the fragment count of sampled candidates
+	// (default: half the schema size).
+	MaxFragments int
+	// Seed drives sampling.
+	Seed int64
+	// MaxClimbSteps bounds hill climbing (default 50).
+	MaxClimbSteps int
+}
+
+func (o RecommendOptions) withDefaults(sch *schema.Schema) RecommendOptions {
+	if o.Candidates <= 0 {
+		o.Candidates = 20
+	}
+	if o.MaxFragments <= 0 {
+		o.MaxFragments = sch.Len()/2 + 1
+	}
+	if o.MaxClimbSteps <= 0 {
+		o.MaxClimbSteps = 50
+	}
+	return o
+}
+
+// Recommendation is the outcome of a fragmentation search.
+type Recommendation struct {
+	// Fragmentation is the best layout found.
+	Fragmentation *Fragmentation
+	// Cost is its greedy-optimized exchange cost against the peer.
+	Cost float64
+	// Evaluated counts the candidate layouts whose cost was computed.
+	Evaluated int
+}
+
+// RecommendSource searches for a source fragmentation minimizing the
+// exchange cost toward the fixed target.
+func RecommendSource(target *Fragmentation, model *Model, opts RecommendOptions) (Recommendation, error) {
+	return recommend(target.Schema, model, opts, func(cand *Fragmentation) (float64, error) {
+		return exchangeCost(cand, target, model)
+	})
+}
+
+// RecommendTarget searches for a target fragmentation minimizing the
+// exchange cost from the fixed source.
+func RecommendTarget(source *Fragmentation, model *Model, opts RecommendOptions) (Recommendation, error) {
+	return recommend(source.Schema, model, opts, func(cand *Fragmentation) (float64, error) {
+		return exchangeCost(source, cand, model)
+	})
+}
+
+func exchangeCost(src, tgt *Fragmentation, model *Model) (float64, error) {
+	m, err := NewMapping(src, tgt)
+	if err != nil {
+		return 0, err
+	}
+	res, err := Greedy(m, model)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost, nil
+}
+
+func recommend(sch *schema.Schema, model *Model, opts RecommendOptions, cost func(*Fragmentation) (float64, error)) (Recommendation, error) {
+	opts = opts.withDefaults(sch)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best := Recommendation{Cost: -1}
+	evaluate := func(fr *Fragmentation) error {
+		c, err := cost(fr)
+		if err != nil {
+			return err
+		}
+		best.Evaluated++
+		if best.Cost < 0 || c < best.Cost {
+			best.Cost = c
+			best.Fragmentation = fr
+		}
+		return nil
+	}
+	// Deterministic baselines first: the canonical layouts of §5.
+	for _, fr := range []*Fragmentation{Trivial(sch), MostFragmented(sch), LeastFragmented(sch)} {
+		if err := evaluate(fr); err != nil {
+			return best, err
+		}
+	}
+	for i := 0; i < opts.Candidates; i++ {
+		k := 2 + rng.Intn(opts.MaxFragments)
+		if err := evaluate(Random(sch, rng, k)); err != nil {
+			return best, err
+		}
+	}
+	// Hill climb from the best candidate by toggling cut points.
+	cuts := cutsOf(sch, best.Fragmentation)
+	for step := 0; step < opts.MaxClimbSteps; step++ {
+		improved := false
+		for _, e := range sch.Names()[1:] {
+			forced := len(sch.Parents(e)) > 1
+			if forced {
+				continue // multi-parent elements must stay cut
+			}
+			cuts[e] = !cuts[e]
+			cand, err := fromCuts(sch, cuts)
+			if err == nil {
+				c, cerr := cost(cand)
+				if cerr == nil {
+					best.Evaluated++
+					if c < best.Cost {
+						best.Cost = c
+						best.Fragmentation = cand
+						improved = true
+						continue // keep the toggle
+					}
+				}
+			}
+			cuts[e] = !cuts[e] // revert
+		}
+		if !improved {
+			break
+		}
+	}
+	if best.Fragmentation == nil {
+		return best, fmt.Errorf("core: recommendation found no valid fragmentation")
+	}
+	return best, nil
+}
+
+// cutsOf recovers the cut set (fragment roots other than the schema root)
+// of a fragmentation.
+func cutsOf(sch *schema.Schema, fr *Fragmentation) map[string]bool {
+	cuts := make(map[string]bool)
+	for _, f := range fr.Fragments {
+		if f.Root != sch.Root().Name {
+			cuts[f.Root] = true
+		}
+	}
+	return cuts
+}
+
+// fromCuts builds the fragmentation induced by a cut set: each element
+// belongs to the fragment of its nearest cut ancestor (or the root).
+// Multi-parent elements are always cut.
+func fromCuts(sch *schema.Schema, cuts map[string]bool) (*Fragmentation, error) {
+	full := make(map[string]bool, len(cuts)+1)
+	full[sch.Root().Name] = true
+	for e, on := range cuts {
+		if on {
+			full[e] = true
+		}
+	}
+	for _, e := range sch.Names() {
+		if len(sch.Parents(e)) > 1 {
+			full[e] = true
+		}
+	}
+	groups := make(map[string][]string)
+	memo := make(map[string]string)
+	var startOf func(name string) string
+	startOf = func(name string) string {
+		if s, ok := memo[name]; ok {
+			return s
+		}
+		var s string
+		if full[name] {
+			s = name
+		} else {
+			s = startOf(sch.ParentOf(name))
+		}
+		memo[name] = s
+		return s
+	}
+	names := sch.Names()
+	for _, n := range names {
+		groups[startOf(n)] = append(groups[startOf(n)], n)
+	}
+	var parts [][]string
+	for _, n := range names {
+		if members, ok := groups[n]; ok {
+			parts = append(parts, members)
+		}
+	}
+	return FromPartition(sch, fmt.Sprintf("cuts-%d", len(parts)), parts)
+}

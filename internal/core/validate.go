@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// ValidateInstance checks that an instance conforms to its fragment
+// (Definition 3.2): every record is rooted at the fragment root, contains
+// only fragment elements in legal parent/child positions and schema order,
+// respects repetition constraints, and carries consistent internal
+// ID/PARENT links.
+func ValidateInstance(sch *schema.Schema, in *Instance) error {
+	if in.Frag == nil {
+		return fmt.Errorf("core: instance without fragment")
+	}
+	for i, rec := range in.Records {
+		if rec.Name != in.Frag.Root {
+			return fmt.Errorf("core: record %d rooted at %q, want %q", i, rec.Name, in.Frag.Root)
+		}
+		if err := validateNode(sch, in.Frag, rec); err != nil {
+			return fmt.Errorf("core: record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateNode(sch *schema.Schema, f *Fragment, n *xmltree.Node) error {
+	if !f.Elems[n.Name] {
+		return fmt.Errorf("element %q outside fragment %q", n.Name, f.Name)
+	}
+	decl := sch.ByName(n.Name)
+	if decl == nil {
+		return fmt.Errorf("element %q not in schema", n.Name)
+	}
+	lastOrder := -1
+	counts := make(map[string]int)
+	for _, k := range n.Kids {
+		// Parent/child legality.
+		legal := false
+		for _, p := range sch.Parents(k.Name) {
+			if p == n.Name {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			return fmt.Errorf("element %q may not occur under %q", k.Name, n.Name)
+		}
+		// Document order per the schema.
+		ord := sch.ChildOrder(n.Name, k.Name)
+		if ord < lastOrder {
+			return fmt.Errorf("children of %q out of schema order at %q", n.Name, k.Name)
+		}
+		lastOrder = ord
+		counts[k.Name]++
+		// Internal links.
+		if k.Parent != "" && n.ID != "" && k.Parent != n.ID {
+			return fmt.Errorf("element %q has PARENT %q, enclosing %q has ID %q", k.Name, k.Parent, n.Name, n.ID)
+		}
+		if err := validateNode(sch, f, k); err != nil {
+			return err
+		}
+	}
+	for name, c := range counts {
+		if c > 1 && !sch.ByName(name).Repeated {
+			return fmt.Errorf("element %q repeats %d times under %q but is not repeatable", name, c, n.Name)
+		}
+	}
+	return nil
+}

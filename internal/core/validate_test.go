@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+func TestValidateInstanceAccepts(t *testing.T) {
+	sch := customerSchema()
+	fr := tFragmentation(t, sch)
+	insts, err := FromDocument(fr, customerDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range insts {
+		if err := ValidateInstance(sch, in); err != nil {
+			t.Errorf("fragment %q: %v", name, err)
+		}
+	}
+}
+
+func TestValidateInstanceRejects(t *testing.T) {
+	sch := customerSchema()
+	fr := tFragmentation(t, sch)
+	frag := fr.FragmentOf("TelNo") // Line_TelNo_Switch_SwitchID
+
+	mk := func(mutate func(rec *xmltree.Node)) *Instance {
+		insts, _ := FromDocument(fr, customerDoc())
+		in := insts[frag.Name]
+		mutate(in.Records[0])
+		return in
+	}
+	cases := []struct {
+		name   string
+		mutate func(rec *xmltree.Node)
+	}{
+		{"wrong root", func(rec *xmltree.Node) { rec.Name = "Order" }},
+		{"outside element", func(rec *xmltree.Node) { rec.AddKid(&xmltree.Node{Name: "Feature"}) }},
+		{"illegal position", func(rec *xmltree.Node) {
+			rec.Kids[0].AddKid(&xmltree.Node{Name: "SwitchID"}) // SwitchID under TelNo
+		}},
+		{"out of order", func(rec *xmltree.Node) {
+			rec.Kids[0], rec.Kids[1] = rec.Kids[1], rec.Kids[0] // Switch before TelNo
+		}},
+		{"illegal repetition", func(rec *xmltree.Node) {
+			rec.AddKid(rec.Kids[1].Clone()) // second Switch under one Line
+		}},
+		{"broken link", func(rec *xmltree.Node) { rec.Kids[0].Parent = "nonsense" }},
+	}
+	for _, c := range cases {
+		in := mk(c.mutate)
+		if err := ValidateInstance(sch, in); err == nil {
+			t.Errorf("%s: validation should fail", c.name)
+		}
+	}
+	if err := ValidateInstance(sch, &Instance{}); err == nil {
+		t.Error("instance without fragment should fail")
+	}
+}
+
+func TestValidateAfterOps(t *testing.T) {
+	// Everything the executor produces must validate: run random mappings
+	// and validate every written instance.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sch := schema.Balanced(2, 3)
+		src := Random(sch, rng, rng.Intn(6)+1)
+		tgt := Random(sch, rng, rng.Intn(6)+1)
+		m, err := NewMapping(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := CanonicalProgram(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs, _ := FromDocument(src, randomDoc(sch, rng, 3))
+		res, err := Execute(g, sch, srcs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for name, in := range res.Written {
+			if err := ValidateInstance(sch, in); err != nil {
+				t.Errorf("seed %d fragment %q: %v", seed, name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package endpoint implements a service endpoint of the exchange
+// architecture (Figure 2): a system that registers a fragmentation, answers
+// the discovery agency's cost probes, executes the program slice assigned
+// to it, and produces or consumes fragment shipments — all over SOAP/HTTP,
+// without revealing its internal data structures.
+package endpoint
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xdx/internal/core"
+	"xdx/internal/ldapstore"
+	"xdx/internal/relstore"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/wsdlx"
+	"xdx/internal/xmltree"
+)
+
+// Backend abstracts the system behind an endpoint. Only fragment-level
+// operations are exposed; how data is stored stays hidden, per the Web
+// services principle the paper builds on.
+type Backend interface {
+	// Layout is the fragmentation the system produces/consumes natively.
+	Layout() *core.Fragmentation
+	// Scan materializes a layout fragment's instance (Definition 3.6).
+	Scan(f *core.Fragment) (*core.Instance, error)
+	// Write stores a fragment instance (Definition 3.9).
+	Write(in *core.Instance) error
+	// BuildIndexes finalizes storage after loading (Table 4's index step).
+	BuildIndexes() error
+	// Provider reports the system's cost estimates for probing.
+	Provider() *core.StatsProvider
+}
+
+// RelBackend adapts a relational store.
+type RelBackend struct {
+	// Store is the backing relational store.
+	Store *relstore.Store
+	// Speed is the system's relative processing speed (1 = baseline).
+	Speed float64
+	// CanCombine is false for dumb clients that cannot run Combine.
+	CanCombine bool
+}
+
+// Layout implements Backend.
+func (b *RelBackend) Layout() *core.Fragmentation { return b.Store.Layout }
+
+// Scan implements Backend.
+func (b *RelBackend) Scan(f *core.Fragment) (*core.Instance, error) {
+	return b.Store.ScanFragment(f.Name)
+}
+
+// Write implements Backend.
+func (b *RelBackend) Write(in *core.Instance) error { return b.Store.Load(in) }
+
+// BuildIndexes implements Backend.
+func (b *RelBackend) BuildIndexes() error { return b.Store.BuildIndexes() }
+
+// Provider implements Backend.
+func (b *RelBackend) Provider() *core.StatsProvider {
+	card, bytes := b.Store.Stats()
+	speed := b.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	return &core.StatsProvider{
+		Card: card, Bytes: bytes,
+		Unit:        core.DefaultUnitCosts(),
+		SourceSpeed: speed, TargetSpeed: speed,
+		TargetCombines: b.CanCombine,
+	}
+}
+
+// LDAPBackend adapts an LDAP directory store — the provisioning system T
+// of §1.1. It is primarily a consumer (and a dumb client: no combines),
+// but its directory can also be scanned so an exchange may later flow back
+// out of it.
+type LDAPBackend struct {
+	// Store is the backing directory.
+	Store *ldapstore.Store
+	// Speed is the system's relative processing speed.
+	Speed float64
+}
+
+// Layout implements Backend.
+func (b *LDAPBackend) Layout() *core.Fragmentation { return b.Store.Layout }
+
+// Scan implements Backend.
+func (b *LDAPBackend) Scan(f *core.Fragment) (*core.Instance, error) {
+	return b.Store.Scan(f.Name)
+}
+
+// Write implements Backend.
+func (b *LDAPBackend) Write(in *core.Instance) error { return b.Store.Load(in) }
+
+// BuildIndexes implements Backend.
+func (b *LDAPBackend) BuildIndexes() error { return nil }
+
+// Provider implements Backend. The directory is a dumb client: it consumes
+// fragments but does not combine them (§4.1).
+func (b *LDAPBackend) Provider() *core.StatsProvider {
+	speed := b.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	card := map[string]float64{}
+	bytes := map[string]float64{}
+	for _, e := range b.Store.Layout.Schema.Names() {
+		card[e] = 1
+		bytes[e] = 16
+	}
+	return &core.StatsProvider{
+		Card: card, Bytes: bytes,
+		Unit:        core.DefaultUnitCosts(),
+		SourceSpeed: speed, TargetSpeed: speed,
+		TargetCombines: false,
+	}
+}
+
+// VirtualBackend wraps a backend and serves some fragments from computing
+// functions instead of stored data — the paper's TotalMRCService idea
+// (§1.1): "a fragment could correspond to the result of a service call ...
+// without revealing how this fragment is computed."
+type VirtualBackend struct {
+	// Base handles everything not overridden.
+	Base Backend
+	// Virtual maps fragment names (of Base's layout) to producers.
+	Virtual map[string]func() (*core.Instance, error)
+}
+
+// Layout implements Backend.
+func (b *VirtualBackend) Layout() *core.Fragmentation { return b.Base.Layout() }
+
+// Scan implements Backend: virtual fragments are computed, the rest
+// delegate to the base backend.
+func (b *VirtualBackend) Scan(f *core.Fragment) (*core.Instance, error) {
+	if fn, ok := b.Virtual[f.Name]; ok {
+		in, err := fn()
+		if err != nil {
+			return nil, fmt.Errorf("endpoint: virtual fragment %q: %w", f.Name, err)
+		}
+		if err := core.ValidateInstance(b.Layout().Schema, in); err != nil {
+			return nil, fmt.Errorf("endpoint: virtual fragment %q: %w", f.Name, err)
+		}
+		return in, nil
+	}
+	return b.Base.Scan(f)
+}
+
+// Write implements Backend.
+func (b *VirtualBackend) Write(in *core.Instance) error { return b.Base.Write(in) }
+
+// BuildIndexes implements Backend.
+func (b *VirtualBackend) BuildIndexes() error { return b.Base.BuildIndexes() }
+
+// Provider implements Backend.
+func (b *VirtualBackend) Provider() *core.StatsProvider { return b.Base.Provider() }
+
+// Endpoint serves a backend over SOAP.
+type Endpoint struct {
+	// Name identifies the endpoint in logs and faults.
+	Name string
+	// WSDL is the service description (with the fragmentation extension)
+	// the endpoint publishes.
+	WSDL *wsdlx.Definitions
+
+	backend Backend
+	srv     *soap.Server
+}
+
+// New wires a backend into a SOAP endpoint.
+func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
+	e := &Endpoint{Name: name, WSDL: defs, backend: be, srv: soap.NewServer()}
+	e.srv.Handle("GetWSDL", e.getWSDL)
+	e.srv.Handle("ProbeStats", e.probeStats)
+	e.srv.Handle("ProbeCost", e.probeCost)
+	e.srv.Handle("ExecuteSource", e.executeSource)
+	e.srv.Handle("ExecuteTarget", e.executeTarget)
+	return e
+}
+
+// Handler returns the endpoint's HTTP handler.
+func (e *Endpoint) Handler() http.Handler { return e.srv }
+
+func (e *Endpoint) getWSDL(req *xmltree.Node) (*xmltree.Node, error) {
+	data, err := e.WSDL.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	resp := &xmltree.Node{Name: "GetWSDLResponse", Text: string(data)}
+	return resp, nil
+}
+
+func (e *Endpoint) probeStats(req *xmltree.Node) (*xmltree.Node, error) {
+	resp := &xmltree.Node{Name: "ProbeStatsResponse"}
+	resp.AddKid(wire.EncodeStats(e.backend.Provider()))
+	return resp, nil
+}
+
+// probeCost answers a single comp_cost(OP, location) query (§4.1): the
+// request carries the op kind, the location, and inline fragment
+// definitions — first the output, then the inputs.
+func (e *Endpoint) probeCost(req *xmltree.Node) (*xmltree.Node, error) {
+	kindStr, _ := req.Attr("kind")
+	locStr, _ := req.Attr("loc")
+	var kind core.OpKind
+	switch kindStr {
+	case "Scan":
+		kind = core.OpScan
+	case "Combine":
+		kind = core.OpCombine
+	case "Split":
+		kind = core.OpSplit
+	case "Write":
+		kind = core.OpWrite
+	default:
+		return nil, &soap.Fault{Code: "soap:Client", String: "unknown op kind " + kindStr}
+	}
+	loc := core.LocSource
+	if locStr == "T" {
+		loc = core.LocTarget
+	}
+	sch := e.backend.Layout().Schema
+	var frags []*core.Fragment
+	for _, fx := range req.Kids {
+		if fx.Name != "fragment" {
+			continue
+		}
+		name, _ := fx.Attr("name")
+		var elems []string
+		for _, el := range fx.Kids {
+			elems = append(elems, el.Text)
+		}
+		f, err := core.NewFragment(sch, name, elems)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		frags = append(frags, f)
+	}
+	if len(frags) == 0 {
+		return nil, &soap.Fault{Code: "soap:Client", String: "probe without fragments"}
+	}
+	cost := e.backend.Provider().CompCost(kind, frags[1:], frags[0], loc)
+	resp := &xmltree.Node{Name: "ProbeCostResponse"}
+	if math.IsInf(cost, 1) {
+		resp.SetAttr("cost", "Inf")
+	} else {
+		resp.SetAttr("cost", strconv.FormatFloat(cost, 'g', -1, 64))
+	}
+	return resp, nil
+}
+
+// executeSource runs the source slice of a program: scans plus the
+// operations placed at this system, returning the cross-edge shipment.
+// A service argument (§3.2) arrives as filterElem/filterValue attributes
+// and is applied before execution: the system "filters the data
+// accordingly and provides the relevant pieces".
+func (e *Endpoint) executeSource(req *xmltree.Node) (*xmltree.Node, error) {
+	g, a, err := decodeProgramChild(req, e.backend.Layout())
+	if err != nil {
+		return nil, err
+	}
+	scan := e.scanByElems
+	if filterElem, ok := req.Attr("filterElem"); ok && filterElem != "" {
+		filterValue, _ := req.Attr("filterValue")
+		scan, err = e.filteredScan(filterElem, filterValue)
+		if err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	outbound, _, err := core.ExecuteSlice(g, e.backend.Layout().Schema, a, core.LocSource, core.SliceIO{
+		Scan: scan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	resp := &xmltree.Node{Name: "ExecuteSourceResponse"}
+	resp.SetAttr("queryMillis", formatMillis(elapsed))
+	format, _ := req.Attr("format")
+	shipment, err := wire.EncodeShipmentAuto(outbound, e.backend.Layout().Schema, format == "feed")
+	if err != nil {
+		return nil, err
+	}
+	resp.AddKid(shipment)
+	return resp, nil
+}
+
+// scanByElems resolves a plan fragment to this system's layout fragment by
+// element set, so plans need not share pointers with the store.
+func (e *Endpoint) scanByElems(f *core.Fragment) (*core.Instance, error) {
+	for _, lf := range e.backend.Layout().Fragments {
+		if lf.SameElems(f) {
+			in, err := e.backend.Scan(lf)
+			if err != nil {
+				return nil, err
+			}
+			return &core.Instance{Frag: f, Records: in.Records}, nil
+		}
+	}
+	return nil, fmt.Errorf("endpoint %s: no layout fragment matching %q", e.Name, f.Name)
+}
+
+// filteredScan materializes the whole layout once, trims it consistently
+// to the root records whose filterElem leaf equals filterValue, and serves
+// program Scans from the trimmed instances.
+func (e *Endpoint) filteredScan(filterElem, filterValue string) (func(*core.Fragment) (*core.Instance, error), error) {
+	layout := e.backend.Layout()
+	sources := make(map[string]*core.Instance, layout.Len())
+	for _, f := range layout.Fragments {
+		in, err := e.backend.Scan(f)
+		if err != nil {
+			return nil, err
+		}
+		sources[f.Name] = in
+	}
+	kept, err := core.FilterSources(layout, sources, func(rec *xmltree.Node) bool {
+		n := rec.Find(filterElem)
+		return n != nil && n.Text == filterValue
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func(f *core.Fragment) (*core.Instance, error) {
+		for _, in := range kept {
+			if in.Frag.SameElems(f) {
+				return &core.Instance{Frag: f, Records: in.Records}, nil
+			}
+		}
+		return nil, fmt.Errorf("endpoint %s: no layout fragment matching %q", e.Name, f.Name)
+	}, nil
+}
+
+// executeTarget runs the target slice: operations placed here plus the
+// Writes, consuming the inbound shipment, then builds indexes.
+func (e *Endpoint) executeTarget(req *xmltree.Node) (*xmltree.Node, error) {
+	g, a, err := decodeProgramChild(req, e.backend.Layout())
+	if err != nil {
+		return nil, err
+	}
+	var shipment *xmltree.Node
+	for _, k := range req.Kids {
+		if k.Name == "shipment" {
+			shipment = k
+		}
+	}
+	if shipment == nil {
+		return nil, &soap.Fault{Code: "soap:Client", String: "missing shipment"}
+	}
+	frags := map[string]*core.Fragment{}
+	for _, op := range g.Ops {
+		frags[op.Out.Name] = op.Out
+		for _, p := range op.Parts {
+			frags[p.Name] = p
+		}
+	}
+	for _, ed := range g.Edges {
+		frags[ed.Frag.Name] = ed.Frag
+	}
+	inbound, err := wire.DecodeShipmentAuto(shipment, e.backend.Layout().Schema, func(name string) *core.Fragment { return frags[name] })
+	if err != nil {
+		return nil, err
+	}
+	var writeTime time.Duration
+	start := time.Now()
+	_, _, err = core.ExecuteSlice(g, e.backend.Layout().Schema, a, core.LocTarget, core.SliceIO{
+		Inbound: inbound,
+		Write: func(in *core.Instance) error {
+			ws := time.Now()
+			err := e.backend.Write(in)
+			writeTime += time.Since(ws)
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	execTime := time.Since(start) - writeTime
+	is := time.Now()
+	if err := e.backend.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	indexTime := time.Since(is)
+	resp := &xmltree.Node{Name: "ExecuteTargetResponse"}
+	resp.SetAttr("execMillis", formatMillis(execTime))
+	resp.SetAttr("writeMillis", formatMillis(writeTime))
+	resp.SetAttr("indexMillis", formatMillis(indexTime))
+	return resp, nil
+}
+
+func decodeProgramChild(req *xmltree.Node, layout *core.Fragmentation) (*core.Graph, core.Assignment, error) {
+	for _, k := range req.Kids {
+		if k.Name == "program" {
+			return wire.DecodeProgram(k, layout.Schema)
+		}
+	}
+	return nil, nil, &soap.Fault{Code: "soap:Client", String: "missing program"}
+}
+
+func formatMillis(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+// ParseMillis converts a millisecond attribute back to a duration.
+func ParseMillis(s string) time.Duration {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(f * float64(time.Millisecond))
+}

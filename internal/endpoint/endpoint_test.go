@@ -1,0 +1,412 @@
+package endpoint
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/ldapstore"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/wsdlx"
+	"xdx/internal/xmltree"
+)
+
+func tFrag(t *testing.T, sch *schema.Schema) *core.Fragmentation {
+	t.Helper()
+	fr, err := core.FromPartition(sch, "T", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func loadedStore(t *testing.T, fr *core.Fragmentation) *relstore.Store {
+	t.Helper()
+	st, err := relstore.NewStore(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.Parse(strings.NewReader(
+		`<Customer><CustName>Ann</CustName><Order><Service><ServiceName>s</ServiceName>` +
+			`<Line><TelNo>1</TelNo><Switch><SwitchID>w</SwitchID></Switch>` +
+			`<Feature><FeatureID>f</FeatureID></Feature></Line></Service></Order></Customer>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AssignIDs(doc)
+	if err := st.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func startEndpoint(t *testing.T, be Backend) (*soap.Client, func()) {
+	t.Helper()
+	sch := be.Layout().Schema
+	defs := &wsdlx.Definitions{
+		Name: "CustomerInfo", TargetNamespace: "ns", ServiceName: "svc",
+		PortName: "p", Address: "http://x", Schema: sch,
+		Fragmentations: []*core.Fragmentation{be.Layout()},
+	}
+	ep := New("test", be, defs)
+	srv := httptest.NewServer(ep.Handler())
+	return &soap.Client{URL: srv.URL}, srv.Close
+}
+
+func TestGetWSDL(t *testing.T) {
+	sch := schema.CustomerInfo()
+	st := loadedStore(t, tFrag(t, sch))
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 1, CanCombine: true})
+	defer done()
+	resp, err := c.Call("GetWSDL", &xmltree.Node{Name: "GetWSDL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := wsdlx.Parse(strings.NewReader(resp.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defs.ServiceName != "svc" || len(defs.Fragmentations) != 1 {
+		t.Errorf("WSDL round trip wrong: %+v", defs)
+	}
+}
+
+func TestProbeStats(t *testing.T) {
+	sch := schema.CustomerInfo()
+	st := loadedStore(t, tFrag(t, sch))
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 2, CanCombine: true})
+	defer done()
+	resp, err := c.Call("ProbeStats", &xmltree.Node{Name: "ProbeStats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := wire.DecodeStats(resp.Kids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SourceSpeed != 2 || !p.TargetCombines {
+		t.Errorf("stats wrong: %+v", p)
+	}
+	if p.Card["Feature"] != 1 {
+		t.Errorf("Feature card = %v, want 1", p.Card["Feature"])
+	}
+}
+
+func TestProbeCost(t *testing.T) {
+	sch := schema.CustomerInfo()
+	st := loadedStore(t, tFrag(t, sch))
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 1, CanCombine: false})
+	defer done()
+	req := &xmltree.Node{Name: "ProbeCost"}
+	req.SetAttr("kind", "Scan")
+	req.SetAttr("loc", "S")
+	fx := &xmltree.Node{Name: "fragment"}
+	fx.SetAttr("name", "f")
+	for _, e := range []string{"Customer", "CustName"} {
+		fx.AddKid(&xmltree.Node{Name: "e", Text: e})
+	}
+	req.AddKid(fx)
+	resp, err := c.Call("ProbeCost", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := resp.Attr("cost")
+	v, err := strconv.ParseFloat(cs, 64)
+	if err != nil || v <= 0 {
+		t.Errorf("scan cost = %q", cs)
+	}
+	// A dumb client reports Inf for target-side combines.
+	req.SetAttr("kind", "Combine")
+	req.SetAttr("loc", "T")
+	resp, err = c.Call("ProbeCost", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs, _ := resp.Attr("cost"); cs != "Inf" {
+		t.Errorf("dumb client combine cost = %q, want Inf", cs)
+	}
+	// Errors.
+	req.SetAttr("kind", "Bogus")
+	if _, err := c.Call("ProbeCost", req); err == nil {
+		t.Error("bogus kind must fault")
+	}
+	bare := &xmltree.Node{Name: "ProbeCost"}
+	bare.SetAttr("kind", "Scan")
+	if _, err := c.Call("ProbeCost", bare); err == nil {
+		t.Error("probe without fragments must fault")
+	}
+}
+
+func TestExecuteSourceAndTarget(t *testing.T) {
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	srcStore := loadedStore(t, fr)
+	srcClient, srcDone := startEndpoint(t, &RelBackend{Store: srcStore, Speed: 1, CanCombine: true})
+	defer srcDone()
+	tgtStore, err := relstore.NewStore(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtClient, tgtDone := startEndpoint(t, &RelBackend{Store: tgtStore, Speed: 1, CanCombine: true})
+	defer tgtDone()
+
+	// Identical fragmentations: pure Scan->Write program.
+	m, err := core.NewMapping(fr, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == core.OpWrite {
+			a[op.ID] = core.LocTarget
+		} else {
+			a[op.ID] = core.LocSource
+		}
+	}
+	progXML, err := wire.EncodeProgram(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqS := &xmltree.Node{Name: "ExecuteSource"}
+	reqS.AddKid(progXML)
+	respS, err := srcClient.Call("ExecuteSource", reqS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms, ok := respS.Attr("queryMillis"); !ok || ms == "" {
+		t.Error("missing queryMillis")
+	}
+	var shipment *xmltree.Node
+	for _, k := range respS.Kids {
+		if k.Name == "shipment" {
+			shipment = k
+		}
+	}
+	if shipment == nil || len(shipment.Kids) != fr.Len() {
+		t.Fatalf("shipment has %d instances, want %d", len(shipment.Kids), fr.Len())
+	}
+	prog2, err := wire.EncodeProgram(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqT := &xmltree.Node{Name: "ExecuteTarget"}
+	reqT.AddKid(prog2)
+	reqT.AddKid(shipment)
+	respT, err := tgtClient.Call("ExecuteTarget", reqT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := respT.Attr("writeMillis"); !ok || ParseMillis(v) < 0 {
+		t.Errorf("writeMillis missing/negative: %v", v)
+	}
+	if tgtStore.Rows() != srcStore.Rows() {
+		t.Errorf("target rows = %d, want %d", tgtStore.Rows(), srcStore.Rows())
+	}
+	// Target indexes were built.
+	for _, name := range tgtStore.Tables() {
+		if len(tgtStore.Table(name).Indexes()) != 2 {
+			t.Errorf("table %q not indexed", name)
+		}
+	}
+}
+
+func TestExecuteSourceMissingProgram(t *testing.T) {
+	sch := schema.CustomerInfo()
+	st := loadedStore(t, tFrag(t, sch))
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 1, CanCombine: true})
+	defer done()
+	if _, err := c.Call("ExecuteSource", &xmltree.Node{Name: "ExecuteSource"}); err == nil {
+		t.Error("missing program must fault")
+	}
+}
+
+func TestExecuteTargetMissingShipment(t *testing.T) {
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	st, _ := relstore.NewStore(fr)
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 1, CanCombine: true})
+	defer done()
+	m, _ := core.NewMapping(fr, fr)
+	g, _ := core.CanonicalProgram(m)
+	a := core.NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == core.OpWrite {
+			a[op.ID] = core.LocTarget
+		} else {
+			a[op.ID] = core.LocSource
+		}
+	}
+	progXML, _ := wire.EncodeProgram(g, a)
+	req := &xmltree.Node{Name: "ExecuteTarget"}
+	req.AddKid(progXML)
+	if _, err := c.Call("ExecuteTarget", req); err == nil {
+		t.Error("missing shipment must fault")
+	}
+}
+
+func TestLDAPBackendBehaviour(t *testing.T) {
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	be := &LDAPBackend{Store: ldapstore.NewStore(fr), Speed: 3}
+	if in, err := be.Scan(fr.Fragments[0]); err != nil || in.Rows() != 0 {
+		t.Errorf("scan of empty directory: %v, %d rows", err, in.Rows())
+	}
+	p := be.Provider()
+	if p.TargetCombines {
+		t.Error("LDAP backend must be a dumb client")
+	}
+	if p.TargetSpeed != 3 {
+		t.Errorf("speed = %v", p.TargetSpeed)
+	}
+	if !math.IsInf(p.CompCost(core.OpCombine, nil, fr.Fragments[0], core.LocTarget), 1) {
+		t.Error("combine at dumb client should cost +Inf")
+	}
+	if err := be.BuildIndexes(); err != nil {
+		t.Errorf("BuildIndexes: %v", err)
+	}
+}
+
+func TestVirtualBackend(t *testing.T) {
+	// A computed fragment (§1.1's TotalMRCService idea): Customer data
+	// comes from a function, the rest from the store.
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	st := loadedStore(t, fr)
+	custFrag := fr.FragmentOf("CustName")
+	be := &VirtualBackend{
+		Base: &RelBackend{Store: st, Speed: 1, CanCombine: true},
+		Virtual: map[string]func() (*core.Instance, error){
+			custFrag.Name: func() (*core.Instance, error) {
+				return &core.Instance{Frag: custFrag, Records: []*xmltree.Node{
+					{Name: "Customer", ID: "v1", Kids: []*xmltree.Node{
+						{Name: "CustName", ID: "v2", Parent: "v1", Text: "computed"},
+					}},
+				}}, nil
+			},
+		},
+	}
+	in, err := be.Scan(custFrag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Records[0].Find("CustName").Text != "computed" {
+		t.Errorf("virtual fragment not served: %v", in.Records[0])
+	}
+	// Non-virtual fragments still come from the store.
+	other := fr.FragmentOf("FeatureID")
+	in, err = be.Scan(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Rows() != 1 {
+		t.Errorf("base fragment rows = %d", in.Rows())
+	}
+	// A virtual producer returning garbage is rejected.
+	be.Virtual[other.Name] = func() (*core.Instance, error) {
+		return &core.Instance{Frag: other, Records: []*xmltree.Node{{Name: "Wrong"}}}, nil
+	}
+	if _, err := be.Scan(other); err == nil {
+		t.Error("invalid virtual instance must be rejected")
+	}
+}
+
+func TestVirtualBackendPassthrough(t *testing.T) {
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	st := loadedStore(t, fr)
+	be := &VirtualBackend{Base: &RelBackend{Store: st, Speed: 2, CanCombine: true}}
+	if be.Layout() != fr {
+		t.Error("Layout passthrough broken")
+	}
+	if be.Provider().SourceSpeed != 2 {
+		t.Error("Provider passthrough broken")
+	}
+	if err := be.BuildIndexes(); err != nil {
+		t.Errorf("BuildIndexes: %v", err)
+	}
+	custFrag := fr.FragmentOf("CustName")
+	in, err := be.Scan(custFrag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := relstore.NewStore(fr)
+	be2 := &VirtualBackend{Base: &RelBackend{Store: st2, Speed: 1, CanCombine: true}}
+	if err := be2.Write(in); err != nil {
+		t.Errorf("Write passthrough: %v", err)
+	}
+	if st2.Rows() != 1 {
+		t.Errorf("write landed %d rows", st2.Rows())
+	}
+}
+
+func TestExecuteSourceWithFilter(t *testing.T) {
+	// §3.2 service arguments over SOAP: the source filters before
+	// executing.
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	st := loadedStore(t, fr)
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 1, CanCombine: true})
+	defer done()
+	m, _ := core.NewMapping(fr, fr)
+	g, _ := core.CanonicalProgram(m)
+	a := core.NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == core.OpWrite {
+			a[op.ID] = core.LocTarget
+		} else {
+			a[op.ID] = core.LocSource
+		}
+	}
+	progXML, _ := wire.EncodeProgram(g, a)
+	req := &xmltree.Node{Name: "ExecuteSource"}
+	req.SetAttr("filterElem", "CustName")
+	req.SetAttr("filterValue", "NoSuchCustomer")
+	req.AddKid(progXML)
+	resp, err := c.Call("ExecuteSource", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range resp.Kids {
+		if k.Name != "shipment" {
+			continue
+		}
+		for _, ix := range k.Kids {
+			if len(ix.Kids) != 0 {
+				t.Errorf("filtered-out exchange still shipped records")
+			}
+		}
+	}
+}
+
+func TestRelBackendDefaultsSpeed(t *testing.T) {
+	sch := schema.CustomerInfo()
+	st := loadedStore(t, tFrag(t, sch))
+	be := &RelBackend{Store: st, CanCombine: true} // zero speed
+	if got := be.Provider().SourceSpeed; got != 1 {
+		t.Errorf("default speed = %v, want 1", got)
+	}
+}
+
+func TestParseMillis(t *testing.T) {
+	if got := ParseMillis("12.5"); got.Milliseconds() != 12 {
+		t.Errorf("ParseMillis = %v", got)
+	}
+	if got := ParseMillis("junk"); got != 0 {
+		t.Errorf("ParseMillis(junk) = %v", got)
+	}
+}

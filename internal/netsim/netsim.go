@@ -1,0 +1,118 @@
+// Package netsim models the wide-area link between the source and target
+// systems. The paper's machines sat in different US states; its 25 MB
+// publish&map transfer took 158.65 s, an effective ~160 KB/s. A Link
+// reproduces that proportionality analytically (TransferTime) and, when
+// real byte movement is wanted, as a bandwidth-throttled io.Writer.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Link describes a one-way connection.
+type Link struct {
+	// BytesPerSecond is the sustained bandwidth. Zero means unlimited.
+	BytesPerSecond float64
+	// Latency is the fixed per-transfer setup cost (TCP handshake, first
+	// byte).
+	Latency time.Duration
+}
+
+// PaperInternet returns a link calibrated to the paper's observed
+// throughput (≈160 KB/s between the two sites).
+func PaperInternet() Link {
+	return Link{BytesPerSecond: 160_000, Latency: 80 * time.Millisecond}
+}
+
+// Loopback returns an effectively unconstrained link.
+func Loopback() Link { return Link{} }
+
+// TransferTime returns the modeled time to ship n bytes.
+func (l Link) TransferTime(n int64) time.Duration {
+	d := l.Latency
+	if l.BytesPerSecond > 0 {
+		d += time.Duration(float64(n) / l.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// Throttle wraps w so that writes proceed at the link's bandwidth,
+// sleeping as needed. With an unlimited link it returns w unchanged.
+func (l Link) Throttle(w io.Writer) io.Writer {
+	if l.BytesPerSecond <= 0 {
+		return w
+	}
+	return &throttledWriter{w: w, rate: l.BytesPerSecond}
+}
+
+type throttledWriter struct {
+	w     io.Writer
+	rate  float64
+	debt  time.Duration
+	last  time.Time
+	begun bool
+}
+
+func (t *throttledWriter) Write(p []byte) (int, error) {
+	now := time.Now()
+	if !t.begun {
+		t.begun = true
+		t.last = now
+	} else {
+		elapsed := now.Sub(t.last)
+		t.last = now
+		t.debt -= elapsed
+		if t.debt < 0 {
+			t.debt = 0
+		}
+	}
+	n, err := t.w.Write(p)
+	t.debt += time.Duration(float64(n) / t.rate * float64(time.Second))
+	// Sleep in chunks so huge writes do not overshoot badly.
+	if t.debt > time.Millisecond {
+		time.Sleep(t.debt)
+		t.debt = 0
+		t.last = time.Now()
+	}
+	return n, err
+}
+
+// Meter counts bytes flowing through a writer, for communication-cost
+// accounting.
+type Meter struct {
+	w io.Writer
+	n int64
+}
+
+// NewMeter wraps w.
+func NewMeter(w io.Writer) *Meter { return &Meter{w: w} }
+
+// Write implements io.Writer.
+func (m *Meter) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	m.n += int64(n)
+	return n, err
+}
+
+// Bytes returns the number of bytes written so far.
+func (m *Meter) Bytes() int64 { return m.n }
+
+// Discard is an io.Writer that counts and drops everything, for measuring
+// serialization sizes without buffering.
+type Discard struct{ N int64 }
+
+// Write implements io.Writer.
+func (d *Discard) Write(p []byte) (int, error) {
+	d.N += int64(len(p))
+	return len(p), nil
+}
+
+// String renders the link for logs.
+func (l Link) String() string {
+	if l.BytesPerSecond <= 0 {
+		return "link(unlimited)"
+	}
+	return fmt.Sprintf("link(%.0f B/s, %s latency)", l.BytesPerSecond, l.Latency)
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransferTimeProportional(t *testing.T) {
+	l := Link{BytesPerSecond: 1000}
+	if got := l.TransferTime(2000); got != 2*time.Second {
+		t.Errorf("TransferTime(2000) = %v", got)
+	}
+	l.Latency = time.Second
+	if got := l.TransferTime(0); got != time.Second {
+		t.Errorf("latency not applied: %v", got)
+	}
+	if got := Loopback().TransferTime(1 << 30); got != 0 {
+		t.Errorf("loopback should be free: %v", got)
+	}
+}
+
+func TestPaperInternetCalibration(t *testing.T) {
+	// 25 MB over the paper link should take on the order of 156 s,
+	// matching Table 3's publish&map row (158.65 s).
+	got := PaperInternet().TransferTime(25_000_000).Seconds()
+	if got < 140 || got > 175 {
+		t.Errorf("25MB transfer modeled at %.1fs, want ~156s", got)
+	}
+}
+
+func TestThrottleActuallyThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	l := Link{BytesPerSecond: 100_000} // 100 KB/s
+	w := l.Throttle(&buf)
+	start := time.Now()
+	payload := []byte(strings.Repeat("x", 10_000)) // 10 KB => ~100ms
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("throttled write of 10KB at 100KB/s took only %v", elapsed)
+	}
+	if buf.Len() != len(payload) {
+		t.Errorf("payload truncated: %d", buf.Len())
+	}
+}
+
+func TestThrottleUnlimitedPassesThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := Loopback().Throttle(&buf)
+	if _, ok := w.(*bytes.Buffer); !ok {
+		t.Errorf("unlimited link should return the writer unchanged")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMeter(&buf)
+	m.Write([]byte("hello"))
+	m.Write([]byte(" world"))
+	if m.Bytes() != 11 {
+		t.Errorf("meter = %d", m.Bytes())
+	}
+	if buf.String() != "hello world" {
+		t.Errorf("payload = %q", buf.String())
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	var d Discard
+	d.Write([]byte("abc"))
+	d.Write([]byte("de"))
+	if d.N != 5 {
+		t.Errorf("discard counted %d", d.N)
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	if got := Loopback().String(); got != "link(unlimited)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := PaperInternet().String(); !strings.Contains(got, "160000") {
+		t.Errorf("String = %q", got)
+	}
+}

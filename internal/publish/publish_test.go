@@ -1,0 +1,114 @@
+package publish
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/relstore"
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+func loadedStore(t *testing.T, layout *core.Fragmentation, doc *xmltree.Node) *relstore.Store {
+	t.Helper()
+	st, err := relstore.NewStore(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPublishReproducesDocument(t *testing.T) {
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 25_000, Seed: 8})
+	for _, layout := range []*core.Fragmentation{core.MostFragmented(sch), core.LeastFragmented(sch)} {
+		st := loadedStore(t, layout, doc)
+		var buf bytes.Buffer
+		res, err := Publish(st, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", layout.Name, err)
+		}
+		if res.Bytes != int64(buf.Len()) {
+			t.Errorf("%s: reported %d bytes, wrote %d", layout.Name, res.Bytes, buf.Len())
+		}
+		if res.QueryTime <= 0 {
+			t.Errorf("%s: no query time measured", layout.Name)
+		}
+		back, err := xmltree.Parse(&buf)
+		if err != nil {
+			t.Fatalf("%s: published document does not parse: %v", layout.Name, err)
+		}
+		if !xmltree.EqualShape(doc, back) {
+			t.Errorf("%s: published document differs from the stored one", layout.Name)
+		}
+	}
+}
+
+func TestPublishFromMFCostsMoreThanLF(t *testing.T) {
+	// Table 2's publish asymmetry: the MF source runs many more combines.
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 200_000, Seed: 2})
+	mf := loadedStore(t, core.MostFragmented(sch), doc)
+	lf := loadedStore(t, core.LeastFragmented(sch), doc)
+	var sink bytes.Buffer
+	mfRes, err := Publish(mf, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Reset()
+	lfRes, err := Publish(lf, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mfRes.QueryTime <= lfRes.QueryTime {
+		t.Errorf("publish from MF (%v) should cost more than from LF (%v)", mfRes.QueryTime, lfRes.QueryTime)
+	}
+}
+
+func TestTree(t *testing.T) {
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 15_000, Seed: 4})
+	st := loadedStore(t, core.LeastFragmented(sch), doc)
+	tree, d, err := Tree(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("no duration measured")
+	}
+	if !xmltree.EqualShape(doc, tree) {
+		t.Error("Tree differs from the stored document")
+	}
+}
+
+func TestPublishEmptyStore(t *testing.T) {
+	sch := xmark.Schema()
+	st, err := relstore.NewStore(core.LeastFragmented(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Publish(st, &buf); err == nil {
+		t.Error("publishing an empty store should fail (no document root)")
+	}
+}
+
+func TestPublishedDocumentHasNoIDs(t *testing.T) {
+	// publish&map ships the plain tagged document; instance keys stay
+	// internal.
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 10_000, Seed: 6})
+	st := loadedStore(t, core.LeastFragmented(sch), doc)
+	var buf bytes.Buffer
+	if _, err := Publish(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `ID="`) {
+		t.Error("published document must not carry instance keys")
+	}
+}

@@ -1,0 +1,103 @@
+package registry
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"xdx/internal/endpoint"
+	"xdx/internal/netsim"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+	"xdx/internal/wsdlx"
+)
+
+// Failure injection: the agency must surface endpoint and network failures
+// as errors, never as silent partial exchanges.
+
+func TestExecuteSourceDown(t *testing.T) {
+	ag, plan, _, done := startExchange(t, AlgGreedy)
+	defer done()
+	// Point the source registration at a dead server.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	ag.Party("CustomerInfoService", RoleSource).URL = deadURL
+	if _, err := ag.Execute("CustomerInfoService", plan, netsim.Loopback()); err == nil {
+		t.Error("exchange with a dead source must fail")
+	}
+}
+
+func TestExecuteTargetDown(t *testing.T) {
+	ag, plan, _, done := startExchange(t, AlgGreedy)
+	defer done()
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	ag.Party("CustomerInfoService", RoleTarget).URL = deadURL
+	if _, err := ag.Execute("CustomerInfoService", plan, netsim.Loopback()); err == nil {
+		t.Error("exchange with a dead target must fail")
+	}
+}
+
+func TestExecuteSourceEmptyStore(t *testing.T) {
+	// A source whose store was cleared after planning: the scans return no
+	// rows; the exchange must surface the downstream failure (combining an
+	// empty customer fragment leaves the document unassembled) or succeed
+	// with zero rows — never panic or hang.
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	tFr := tFragmentation(t, sch)
+	srcStore, err := relstore.NewStore(sFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcStore.LoadDocument(customerDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	tgtStore, err := relstore.NewStore(tFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcSrv := httptest.NewServer(endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil).Handler())
+	defer srcSrv.Close()
+	tgtSrv := httptest.NewServer(endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil).Handler())
+	defer tgtSrv.Close()
+	ag := New()
+	ag.Register("svc", RoleSource, wsdlFor(t, sch, sFr, srcSrv.URL), srcSrv.URL)
+	ag.Register("svc", RoleTarget, wsdlFor(t, sch, tFr, tgtSrv.URL), tgtSrv.URL)
+	plan, err := ag.Plan("svc", PlanOptions{Algorithm: AlgGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcStore.Clear()
+	report, err := ag.Execute("svc", plan, netsim.Loopback())
+	if err == nil && tgtStore.Rows() != 0 {
+		t.Errorf("empty source produced %d target rows", tgtStore.Rows())
+	}
+	_ = report
+}
+
+func TestPlanIncompatibleSchemas(t *testing.T) {
+	sch1 := schema.CustomerInfo()
+	sch2 := schema.Auction()
+	ag := New()
+	srv := httptest.NewServer(nil)
+	defer srv.Close()
+	if err := ag.Register("svc", RoleSource, wsdlFor(t, sch1, sFragmentation(t, sch1), srv.URL), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	d := &wsdlx.Definitions{
+		Name: "Auction", TargetNamespace: "ns", ServiceName: "svc",
+		PortName: "p", Address: srv.URL, Schema: sch2,
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("svc", RoleTarget, data, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.Plan("svc", PlanOptions{}); err == nil {
+		t.Error("plan across different schemas must fail")
+	}
+}

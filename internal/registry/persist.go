@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xdx/internal/xmltree"
+)
+
+// This file persists the agency's registrations to disk so a discovery-
+// agency daemon survives restarts: one WSDL document per registration plus
+// an index file mapping service/role/URL to it.
+
+const indexFile = "registry.xml"
+
+// SetAutoSave makes the agency persist its registrations into dir after
+// every Register call. Pass "" to disable.
+func (a *Agency) SetAutoSave(dir string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.autosaveDir = dir
+}
+
+// Save writes all registrations to dir (created if needed).
+func (a *Agency) Save(dir string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.saveLocked(dir)
+}
+
+func (a *Agency) saveLocked(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("registry: save: %w", err)
+	}
+	index := &xmltree.Node{Name: "registry"}
+	var services []string
+	for s := range a.services {
+		services = append(services, s)
+	}
+	sort.Strings(services)
+	for _, service := range services {
+		for _, role := range []Role{RoleSource, RoleTarget} {
+			p := a.services[service][role]
+			if p == nil {
+				continue
+			}
+			file := fmt.Sprintf("%s__%s.wsdl", sanitize(service), role)
+			data, err := p.WSDL.Marshal()
+			if err != nil {
+				return fmt.Errorf("registry: save %s/%s: %w", service, role, err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+				return fmt.Errorf("registry: save: %w", err)
+			}
+			reg := &xmltree.Node{Name: "registration"}
+			reg.SetAttr("service", service)
+			reg.SetAttr("role", string(role))
+			reg.SetAttr("url", p.URL)
+			reg.SetAttr("file", file)
+			index.AddKid(reg)
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, indexFile))
+	if err != nil {
+		return fmt.Errorf("registry: save: %w", err)
+	}
+	defer f.Close()
+	return xmltree.Write(f, index, xmltree.WriteOptions{Indent: true})
+}
+
+// LoadAgency restores an agency persisted with Save. A missing directory
+// or index yields an empty agency.
+func LoadAgency(dir string) (*Agency, error) {
+	a := New()
+	f, err := os.Open(filepath.Join(dir, indexFile))
+	if os.IsNotExist(err) {
+		return a, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("registry: load: %w", err)
+	}
+	defer f.Close()
+	index, err := xmltree.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load: %w", err)
+	}
+	if index.Name != "registry" {
+		return nil, fmt.Errorf("registry: load: unexpected index root %q", index.Name)
+	}
+	for _, reg := range index.Kids {
+		if reg.Name != "registration" {
+			continue
+		}
+		service, _ := reg.Attr("service")
+		roleStr, _ := reg.Attr("role")
+		url, _ := reg.Attr("url")
+		file, _ := reg.Attr("file")
+		if service == "" || file == "" {
+			return nil, fmt.Errorf("registry: load: malformed registration entry")
+		}
+		data, err := os.ReadFile(filepath.Join(dir, filepath.Base(file)))
+		if err != nil {
+			return nil, fmt.Errorf("registry: load %s/%s: %w", service, roleStr, err)
+		}
+		role := RoleSource
+		if roleStr == string(RoleTarget) {
+			role = RoleTarget
+		}
+		if err := a.Register(service, role, data, url); err != nil {
+			return nil, fmt.Errorf("registry: load %s/%s: %w", service, roleStr, err)
+		}
+	}
+	return a, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,91 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xdx/internal/schema"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	tFr := tFragmentation(t, sch)
+	ag := New()
+	if err := ag.Register("svc", RoleSource, wsdlFor(t, sch, sFr, "http://src"), "http://src"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("svc", RoleTarget, wsdlFor(t, sch, tFr, "http://tgt"), "http://tgt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("other", RoleSource, wsdlFor(t, sch, sFr, "http://o"), "http://o"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ag.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgency(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(back.Services()); got != 2 {
+		t.Fatalf("restored %d services, want 2", got)
+	}
+	p := back.Party("svc", RoleTarget)
+	if p == nil || p.URL != "http://tgt" {
+		t.Fatalf("target registration lost: %+v", p)
+	}
+	if p.Fragmentation.Len() != 4 {
+		t.Errorf("fragmentation lost: %d fragments", p.Fragmentation.Len())
+	}
+	if back.Party("svc", RoleSource).Fragmentation.Len() != 5 {
+		t.Errorf("source fragmentation lost")
+	}
+}
+
+func TestLoadAgencyMissingDir(t *testing.T) {
+	a, err := LoadAgency(filepath.Join(t.TempDir(), "nothing-here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Services()) != 0 {
+		t.Error("missing dir should load empty")
+	}
+}
+
+func TestLoadAgencyCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, indexFile), []byte("<junk/>"), 0o644)
+	if _, err := LoadAgency(dir); err == nil {
+		t.Error("corrupt index must fail")
+	}
+	os.WriteFile(filepath.Join(dir, indexFile), []byte(`<registry><registration service="s" role="source" url="u" file="missing.wsdl"/></registry>`), 0o644)
+	if _, err := LoadAgency(dir); err == nil {
+		t.Error("missing WSDL file must fail")
+	}
+}
+
+func TestAutoSave(t *testing.T) {
+	sch := schema.CustomerInfo()
+	dir := t.TempDir()
+	ag := New()
+	ag.SetAutoSave(dir)
+	if err := ag.Register("svc", RoleSource, wsdlFor(t, sch, sFragmentation(t, sch), "http://x"), "http://x"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgency(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Party("svc", RoleSource) == nil {
+		t.Error("autosave did not persist the registration")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a/b c:d"); got != "a_b_c_d" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,493 @@
+// Package registry implements the discovery agency of Figure 2: the
+// middle-ware where systems register WSDL descriptions with fragmentation
+// extensions (step 1), where mappings and data-transfer programs are
+// generated (step 2), where the systems' cost interfaces are probed
+// (step 3), and which assigns operations to the source and target and
+// drives the exchange (step 4). The agency sees only fragmentations and
+// cost estimates — never the systems' internal data structures.
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"xdx/internal/core"
+	"xdx/internal/netsim"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/wsdlx"
+	"xdx/internal/xmltree"
+)
+
+// Role says which side of an exchange a registration plays.
+type Role string
+
+// Registration roles.
+const (
+	RoleSource Role = "source"
+	RoleTarget Role = "target"
+)
+
+// Party is one registered system.
+type Party struct {
+	// Role is source or target.
+	Role Role
+	// URL is the endpoint's SOAP address.
+	URL string
+	// WSDL is the parsed service description.
+	WSDL *wsdlx.Definitions
+	// Fragmentation is the system's registered fragmentation; when the
+	// WSDL carries none, the initial XML Schema is used by default, as in
+	// publish&map (§1.1).
+	Fragmentation *core.Fragmentation
+}
+
+// Agency is the discovery agency.
+type Agency struct {
+	mu          sync.Mutex
+	services    map[string]map[Role]*Party
+	autosaveDir string
+}
+
+// New returns an empty agency.
+func New() *Agency {
+	return &Agency{services: make(map[string]map[Role]*Party)}
+}
+
+// Register stores a party's WSDL document under a service name (step 1 of
+// Figure 2). A missing fragmentation defaults to the whole XML Schema.
+func (a *Agency) Register(service string, role Role, wsdlDoc []byte, url string) error {
+	defs, err := wsdlx.Parse(bytes.NewReader(wsdlDoc))
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	p := &Party{Role: role, URL: url, WSDL: defs}
+	if len(defs.Fragmentations) > 0 {
+		p.Fragmentation = defs.Fragmentations[0]
+	} else {
+		p.Fragmentation = core.Trivial(defs.Schema)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.services[service] == nil {
+		a.services[service] = make(map[Role]*Party)
+	}
+	a.services[service][role] = p
+	if a.autosaveDir != "" {
+		if err := a.saveLocked(a.autosaveDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterFromEndpoint fetches the party's WSDL description from the
+// endpoint's own GetWSDL operation and registers it — discovery without
+// the party having to push its document (the UDDI-style flow of §2).
+func (a *Agency) RegisterFromEndpoint(service string, role Role, url string) error {
+	c := &soap.Client{URL: url}
+	resp, err := c.Call("GetWSDL", &xmltree.Node{Name: "GetWSDL"})
+	if err != nil {
+		return fmt.Errorf("registry: fetching WSDL from %s: %w", url, err)
+	}
+	return a.Register(service, role, []byte(resp.Text), url)
+}
+
+// Party returns the registration for a role, or nil.
+func (a *Agency) Party(service string, role Role) *Party {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.services[service][role]
+}
+
+// Deregister removes a party's registration (both roles when role is "").
+// It reports whether anything was removed.
+func (a *Agency) Deregister(service string, role Role) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := a.services[service]
+	if m == nil {
+		return false
+	}
+	removed := false
+	if role == "" {
+		removed = len(m) > 0
+		delete(a.services, service)
+	} else if _, ok := m[role]; ok {
+		delete(m, role)
+		removed = true
+		if len(m) == 0 {
+			delete(a.services, service)
+		}
+	}
+	if removed && a.autosaveDir != "" {
+		_ = a.saveLocked(a.autosaveDir)
+	}
+	return removed
+}
+
+// Services lists registered service names.
+func (a *Agency) Services() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for s := range a.services {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Algorithm selects the program-generation strategy of §4.
+type Algorithm string
+
+// Optimization algorithms.
+const (
+	AlgOptimal Algorithm = "optimal" // §4.2: exhaustive orderings × Cost_Based_Optim
+	AlgGreedy  Algorithm = "greedy"  // §4.3: cheapest-combine-first, greedy placement
+)
+
+// PlanOptions tune step 2/3.
+type PlanOptions struct {
+	// Algorithm defaults to AlgGreedy.
+	Algorithm Algorithm
+	// WComp and WComm weight the cost model; zero values default to 1.
+	WComp, WComm float64
+	// Gen bounds exhaustive enumeration.
+	Gen core.GenOptions
+}
+
+// Plan is the outcome of steps 2 and 3: a data-transfer program with its
+// placement and estimated cost.
+type Plan struct {
+	Service   string
+	Mapping   *core.Mapping
+	Program   *core.Graph
+	Assign    core.Assignment
+	Estimated float64
+	// PlanTime is how long optimization took (the §5.4.2 greedy-vs-optimal
+	// runtime comparison).
+	PlanTime time.Duration
+}
+
+// Plan generates and optimizes a data-transfer program for the service:
+// it derives the mapping between the registered fragmentations, probes both
+// endpoints' cost interfaces over SOAP, and runs the selected optimizer.
+func (a *Agency) Plan(service string, opts PlanOptions) (*Plan, error) {
+	src := a.Party(service, RoleSource)
+	tgt := a.Party(service, RoleTarget)
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("registry: service %q needs both a source and a target registration", service)
+	}
+	// The two parties agreed on one XML Schema; align the target's
+	// fragmentation onto the source's schema object.
+	tgtFrag, err := realign(tgt.Fragmentation, src.Fragmentation)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMapping(src.Fragmentation, tgtFrag)
+	if err != nil {
+		return nil, err
+	}
+	model, err := a.probe(src, tgt, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res core.OptimalResult
+	switch opts.Algorithm {
+	case AlgOptimal:
+		res, err = core.Optimal(m, model, opts.Gen)
+	default:
+		res, err = core.Greedy(m, model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Service:   service,
+		Mapping:   m,
+		Program:   res.Program,
+		Assign:    res.Assign,
+		Estimated: res.Cost,
+		PlanTime:  time.Since(start),
+	}, nil
+}
+
+// realign rebuilds fr against the schema owned by ref so fragment element
+// checks share one schema object.
+func realign(fr, ref *core.Fragmentation) (*core.Fragmentation, error) {
+	if fr.Schema == ref.Schema {
+		return fr, nil
+	}
+	if fr.Schema.Len() != ref.Schema.Len() {
+		return nil, fmt.Errorf("registry: parties registered different schemas (%d vs %d elements)", fr.Schema.Len(), ref.Schema.Len())
+	}
+	var frags []*core.Fragment
+	for _, f := range fr.Fragments {
+		nf, err := core.NewFragment(ref.Schema, f.Name, f.ElemList())
+		if err != nil {
+			return nil, fmt.Errorf("registry: parties registered incompatible schemas: %w", err)
+		}
+		frags = append(frags, nf)
+	}
+	return core.NewFragmentation(ref.Schema, fr.Name, frags)
+}
+
+// probe queries both endpoints' ProbeStats interfaces and builds the
+// two-system cost model (step 3 of Figure 2).
+func (a *Agency) probe(src, tgt *Party, opts PlanOptions) (*core.Model, error) {
+	sp, err := probeStats(src.URL)
+	if err != nil {
+		return nil, fmt.Errorf("registry: probing source: %w", err)
+	}
+	tp, err := probeStats(tgt.URL)
+	if err != nil {
+		return nil, fmt.Errorf("registry: probing target: %w", err)
+	}
+	model := core.NewModel(&duplexProvider{src: sp, tgt: tp})
+	if opts.WComp > 0 {
+		model.WComp = opts.WComp
+	}
+	if opts.WComm > 0 {
+		model.WComm = opts.WComm
+	}
+	return model, nil
+}
+
+func probeStats(url string) (*core.StatsProvider, error) {
+	c := &soap.Client{URL: url}
+	resp, err := c.Call("ProbeStats", &xmltree.Node{Name: "ProbeStats"})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Kids) == 0 {
+		return nil, fmt.Errorf("empty stats response")
+	}
+	return wire.DecodeStats(resp.Kids[0])
+}
+
+// duplexProvider routes cost queries to the owning system's estimates.
+type duplexProvider struct {
+	src, tgt *core.StatsProvider
+}
+
+// CompCost implements core.CostProvider.
+func (d *duplexProvider) CompCost(kind core.OpKind, in []*core.Fragment, out *core.Fragment, loc core.Location) float64 {
+	if loc == core.LocTarget {
+		if kind == core.OpCombine && !d.tgt.TargetCombines {
+			return math.Inf(1)
+		}
+		// Work is sized by the data flowing through the operation, which
+		// lives at the source; speed is the target's.
+		p := *d.src
+		p.TargetSpeed = d.tgt.TargetSpeed
+		p.TargetCombines = d.tgt.TargetCombines
+		return p.CompCost(kind, in, out, core.LocTarget)
+	}
+	return d.src.CompCost(kind, in, out, core.LocSource)
+}
+
+// ShipBytes implements core.CostProvider.
+func (d *duplexProvider) ShipBytes(f *core.Fragment) float64 { return d.src.ShipBytes(f) }
+
+// ProbedCost is the result of one comp_cost probe against a live endpoint.
+type ProbedCost struct {
+	Op   *core.Op
+	Loc  core.Location
+	Cost float64
+}
+
+// VerifyPlan probes the live endpoints for the actual comp_cost of every
+// placed operation of a plan (§4.1's per-operation probing, as opposed to
+// the bulk statistics probe used during search) and returns the per-op
+// answers together with their sum. It lets an operator check a plan's
+// estimate against the systems' own current numbers before executing.
+func (a *Agency) VerifyPlan(service string, plan *Plan) ([]ProbedCost, float64, error) {
+	src := a.Party(service, RoleSource)
+	tgt := a.Party(service, RoleTarget)
+	if src == nil || tgt == nil {
+		return nil, 0, fmt.Errorf("registry: service %q not fully registered", service)
+	}
+	var out []ProbedCost
+	total := 0.0
+	for _, op := range plan.Program.Ops {
+		loc := plan.Assign[op.ID]
+		url := src.URL
+		if loc == core.LocTarget {
+			url = tgt.URL
+		}
+		cost, err := probeCost(url, plan.Program, op, loc)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, ProbedCost{Op: op, Loc: loc, Cost: cost})
+		total += cost
+	}
+	return out, total, nil
+}
+
+func probeCost(url string, g *core.Graph, op *core.Op, loc core.Location) (float64, error) {
+	req := &xmltree.Node{Name: "ProbeCost"}
+	req.SetAttr("kind", op.Kind.String())
+	req.SetAttr("loc", loc.String())
+	addFrag := func(f *core.Fragment) {
+		fx := &xmltree.Node{Name: "fragment"}
+		fx.SetAttr("name", f.Name)
+		for _, e := range f.ElemList() {
+			fx.AddKid(&xmltree.Node{Name: "e", Text: e})
+		}
+		req.AddKid(fx)
+	}
+	addFrag(op.Out)
+	for _, e := range g.In(op) {
+		addFrag(e.Frag)
+	}
+	c := &soap.Client{URL: url}
+	resp, err := c.Call("ProbeCost", req)
+	if err != nil {
+		return 0, err
+	}
+	v, _ := resp.Attr("cost")
+	if v == "Inf" {
+		return math.Inf(1), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("registry: bad probed cost %q", v)
+	}
+	return f, nil
+}
+
+// Report aggregates the measurable steps of one executed exchange,
+// mirroring §5.2's step list.
+type Report struct {
+	// Plan is the executed plan.
+	Plan *Plan
+	// SourceTime is step 1: executing the program parts assigned to the
+	// source.
+	SourceTime time.Duration
+	// ShipBytes is the size of the shipped fragments; ShipTime the modeled
+	// time over the configured link (step 2).
+	ShipBytes int64
+	ShipTime  time.Duration
+	// TargetTime is step 3: program parts executed at the target.
+	TargetTime time.Duration
+	// WriteTime is step 4: loading the target store.
+	WriteTime time.Duration
+	// IndexTime is step 5: updating target indexes.
+	IndexTime time.Duration
+}
+
+// Total sums all steps.
+func (r *Report) Total() time.Duration {
+	return r.SourceTime + r.ShipTime + r.TargetTime + r.WriteTime + r.IndexTime
+}
+
+// ExecOptions tunes Execute.
+type ExecOptions struct {
+	// Link models the source→target connection.
+	Link netsim.Link
+	// Format selects the shipment encoding: "" or "xml" for XML trees,
+	// "feed" for sorted feeds (flat fragments only; others fall back to
+	// XML per instance).
+	Format string
+	// FilterElem/FilterValue pass a service argument (§3.2) to the source:
+	// only root-fragment records whose FilterElem leaf equals FilterValue
+	// (and their descendants) are exchanged.
+	FilterElem, FilterValue string
+}
+
+// Execute drives an exchange end-to-end (step 4 of Figure 2) with default
+// options; see ExecuteOpts.
+func (a *Agency) Execute(service string, plan *Plan, link netsim.Link) (*Report, error) {
+	return a.ExecuteOpts(service, plan, ExecOptions{Link: link})
+}
+
+// ExecuteOpts drives an exchange end-to-end: the source executes its slice
+// and returns the cross-edge shipment, which the agency forwards to the
+// target together with the target slice. Communication time is modeled
+// over the link from the actual shipment size.
+func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Report, error) {
+	link := opts.Link
+	src := a.Party(service, RoleSource)
+	tgt := a.Party(service, RoleTarget)
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("registry: service %q not fully registered", service)
+	}
+	progXML, err := wire.EncodeProgram(plan.Program, plan.Assign)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Plan: plan}
+
+	reqS := &xmltree.Node{Name: "ExecuteSource"}
+	if opts.Format != "" {
+		reqS.SetAttr("format", opts.Format)
+	}
+	if opts.FilterElem != "" {
+		reqS.SetAttr("filterElem", opts.FilterElem)
+		reqS.SetAttr("filterValue", opts.FilterValue)
+	}
+	reqS.AddKid(progXML)
+	cs := &soap.Client{URL: src.URL}
+	respS, err := cs.Call("ExecuteSource", reqS)
+	if err != nil {
+		return nil, fmt.Errorf("registry: source execution: %w", err)
+	}
+	if v, ok := respS.Attr("queryMillis"); ok {
+		report.SourceTime = parseMillis(v)
+	}
+	var shipment *xmltree.Node
+	for _, k := range respS.Kids {
+		if k.Name == "shipment" {
+			shipment = k
+		}
+	}
+	if shipment == nil {
+		return nil, fmt.Errorf("registry: source returned no shipment")
+	}
+	for _, ix := range shipment.Kids {
+		if format, _ := ix.Attr("format"); format == "feed" {
+			report.ShipBytes += int64(len(ix.Text))
+			continue
+		}
+		for _, rec := range ix.Kids {
+			report.ShipBytes += xmltree.SizeWith(rec, xmltree.WriteOptions{EmitAllIDs: true})
+		}
+	}
+	report.ShipTime = link.TransferTime(report.ShipBytes)
+
+	reqT := &xmltree.Node{Name: "ExecuteTarget"}
+	// Re-encode the program for the target side.
+	progXML2, err := wire.EncodeProgram(plan.Program, plan.Assign)
+	if err != nil {
+		return nil, err
+	}
+	reqT.AddKid(progXML2)
+	reqT.AddKid(shipment)
+	ct := &soap.Client{URL: tgt.URL}
+	respT, err := ct.Call("ExecuteTarget", reqT)
+	if err != nil {
+		return nil, fmt.Errorf("registry: target execution: %w", err)
+	}
+	if v, ok := respT.Attr("execMillis"); ok {
+		report.TargetTime = parseMillis(v)
+	}
+	if v, ok := respT.Attr("writeMillis"); ok {
+		report.WriteTime = parseMillis(v)
+	}
+	if v, ok := respT.Attr("indexMillis"); ok {
+		report.IndexTime = parseMillis(v)
+	}
+	return report, nil
+}
+
+func parseMillis(s string) time.Duration {
+	var f float64
+	fmt.Sscanf(s, "%g", &f)
+	return time.Duration(f * float64(time.Millisecond))
+}

@@ -1,0 +1,397 @@
+package registry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/endpoint"
+	"xdx/internal/ldapstore"
+	"xdx/internal/netsim"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+	"xdx/internal/wsdlx"
+	"xdx/internal/xmltree"
+)
+
+const customerXML = `<Customer><CustName>Ann</CustName>` +
+	`<Order><Service><ServiceName>local</ServiceName>` +
+	`<Line><TelNo>555-0001</TelNo><Switch><SwitchID>sw1</SwitchID></Switch>` +
+	`<Feature><FeatureID>callerID</FeatureID></Feature>` +
+	`<Feature><FeatureID>voicemail</FeatureID></Feature></Line>` +
+	`</Service></Order>` +
+	`<Order><Service><ServiceName>ld</ServiceName>` +
+	`<Line><TelNo>555-0003</TelNo><Switch><SwitchID>sw1</SwitchID></Switch>` +
+	`<Feature><FeatureID>callerID</FeatureID></Feature></Line>` +
+	`</Service></Order></Customer>`
+
+func customerDoc(t *testing.T) *xmltree.Node {
+	t.Helper()
+	doc, err := xmltree.Parse(strings.NewReader(customerXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AssignIDs(doc)
+	return doc
+}
+
+func sFragmentation(t *testing.T, sch *schema.Schema) *core.Fragmentation {
+	t.Helper()
+	fr, err := core.FromPartition(sch, "S-fragmentation", [][]string{
+		{"Customer", "CustName"},
+		{"Order"},
+		{"Service", "ServiceName"},
+		{"Line", "TelNo", "Feature", "FeatureID"},
+		{"Switch", "SwitchID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func tFragmentation(t *testing.T, sch *schema.Schema) *core.Fragmentation {
+	t.Helper()
+	fr, err := core.FromPartition(sch, "T-fragmentation", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func wsdlFor(t *testing.T, sch *schema.Schema, fr *core.Fragmentation, addr string) []byte {
+	t.Helper()
+	d := &wsdlx.Definitions{
+		Name:            "CustomerInfo",
+		TargetNamespace: "http://customers.wsdl",
+		ServiceName:     "CustomerInfoService",
+		PortName:        "CustomerInfoPort",
+		Address:         addr,
+		Schema:          sch,
+		Fragmentations:  []*core.Fragmentation{fr},
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// startExchange wires a relational source and target into live endpoints
+// and a registered agency.
+func startExchange(t *testing.T, alg Algorithm) (*Agency, *Plan, *relstore.Store, func()) {
+	t.Helper()
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	tFr := tFragmentation(t, sch)
+
+	srcStore, err := relstore.NewStore(sFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcStore.LoadDocument(customerDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	tgtStore, err := relstore.NewStore(tFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srcEP := endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil)
+	tgtEP := endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil)
+	srcSrv := httptest.NewServer(srcEP.Handler())
+	tgtSrv := httptest.NewServer(tgtEP.Handler())
+
+	ag := New()
+	if err := ag.Register("CustomerInfoService", RoleSource, wsdlFor(t, sch, sFr, srcSrv.URL), srcSrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("CustomerInfoService", RoleTarget, wsdlFor(t, sch, tFr, tgtSrv.URL), tgtSrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ag.Plan("CustomerInfoService", PlanOptions{Algorithm: alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() { srcSrv.Close(); tgtSrv.Close() }
+	return ag, plan, tgtStore, cleanup
+}
+
+func TestEndToEndExchangeGreedy(t *testing.T) {
+	ag, plan, tgtStore, done := startExchange(t, AlgGreedy)
+	defer done()
+	if plan.Program == nil || !plan.Assign.Complete() {
+		t.Fatal("plan incomplete")
+	}
+	report, err := ag.Execute("CustomerInfoService", plan, netsim.Loopback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShipBytes <= 0 {
+		t.Errorf("no bytes shipped")
+	}
+	// The target store now holds the document; reassemble and compare.
+	insts := map[string]*core.Instance{}
+	for _, f := range tgtStore.Layout.Fragments {
+		in, err := tgtStore.ScanFragment(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[f.Name] = in
+	}
+	back, err := core.Document(tgtStore.Layout, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualShape(customerDoc(t), back) {
+		t.Errorf("document changed in transit:\n%s", xmltree.Marshal(back, xmltree.WriteOptions{}))
+	}
+}
+
+func TestEndToEndExchangeFeedFormat(t *testing.T) {
+	// The same exchange with sorted-feed shipments (§4.1's feed option):
+	// smaller on the wire, identical target contents.
+	ag, plan, tgtStore, done := startExchange(t, AlgGreedy)
+	defer done()
+	feedReport, err := ag.ExecuteOpts("CustomerInfoService", plan, ExecOptions{Link: netsim.Loopback(), Format: "feed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := map[string]*core.Instance{}
+	for _, f := range tgtStore.Layout.Fragments {
+		in, err := tgtStore.ScanFragment(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[f.Name] = in
+	}
+	back, err := core.Document(tgtStore.Layout, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualShape(customerDoc(t), back) {
+		t.Errorf("feed exchange changed the document")
+	}
+	// Compare against XML-format shipping volume on a fresh exchange.
+	ag2, plan2, _, done2 := startExchange(t, AlgGreedy)
+	defer done2()
+	xmlReport, err := ag2.Execute("CustomerInfoService", plan2, netsim.Loopback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feedReport.ShipBytes >= xmlReport.ShipBytes {
+		t.Errorf("feed shipment (%d bytes) not smaller than XML (%d bytes)",
+			feedReport.ShipBytes, xmlReport.ShipBytes)
+	}
+}
+
+func TestEndToEndExchangeOptimal(t *testing.T) {
+	ag, plan, tgtStore, done := startExchange(t, AlgOptimal)
+	defer done()
+	report, err := ag.Execute("CustomerInfoService", plan, netsim.PaperInternet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShipTime <= 0 {
+		t.Errorf("paper link must model transfer time")
+	}
+	if report.Total() <= 0 {
+		t.Errorf("total time empty")
+	}
+	if tgtStore.Rows() == 0 {
+		t.Errorf("target store empty after exchange")
+	}
+}
+
+func TestExchangeToLDAPDumbClient(t *testing.T) {
+	// The §1.1 scenario: relational source, LDAP target that cannot
+	// combine. All combines must be placed at the source.
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	tFr := tFragmentation(t, sch)
+	srcStore, _ := relstore.NewStore(sFr)
+	if err := srcStore.LoadDocument(customerDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	dir := ldapstore.NewStore(tFr)
+	srcEP := endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil)
+	tgtEP := endpoint.New("T", &endpoint.LDAPBackend{Store: dir, Speed: 10}, nil)
+	srcSrv := httptest.NewServer(srcEP.Handler())
+	defer srcSrv.Close()
+	tgtSrv := httptest.NewServer(tgtEP.Handler())
+	defer tgtSrv.Close()
+
+	ag := New()
+	ag.Register("svc", RoleSource, wsdlFor(t, sch, sFr, srcSrv.URL), srcSrv.URL)
+	ag.Register("svc", RoleTarget, wsdlFor(t, sch, tFr, tgtSrv.URL), tgtSrv.URL)
+	plan, err := ag.Plan("svc", PlanOptions{Algorithm: AlgOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range plan.Program.Ops {
+		if op.Kind == core.OpCombine && plan.Assign[op.ID] == core.LocTarget {
+			t.Fatalf("combine placed at the dumb LDAP client")
+		}
+	}
+	if _, err := ag.Execute("svc", plan, netsim.Loopback()); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Dir.Len() == 0 {
+		t.Error("directory empty after exchange")
+	}
+	if got := len(dir.Dir.Search("", "CUSTOMER_T")); got != 1 {
+		t.Errorf("customers in directory = %d, want 1", got)
+	}
+	if got := len(dir.Dir.Search("", "FEATURE_T")); got != 3 {
+		t.Errorf("features in directory = %d, want 3", got)
+	}
+}
+
+func TestExchangeWithServiceArgument(t *testing.T) {
+	// §3.2: the service takes an argument that subsets the data; the source
+	// filters before shipping. Filtering on a CustName that does not exist
+	// must deliver nothing; filtering on "Ann" delivers everything (the
+	// fixture has one customer).
+	ag, plan, tgtStore, done := startExchange(t, AlgGreedy)
+	defer done()
+	if _, err := ag.ExecuteOpts("CustomerInfoService", plan, ExecOptions{
+		Link: netsim.Loopback(), FilterElem: "CustName", FilterValue: "Nobody",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tgtStore.Rows() != 0 {
+		t.Errorf("filter on missing customer delivered %d rows", tgtStore.Rows())
+	}
+	tgtStore.Clear()
+	report, err := ag.ExecuteOpts("CustomerInfoService", plan, ExecOptions{
+		Link: netsim.Loopback(), FilterElem: "CustName", FilterValue: "Ann",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgtStore.Rows() == 0 || report.ShipBytes == 0 {
+		t.Errorf("filter on existing customer delivered nothing")
+	}
+}
+
+func TestVerifyPlanProbesEndpoints(t *testing.T) {
+	ag, plan, _, done := startExchange(t, AlgGreedy)
+	defer done()
+	probed, total, err := ag.VerifyPlan("CustomerInfoService", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probed) != len(plan.Program.Ops) {
+		t.Fatalf("probed %d ops, want %d", len(probed), len(plan.Program.Ops))
+	}
+	if total <= 0 {
+		t.Errorf("total probed cost = %v", total)
+	}
+	for _, p := range probed {
+		if p.Cost < 0 {
+			t.Errorf("op %s probed negative cost", p.Op)
+		}
+		if p.Loc != plan.Assign[p.Op.ID] {
+			t.Errorf("op %s probed at wrong location", p.Op)
+		}
+	}
+}
+
+func TestRegisterDefaultsToTrivialFragmentation(t *testing.T) {
+	sch := schema.CustomerInfo()
+	d := &wsdlx.Definitions{
+		Name: "x", TargetNamespace: "ns", ServiceName: "svc",
+		PortName: "p", Address: "http://nowhere", Schema: sch,
+	}
+	data, _ := d.Marshal()
+	ag := New()
+	if err := ag.Register("svc", RoleSource, data, "http://nowhere"); err != nil {
+		t.Fatal(err)
+	}
+	p := ag.Party("svc", RoleSource)
+	if p.Fragmentation.Len() != 1 {
+		t.Errorf("default fragmentation should be the whole schema, got %d fragments", p.Fragmentation.Len())
+	}
+	if got := ag.Services(); len(got) != 1 || got[0] != "svc" {
+		t.Errorf("Services = %v", got)
+	}
+}
+
+func TestRegisterFromEndpoint(t *testing.T) {
+	// The agency pulls the WSDL (with its fragmentation) straight from the
+	// endpoint — no document push needed.
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	srcStore, err := relstore.NewStore(sFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := wsdlx.Parse(strings.NewReader(string(wsdlFor(t, sch, sFr, "http://placeholder"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, defs)
+	srv := httptest.NewServer(ep.Handler())
+	defer srv.Close()
+	ag := New()
+	if err := ag.RegisterFromEndpoint("svc", RoleSource, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	p := ag.Party("svc", RoleSource)
+	if p == nil || p.Fragmentation.Len() != 5 {
+		t.Fatalf("fetched registration wrong: %+v", p)
+	}
+	// Fetching from a dead endpoint fails.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	if err := ag.RegisterFromEndpoint("svc2", RoleSource, deadURL); err == nil {
+		t.Error("fetch from dead endpoint must fail")
+	}
+}
+
+func TestPlanRequiresBothParties(t *testing.T) {
+	ag := New()
+	if _, err := ag.Plan("missing", PlanOptions{}); err == nil {
+		t.Error("plan without registrations must fail")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	sch := schema.CustomerInfo()
+	ag := New()
+	data := wsdlFor(t, sch, sFragmentation(t, sch), "http://x")
+	ag.Register("svc", RoleSource, data, "http://x")
+	ag.Register("svc", RoleTarget, data, "http://x")
+	if !ag.Deregister("svc", RoleSource) {
+		t.Error("deregister source should report removal")
+	}
+	if ag.Party("svc", RoleSource) != nil {
+		t.Error("source still registered")
+	}
+	if ag.Party("svc", RoleTarget) == nil {
+		t.Error("target should remain")
+	}
+	if !ag.Deregister("svc", "") {
+		t.Error("deregister all should report removal")
+	}
+	if len(ag.Services()) != 0 {
+		t.Error("service should be gone")
+	}
+	if ag.Deregister("svc", RoleSource) || ag.Deregister("nope", "") {
+		t.Error("deregister of missing entries should report false")
+	}
+}
+
+func TestRegisterRejectsBadWSDL(t *testing.T) {
+	ag := New()
+	if err := ag.Register("svc", RoleSource, []byte("<junk/>"), "u"); err == nil {
+		t.Error("bad WSDL must be rejected")
+	}
+}

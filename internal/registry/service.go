@@ -1,0 +1,144 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"xdx/internal/netsim"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/xmltree"
+)
+
+// Service exposes the agency itself over SOAP, so that systems can register
+// and request exchanges remotely (the UDDI-like deployment of §2).
+type Service struct {
+	// Agency is the wrapped discovery agency.
+	Agency *Agency
+	// Link models the source→target connection used when executing.
+	Link netsim.Link
+
+	srv *soap.Server
+}
+
+// NewService wraps an agency.
+func NewService(a *Agency, link netsim.Link) *Service {
+	s := &Service{Agency: a, Link: link, srv: soap.NewServer()}
+	s.srv.Handle("Register", s.register)
+	s.srv.Handle("Discover", s.discover)
+	s.srv.Handle("Plan", s.plan)
+	s.srv.Handle("Exchange", s.exchange)
+	return s
+}
+
+// discover handles <Discover service=".." role=".." url=".."/>: the agency
+// fetches the WSDL from the endpoint itself and registers it.
+func (s *Service) discover(req *xmltree.Node) (*xmltree.Node, error) {
+	service, _ := req.Attr("service")
+	roleStr, _ := req.Attr("role")
+	url, _ := req.Attr("url")
+	if service == "" || url == "" {
+		return nil, &soap.Fault{Code: "soap:Client", String: "Discover requires service and url attributes"}
+	}
+	role := RoleSource
+	if roleStr == string(RoleTarget) {
+		role = RoleTarget
+	} else if roleStr != string(RoleSource) {
+		return nil, &soap.Fault{Code: "soap:Client", String: "role must be source or target"}
+	}
+	if err := s.Agency.RegisterFromEndpoint(service, role, url); err != nil {
+		return nil, err
+	}
+	resp := &xmltree.Node{Name: "DiscoverResponse"}
+	resp.SetAttr("service", service)
+	resp.SetAttr("role", string(role))
+	return resp, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Service) Handler() http.Handler { return s.srv }
+
+// register handles <Register service=".." role=".." url=".."> with the
+// WSDL definitions document as its child.
+func (s *Service) register(req *xmltree.Node) (*xmltree.Node, error) {
+	service, _ := req.Attr("service")
+	roleStr, _ := req.Attr("role")
+	url, _ := req.Attr("url")
+	if service == "" || url == "" {
+		return nil, &soap.Fault{Code: "soap:Client", String: "Register requires service and url attributes"}
+	}
+	role := RoleSource
+	if roleStr == string(RoleTarget) {
+		role = RoleTarget
+	} else if roleStr != string(RoleSource) {
+		return nil, &soap.Fault{Code: "soap:Client", String: "role must be source or target"}
+	}
+	if len(req.Kids) == 0 {
+		return nil, &soap.Fault{Code: "soap:Client", String: "Register requires an embedded WSDL document"}
+	}
+	var buf bytes.Buffer
+	if err := xmltree.Write(&buf, req.Kids[0], xmltree.WriteOptions{}); err != nil {
+		return nil, err
+	}
+	if err := s.Agency.Register(service, role, buf.Bytes(), url); err != nil {
+		return nil, err
+	}
+	resp := &xmltree.Node{Name: "RegisterResponse"}
+	resp.SetAttr("service", service)
+	resp.SetAttr("role", string(role))
+	return resp, nil
+}
+
+// plan handles <Plan service=".." algorithm="greedy|optimal"/> and returns
+// the generated program with its placement and estimated cost.
+func (s *Service) plan(req *xmltree.Node) (*xmltree.Node, error) {
+	service, _ := req.Attr("service")
+	algStr, _ := req.Attr("algorithm")
+	alg := AlgGreedy
+	if algStr == string(AlgOptimal) {
+		alg = AlgOptimal
+	}
+	plan, err := s.Agency.Plan(service, PlanOptions{Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	progXML, err := wire.EncodeProgram(plan.Program, plan.Assign)
+	if err != nil {
+		return nil, err
+	}
+	resp := &xmltree.Node{Name: "PlanResponse"}
+	resp.SetAttr("service", service)
+	resp.SetAttr("estimatedCost", strconv.FormatFloat(plan.Estimated, 'g', -1, 64))
+	resp.SetAttr("planMillis", fmt.Sprintf("%.3f", float64(plan.PlanTime.Microseconds())/1000))
+	resp.AddKid(progXML)
+	return resp, nil
+}
+
+// exchange handles <Exchange service=".." algorithm=".."/>: plan and run.
+func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
+	service, _ := req.Attr("service")
+	algStr, _ := req.Attr("algorithm")
+	alg := AlgGreedy
+	if algStr == string(AlgOptimal) {
+		alg = AlgOptimal
+	}
+	plan, err := s.Agency.Plan(service, PlanOptions{Algorithm: alg})
+	if err != nil {
+		return nil, err
+	}
+	report, err := s.Agency.Execute(service, plan, s.Link)
+	if err != nil {
+		return nil, err
+	}
+	resp := &xmltree.Node{Name: "ExchangeResponse"}
+	resp.SetAttr("service", service)
+	resp.SetAttr("shipBytes", strconv.FormatInt(report.ShipBytes, 10))
+	resp.SetAttr("sourceMillis", fmt.Sprintf("%.3f", report.SourceTime.Seconds()*1000))
+	resp.SetAttr("shipMillis", fmt.Sprintf("%.3f", report.ShipTime.Seconds()*1000))
+	resp.SetAttr("targetMillis", fmt.Sprintf("%.3f", report.TargetTime.Seconds()*1000))
+	resp.SetAttr("writeMillis", fmt.Sprintf("%.3f", report.WriteTime.Seconds()*1000))
+	resp.SetAttr("indexMillis", fmt.Sprintf("%.3f", report.IndexTime.Seconds()*1000))
+	return resp, nil
+}

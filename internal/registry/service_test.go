@@ -1,0 +1,184 @@
+package registry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/endpoint"
+	"xdx/internal/netsim"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+	"xdx/internal/soap"
+	"xdx/internal/wsdlx"
+	"xdx/internal/xmltree"
+)
+
+// startService stands up two relational endpoints and an agency SOAP
+// service, returning a SOAP client bound to the agency and the target
+// store for verification.
+func startService(t *testing.T) (*soap.Client, *relstore.Store, func()) {
+	t.Helper()
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	tFr := tFragmentation(t, sch)
+	srcStore, err := relstore.NewStore(sFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcStore.LoadDocument(customerDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	tgtStore, err := relstore.NewStore(tFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcSrv := httptest.NewServer(endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil).Handler())
+	tgtSrv := httptest.NewServer(endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil).Handler())
+	agSrv := httptest.NewServer(NewService(New(), netsim.Loopback()).Handler())
+	client := &soap.Client{URL: agSrv.URL}
+
+	for _, reg := range []struct {
+		role string
+		fr   *core.Fragmentation
+		url  string
+	}{{"source", sFr, srcSrv.URL}, {"target", tFr, tgtSrv.URL}} {
+		req := &xmltree.Node{Name: "Register"}
+		req.SetAttr("service", "svc")
+		req.SetAttr("role", reg.role)
+		req.SetAttr("url", reg.url)
+		wsdlTree, err := xmltree.Parse(strings.NewReader(string(wsdlFor(t, sch, reg.fr, reg.url))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.AddKid(wsdlTree)
+		if _, err := client.Call("Register", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanup := func() { srcSrv.Close(); tgtSrv.Close(); agSrv.Close() }
+	return client, tgtStore, cleanup
+}
+
+func TestServicePlanAndExchange(t *testing.T) {
+	client, tgtStore, done := startService(t)
+	defer done()
+
+	planReq := &xmltree.Node{Name: "Plan"}
+	planReq.SetAttr("service", "svc")
+	planReq.SetAttr("algorithm", "optimal")
+	planResp, err := client.Call("Plan", planReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costStr, _ := planResp.Attr("estimatedCost")
+	if cost, err := strconv.ParseFloat(costStr, 64); err != nil || cost <= 0 {
+		t.Errorf("estimated cost = %q", costStr)
+	}
+	foundProgram := false
+	for _, k := range planResp.Kids {
+		if k.Name == "program" {
+			foundProgram = true
+		}
+	}
+	if !foundProgram {
+		t.Error("plan response missing program")
+	}
+
+	exReq := &xmltree.Node{Name: "Exchange"}
+	exReq.SetAttr("service", "svc")
+	exResp, err := client.Call("Exchange", exReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesStr, _ := exResp.Attr("shipBytes")
+	if n, err := strconv.ParseInt(bytesStr, 10, 64); err != nil || n <= 0 {
+		t.Errorf("shipBytes = %q", bytesStr)
+	}
+	if tgtStore.Rows() == 0 {
+		t.Error("exchange did not populate the target")
+	}
+}
+
+func TestServiceDiscover(t *testing.T) {
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	srcStore, err := relstore.NewStore(sFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := wsdlxParse(t, wsdlFor(t, sch, sFr, "http://placeholder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, defs)
+	epSrv := httptest.NewServer(ep.Handler())
+	defer epSrv.Close()
+	ag := New()
+	agSrv := httptest.NewServer(NewService(ag, netsim.Loopback()).Handler())
+	defer agSrv.Close()
+	client := &soap.Client{URL: agSrv.URL}
+	req := &xmltree.Node{Name: "Discover"}
+	req.SetAttr("service", "svc")
+	req.SetAttr("role", "source")
+	req.SetAttr("url", epSrv.URL)
+	if _, err := client.Call("Discover", req); err != nil {
+		t.Fatal(err)
+	}
+	p := ag.Party("svc", RoleSource)
+	if p == nil || p.Fragmentation.Len() != 5 {
+		t.Fatalf("discovery failed: %+v", p)
+	}
+	// Validation.
+	bad := &xmltree.Node{Name: "Discover"}
+	if _, err := client.Call("Discover", bad); err == nil {
+		t.Error("missing attrs must fault")
+	}
+	bad.SetAttr("service", "s")
+	bad.SetAttr("url", "http://x")
+	bad.SetAttr("role", "sideways")
+	if _, err := client.Call("Discover", bad); err == nil {
+		t.Error("bad role must fault")
+	}
+}
+
+func TestServiceRegisterValidation(t *testing.T) {
+	agSrv := httptest.NewServer(NewService(New(), netsim.Loopback()).Handler())
+	defer agSrv.Close()
+	client := &soap.Client{URL: agSrv.URL}
+
+	req := &xmltree.Node{Name: "Register"}
+	if _, err := client.Call("Register", req); err == nil {
+		t.Error("register without attributes must fault")
+	}
+	req.SetAttr("service", "svc")
+	req.SetAttr("role", "sideways")
+	req.SetAttr("url", "http://x")
+	if _, err := client.Call("Register", req); err == nil {
+		t.Error("bad role must fault")
+	}
+	req.SetAttr("role", "source")
+	if _, err := client.Call("Register", req); err == nil {
+		t.Error("missing WSDL must fault")
+	}
+}
+
+func TestServicePlanUnknownService(t *testing.T) {
+	agSrv := httptest.NewServer(NewService(New(), netsim.Loopback()).Handler())
+	defer agSrv.Close()
+	client := &soap.Client{URL: agSrv.URL}
+	req := &xmltree.Node{Name: "Plan"}
+	req.SetAttr("service", "missing")
+	if _, err := client.Call("Plan", req); err == nil {
+		t.Error("plan for unknown service must fault")
+	}
+}
+
+// wsdlxParse parses marshaled WSDL bytes for test setup.
+func wsdlxParse(t *testing.T, data []byte) (*wsdlx.Definitions, error) {
+	t.Helper()
+	return wsdlx.Parse(bytes.NewReader(data))
+}

@@ -1,0 +1,106 @@
+package registry
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"xdx/internal/endpoint"
+	"xdx/internal/netsim"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+)
+
+// The agency must serve many services and concurrent exchanges safely.
+func TestConcurrentServices(t *testing.T) {
+	sch := schema.CustomerInfo()
+	sFr := sFragmentation(t, sch)
+	tFr := tFragmentation(t, sch)
+	ag := New()
+
+	const n = 6
+	type world struct {
+		tgt  *relstore.Store
+		stop []func()
+	}
+	worlds := make([]world, n)
+	for i := 0; i < n; i++ {
+		srcStore, err := relstore.NewStore(sFr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srcStore.LoadDocument(customerDoc(t)); err != nil {
+			t.Fatal(err)
+		}
+		tgtStore, err := relstore.NewStore(tFr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcSrv := httptest.NewServer(endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil).Handler())
+		tgtSrv := httptest.NewServer(endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil).Handler())
+		svc := fmt.Sprintf("svc-%d", i)
+		if err := ag.Register(svc, RoleSource, wsdlFor(t, sch, sFr, srcSrv.URL), srcSrv.URL); err != nil {
+			t.Fatal(err)
+		}
+		if err := ag.Register(svc, RoleTarget, wsdlFor(t, sch, tFr, tgtSrv.URL), tgtSrv.URL); err != nil {
+			t.Fatal(err)
+		}
+		worlds[i] = world{tgt: tgtStore, stop: []func(){srcSrv.Close, tgtSrv.Close}}
+	}
+	defer func() {
+		for _, w := range worlds {
+			for _, s := range w.stop {
+				s()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc := fmt.Sprintf("svc-%d", i)
+			plan, err := ag.Plan(svc, PlanOptions{Algorithm: AlgGreedy})
+			if err != nil {
+				errs <- fmt.Errorf("%s plan: %w", svc, err)
+				return
+			}
+			if _, err := ag.Execute(svc, plan, netsim.Loopback()); err != nil {
+				errs <- fmt.Errorf("%s execute: %w", svc, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i, w := range worlds {
+		if w.tgt.Rows() == 0 {
+			t.Errorf("world %d target empty", i)
+		}
+	}
+	if got := len(ag.Services()); got != n {
+		t.Errorf("services = %d, want %d", got, n)
+	}
+}
+
+// One target store serving repeated exchanges (Clear between runs) must
+// not race with cost probing.
+func TestRepeatedExchangesSameTarget(t *testing.T) {
+	ag, plan, tgtStore, done := startExchange(t, AlgGreedy)
+	defer done()
+	for i := 0; i < 5; i++ {
+		tgtStore.Clear()
+		if _, err := ag.Execute("CustomerInfoService", plan, netsim.Loopback()); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if tgtStore.Rows() == 0 {
+			t.Fatalf("run %d: empty target", i)
+		}
+	}
+}

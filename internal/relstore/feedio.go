@@ -1,0 +1,75 @@
+package relstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"xdx/internal/wire"
+)
+
+// This file implements the paper's shred-to-files/LOAD pipeline (§5.1):
+// the store's contents travel as one sorted-feed file per fragment, and an
+// empty store bulk-loads from such files — the ASCII files + SQL LOAD of
+// the original experiments.
+
+// ExportFeeds writes one feed file per layout fragment into dir (created
+// if needed), named <fragment>.feed.
+func (s *Store) ExportFeeds(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("relstore: export: %w", err)
+	}
+	for _, f := range s.Layout.Fragments {
+		in, err := s.ScanFragment(f.Name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, feedFileName(f.Name))
+		w, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("relstore: export: %w", err)
+		}
+		if err := wire.WriteFeed(w, in, s.Layout.Schema); err != nil {
+			w.Close()
+			return fmt.Errorf("relstore: export %q: %w", f.Name, err)
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportFeeds bulk-loads every layout fragment from its feed file in dir
+// (the SQL LOAD step). Missing files are errors; the store need not be
+// empty, rows append.
+func (s *Store) ImportFeeds(dir string) error {
+	for _, f := range s.Layout.Fragments {
+		path := filepath.Join(dir, feedFileName(f.Name))
+		r, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("relstore: import: %w", err)
+		}
+		in, err := wire.ReadFeed(r, f, s.Layout.Schema)
+		r.Close()
+		if err != nil {
+			return fmt.Errorf("relstore: import %q: %w", f.Name, err)
+		}
+		if err := s.Load(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// feedFileName keeps file names filesystem-safe even for long derived
+// fragment names; truncated names get a hash suffix to stay unique.
+func feedFileName(frag string) string {
+	if len(frag) > 100 {
+		h := fnv.New32a()
+		h.Write([]byte(frag))
+		frag = fmt.Sprintf("%s-%08x", frag[:91], h.Sum32())
+	}
+	return frag + ".feed"
+}

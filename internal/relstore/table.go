@@ -1,0 +1,232 @@
+// Package relstore is an in-memory relational engine standing in for the
+// MySQL back-ends of the paper's experiments (§5). It provides tables,
+// bulk loading, hash indexes and hash joins with realistic relative costs:
+// joins dominate scans, and index builds are separate, measurable steps.
+//
+// A Store maps a fragmentation onto a table layout: one table per fragment,
+// one row per fragment-root instance, with identifier and text columns for
+// every member element. This mirrors how the paper's relational schemas S,
+// MF and LF capture document structure through keys and foreign keys.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation.
+type Table struct {
+	// Name is the table name.
+	Name string
+	// Cols are the column names, in declaration order.
+	Cols []string
+
+	colIdx  map[string]int
+	rows    [][]string
+	indexes map[string]*Index
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, cols []string) (*Table, error) {
+	t := &Table{Name: name, Cols: append([]string(nil), cols...), colIdx: make(map[string]int), indexes: make(map[string]*Index)}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c]; dup {
+			return nil, fmt.Errorf("relstore: table %q: duplicate column %q", name, c)
+		}
+		t.colIdx[c] = i
+	}
+	return t, nil
+}
+
+// ColIndex returns the position of col, or -1.
+func (t *Table) ColIndex(col string) int {
+	i, ok := t.colIdx[col]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Insert appends one row; the row length must match the column count.
+func (t *Table) Insert(row []string) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("relstore: table %q: row has %d values, want %d", t.Name, len(row), len(t.Cols))
+	}
+	t.rows = append(t.rows, row)
+	for _, idx := range t.indexes {
+		idx.add(row, len(t.rows)-1)
+	}
+	return nil
+}
+
+// BulkLoad appends rows without per-row index maintenance; indexes are
+// dropped and must be rebuilt, mirroring the paper's load-then-index steps
+// (Table 4).
+func (t *Table) BulkLoad(rows [][]string) error {
+	for _, r := range rows {
+		if len(r) != len(t.Cols) {
+			return fmt.Errorf("relstore: table %q: row has %d values, want %d", t.Name, len(r), len(t.Cols))
+		}
+	}
+	t.indexes = make(map[string]*Index)
+	t.rows = append(t.rows, rows...)
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the i-th row (shared storage; callers must not mutate).
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// Scan calls fn for every row, stopping on error.
+func (t *Table) Scan(fn func(row []string) error) error {
+	for _, r := range t.rows {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ByteSize estimates the stored size of the relation: the sum of value
+// lengths plus a small per-row overhead. It backs cost probing.
+func (t *Table) ByteSize() int64 {
+	var n int64
+	for _, r := range t.rows {
+		n += 8
+		for _, v := range r {
+			n += int64(len(v))
+		}
+	}
+	return n
+}
+
+// Index is a hash index over one column.
+type Index struct {
+	Col string
+
+	col int
+	m   map[string][]int
+}
+
+// CreateIndex builds (or rebuilds) a hash index over col. The build walks
+// every row, which is what makes index creation a distinct measurable step.
+func (t *Table) CreateIndex(col string) (*Index, error) {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %q: no column %q", t.Name, col)
+	}
+	idx := &Index{Col: col, col: ci, m: make(map[string][]int, len(t.rows))}
+	for i, r := range t.rows {
+		idx.m[r[ci]] = append(idx.m[r[ci]], i)
+	}
+	t.indexes[col] = idx
+	return idx, nil
+}
+
+// Indexes lists the indexed column names, sorted.
+func (t *Table) Indexes() []string {
+	var out []string
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the rows whose indexed column equals key, using the index
+// on col; it returns an error if no such index exists.
+func (t *Table) Lookup(col, key string) ([][]string, error) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q: column %q not indexed", t.Name, col)
+	}
+	var out [][]string
+	for _, i := range idx.m[key] {
+		out = append(out, t.rows[i])
+	}
+	return out, nil
+}
+
+func (idx *Index) add(row []string, at int) {
+	idx.m[row[idx.col]] = append(idx.m[row[idx.col]], at)
+}
+
+// HashJoin joins left and right on left.leftCol = right.rightCol and
+// returns a new table whose columns are left's followed by right's
+// (right join column prefixed to stay unique). It builds a hash table on
+// the smaller input, probing with the larger — the combine workhorse.
+func HashJoin(left, right *Table, leftCol, rightCol, resultName string) (*Table, error) {
+	li, ri := left.ColIndex(leftCol), right.ColIndex(rightCol)
+	if li < 0 {
+		return nil, fmt.Errorf("relstore: join: no column %q in %q", leftCol, left.Name)
+	}
+	if ri < 0 {
+		return nil, fmt.Errorf("relstore: join: no column %q in %q", rightCol, right.Name)
+	}
+	cols := make([]string, 0, len(left.Cols)+len(right.Cols))
+	cols = append(cols, left.Cols...)
+	for _, c := range right.Cols {
+		name := c
+		if _, dup := left.colIdx[c]; dup {
+			name = right.Name + "." + c
+		}
+		cols = append(cols, name)
+	}
+	out, err := NewTable(resultName, cols)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the smaller side.
+	build, probe := left, right
+	bi, pi := li, ri
+	buildIsLeft := true
+	if right.Len() < left.Len() {
+		build, probe, bi, pi = right, left, ri, li
+		buildIsLeft = false
+	}
+	ht := make(map[string][]int, build.Len())
+	for i, r := range build.rows {
+		ht[r[bi]] = append(ht[r[bi]], i)
+	}
+	for _, pr := range probe.rows {
+		for _, i := range ht[pr[pi]] {
+			br := build.rows[i]
+			lrow, rrow := br, pr
+			if !buildIsLeft {
+				lrow, rrow = pr, br
+			}
+			row := make([]string, 0, len(cols))
+			row = append(row, lrow...)
+			row = append(row, rrow...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Project returns a new table with only the named columns.
+func (t *Table) Project(resultName string, cols []string) (*Table, error) {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("relstore: project: no column %q in %q", c, t.Name)
+		}
+		idxs[i] = ci
+	}
+	out, err := NewTable(resultName, cols)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]string, len(idxs))
+		for j, ci := range idxs {
+			row[j] = r[ci]
+		}
+		out.rows[i] = row
+	}
+	return out, nil
+}

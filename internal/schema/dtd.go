@@ -1,0 +1,166 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseDTD parses a simplified DTD of the kind shown in Figure 7 of the
+// paper: a series of <!ELEMENT name (content)> declarations, where content
+// is a comma-separated list of child references, each optionally suffixed
+// with *, + or ?. ATTLIST declarations and comments are ignored, as are the
+// pseudo-contents "#PCDATA" and "id ID" used in the figure for leaf
+// elements. The first declared element is taken to be the document root.
+func ParseDTD(src string) (*Schema, error) {
+	decls, order, err := scanDTD(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	root := order[0]
+	built := make(map[string]bool)
+	type extra struct{ child, parent string }
+	var extras []extra
+	var build func(name string) (*Node, error)
+	build = func(name string) (*Node, error) {
+		built[name] = true
+		n := &Node{Name: name}
+		for _, ref := range decls[name] {
+			if built[ref.name] {
+				// Multi-parent element (e.g. XMark item under six regions):
+				// keep the first tree position, record the extra parent.
+				extras = append(extras, extra{child: ref.name, parent: name})
+				continue
+			}
+			c, err := build(ref.name)
+			if err != nil {
+				return nil, err
+			}
+			c.Repeated = ref.repeated
+			c.Optional = ref.optional
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	}
+	rn, err := build(root)
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(rn)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range extras {
+		if err := s.AddExtraParent(e.child, e.parent); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+type childRef struct {
+	name     string
+	repeated bool
+	optional bool
+}
+
+func scanDTD(src string) (map[string][]childRef, []string, error) {
+	decls := make(map[string][]childRef)
+	var order []string
+	rest := src
+	for {
+		i := strings.Index(rest, "<!")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+2:]
+		j := strings.Index(rest, ">")
+		if j < 0 {
+			return nil, nil, fmt.Errorf("dtd: unterminated declaration")
+		}
+		decl := rest[:j]
+		rest = rest[j+1:]
+		fields := strings.Fields(decl)
+		if len(fields) < 2 || fields[0] != "ELEMENT" {
+			continue // ATTLIST, comments, etc.
+		}
+		name := fields[1]
+		if _, dup := decls[name]; dup {
+			return nil, nil, fmt.Errorf("dtd: duplicate declaration of %q", name)
+		}
+		content := strings.TrimSpace(strings.TrimPrefix(decl, "ELEMENT"))
+		content = strings.TrimSpace(strings.TrimPrefix(content, name))
+		refs, err := parseContent(name, content)
+		if err != nil {
+			return nil, nil, err
+		}
+		decls[name] = refs
+		order = append(order, name)
+	}
+	// References to undeclared elements are leaves: declare them implicitly.
+	for _, name := range order {
+		for _, ref := range decls[name] {
+			if _, ok := decls[ref.name]; !ok {
+				decls[ref.name] = nil
+				order = append(order, ref.name)
+			}
+		}
+	}
+	return decls, order, nil
+}
+
+func parseContent(owner, content string) ([]childRef, error) {
+	content = strings.TrimSpace(content)
+	if content == "" || content == "EMPTY" || content == "ANY" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(content, "(") {
+		return nil, fmt.Errorf("dtd: element %q: content model %q must be parenthesized", owner, content)
+	}
+	// Group suffix, e.g. (item)* — distribute onto every child.
+	groupRepeated, groupOptional := false, false
+	if strings.HasSuffix(content, "*") {
+		groupRepeated, groupOptional = true, true
+		content = strings.TrimSuffix(content, "*")
+	} else if strings.HasSuffix(content, "+") {
+		groupRepeated = true
+		content = strings.TrimSuffix(content, "+")
+	} else if strings.HasSuffix(content, "?") {
+		groupOptional = true
+		content = strings.TrimSuffix(content, "?")
+	}
+	content = strings.TrimSpace(content)
+	if !strings.HasSuffix(content, ")") {
+		return nil, fmt.Errorf("dtd: element %q: unbalanced content model", owner)
+	}
+	inner := content[1 : len(content)-1]
+	var refs []childRef
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// Figure 7 writes leaves as "(id ID)"; treat multi-word parts and
+		// #PCDATA as character content, i.e. no child element.
+		if strings.HasPrefix(part, "#") || strings.ContainsAny(part, " \t") {
+			continue
+		}
+		ref := childRef{repeated: groupRepeated, optional: groupOptional}
+		switch {
+		case strings.HasSuffix(part, "*"):
+			ref.repeated, ref.optional = true, true
+			part = strings.TrimSuffix(part, "*")
+		case strings.HasSuffix(part, "+"):
+			ref.repeated = true
+			part = strings.TrimSuffix(part, "+")
+		case strings.HasSuffix(part, "?"):
+			ref.optional = true
+			part = strings.TrimSuffix(part, "?")
+		}
+		ref.name = strings.TrimSpace(part)
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}

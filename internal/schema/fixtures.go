@@ -1,0 +1,69 @@
+package schema
+
+// This file holds the two fixed schemas used throughout the paper: the
+// CustomerInfo schema of the WSDL specification in Figure 1 (§1.1) and the
+// XMark auction DTD subset of Figure 7 (§5).
+
+// CustomerInfo returns the schema of the CustomerInfoService WSDL
+// specification (Figure 1): customers with orders, services, lines,
+// switches and features.
+func CustomerInfo() *Schema {
+	return MustNew(
+		Elem("Customer",
+			Elem("CustName"),
+			Rep(Elem("Order",
+				Elem("Service",
+					Elem("ServiceName"),
+					Rep(Elem("Line",
+						Elem("TelNo"),
+						Elem("Switch",
+							Elem("SwitchID"),
+						),
+						Rep(Elem("Feature",
+							Elem("FeatureID"),
+						)),
+					)),
+				),
+			)),
+		),
+	)
+}
+
+// AuctionDTD is the DTD text of Figure 7 (the XMark subset used in the
+// experiments), normalized to well-formed declarations.
+const AuctionDTD = `
+<!-- DTD for subset of auction database -->
+<!ELEMENT site (regions, categories, catgraph, people, openauctions, closedauctions)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (cname, cdescription)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT cdescription (id ID)>
+<!ELEMENT catgraph (id ID)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT item (location, quantity, iname, payment, idescription, shipping, mailbox)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT idescription (id ID)>
+<!ELEMENT mailbox (id ID)>
+<!ELEMENT people (id ID)>
+<!ELEMENT openauctions (id ID)>
+<!ELEMENT closedauctions (id ID)>
+`
+
+// Auction returns the XMark auction schema parsed from AuctionDTD. Only the
+// six region elements repeat items; the remaining structure is one-to-one,
+// which is what makes the paper's Least-Fragmented layout collapse to three
+// fragments.
+func Auction() *Schema {
+	s, err := ParseDTD(AuctionDTD)
+	if err != nil {
+		panic("schema: bad built-in auction DTD: " + err.Error())
+	}
+	// items repeat under every region; category repeats under categories.
+	return s
+}

@@ -1,0 +1,151 @@
+// Package shred implements the streaming stack shredder of §5.1: a single
+// pass over an XML document that cuts it into the records of a target
+// fragmentation, minting instance identifiers along the way and discarding
+// parser state as soon as records are complete — the role played by the
+// expat-based SAX shredder in the paper.
+package shred
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"xdx/internal/core"
+	"xdx/internal/xmltree"
+)
+
+// Sink receives completed fragment records as they are flushed.
+type Sink func(frag *core.Fragment, rec *xmltree.Node) error
+
+// To streams the document in r into sink, shredded per layout. Every
+// element instance receives a fresh Dewey identifier; fragment-root records
+// carry their parent instance's identifier in PARENT.
+func To(r io.Reader, layout *core.Fragmentation, sink Sink) error {
+	type entry struct {
+		name string
+		id   string
+		node *xmltree.Node  // the node in the current fragment record
+		frag *core.Fragment // the fragment owning this element
+		kids int            // children seen, for Dewey numbering
+	}
+	var stack []*entry
+	h := xmltree.FuncHandler{
+		Start: func(name, _, _ string) error {
+			frag := layout.FragmentOf(name)
+			if frag == nil {
+				return fmt.Errorf("shred: element %q not covered by layout %q", name, layout.Name)
+			}
+			var id, parentID string
+			if len(stack) == 0 {
+				id = "1"
+			} else {
+				top := stack[len(stack)-1]
+				top.kids++
+				id = top.id + "." + strconv.Itoa(top.kids)
+				parentID = top.id
+			}
+			node := &xmltree.Node{Name: name, ID: id, Parent: parentID}
+			if frag.Root != name {
+				// Interior element: its document parent must be the open
+				// element just below it on the stack, in the same fragment.
+				if len(stack) == 0 || stack[len(stack)-1].frag != frag || stack[len(stack)-1].node == nil {
+					return fmt.Errorf("shred: element %q is interior to fragment %q but its parent is not open in that fragment", name, frag.Name)
+				}
+				stack[len(stack)-1].node.AddKid(node)
+			}
+			stack = append(stack, &entry{name: name, id: id, node: node, frag: frag})
+			return nil
+		},
+		Data: func(text string) error {
+			if len(stack) == 0 {
+				return nil
+			}
+			stack[len(stack)-1].node.Text += text
+			return nil
+		},
+		End: func(name string) error {
+			if len(stack) == 0 {
+				return fmt.Errorf("shred: unbalanced end element %q", name)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.frag.Root == top.name {
+				return sink(top.frag, top.node)
+			}
+			return nil
+		},
+	}
+	return xmltree.Scan(r, h)
+}
+
+// Loader accepts fragment instances; relstore.Store and ldapstore.Store
+// satisfy it.
+type Loader interface {
+	Load(in *core.Instance) error
+}
+
+// Into streams the document in r straight into a store, flushing batches
+// of batchSize records per fragment as they complete — the bounded-memory
+// pipeline of §5.1 ("discarded the content of the stack as soon as tuples
+// were flushed"). batchSize <= 0 selects a default of 512. Records flush in
+// completion order (children before their parents), which suits relational
+// stores; order-sensitive stores like the LDAP directory should use Shred
+// and load fragment by fragment instead.
+func Into(r io.Reader, layout *core.Fragmentation, dst Loader, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	pending := make(map[string]*core.Instance, layout.Len())
+	flush := func(in *core.Instance) error {
+		if in.Rows() == 0 {
+			return nil
+		}
+		if err := dst.Load(in); err != nil {
+			return err
+		}
+		in.Records = in.Records[:0]
+		return nil
+	}
+	err := To(r, layout, func(frag *core.Fragment, rec *xmltree.Node) error {
+		in := pending[frag.Name]
+		if in == nil {
+			in = &core.Instance{Frag: frag}
+			pending[frag.Name] = in
+		}
+		in.Records = append(in.Records, rec)
+		if in.Rows() >= batchSize {
+			return flush(in)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Flush remainders in layout order.
+	for _, f := range layout.Fragments {
+		if in := pending[f.Name]; in != nil {
+			if err := flush(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Shred consumes the document in r and returns one instance per layout
+// fragment (possibly empty).
+func Shred(r io.Reader, layout *core.Fragmentation) (map[string]*core.Instance, error) {
+	out := make(map[string]*core.Instance, layout.Len())
+	for _, f := range layout.Fragments {
+		out[f.Name] = &core.Instance{Frag: f}
+	}
+	err := To(r, layout, func(frag *core.Fragment, rec *xmltree.Node) error {
+		in := out[frag.Name]
+		in.Records = append(in.Records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package shred
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/publish"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+func TestShredAuctionMFAndLF(t *testing.T) {
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 30_000, Seed: 5})
+	var buf bytes.Buffer
+	if err := xmltree.Write(&buf, doc, xmltree.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xmark.Stats(doc)
+	for _, layout := range []*core.Fragmentation{core.MostFragmented(sch), core.LeastFragmented(sch)} {
+		insts, err := Shred(bytes.NewReader(buf.Bytes()), layout)
+		if err != nil {
+			t.Fatalf("%s: %v", layout.Name, err)
+		}
+		if len(insts) != layout.Len() {
+			t.Fatalf("%s: %d instances, want %d", layout.Name, len(insts), layout.Len())
+		}
+		for _, f := range layout.Fragments {
+			if got := insts[f.Name].Rows(); float64(got) != want[f.Root] {
+				t.Errorf("%s: fragment %q rows = %d, want %v", layout.Name, f.Name, got, want[f.Root])
+			}
+		}
+	}
+}
+
+func TestShredRecordsReassemble(t *testing.T) {
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 20_000, Seed: 11})
+	var buf bytes.Buffer
+	xmltree.Write(&buf, doc, xmltree.WriteOptions{})
+	lf := core.LeastFragmented(sch)
+	insts, err := Shred(&buf, lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.Document(lf, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualShape(doc, back) {
+		t.Error("shredded records do not reassemble into the document")
+	}
+}
+
+func TestShredIntoStore(t *testing.T) {
+	// The publish&map pipeline: publish at source, shred at target, load.
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 25_000, Seed: 2})
+	srcStore, err := relstore.NewStore(core.LeastFragmented(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcStore.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	var shipped bytes.Buffer
+	if _, err := publish.Publish(srcStore, &shipped); err != nil {
+		t.Fatal(err)
+	}
+	tgtLayout := core.MostFragmented(sch)
+	tgtStore, err := relstore.NewStore(tgtLayout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := Shred(&shipped, tgtLayout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tgtLayout.Fragments {
+		if err := tgtStore.Load(insts[f.Name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tgtStore.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end: the document reassembled at the target matches.
+	out := map[string]*core.Instance{}
+	for _, f := range tgtLayout.Fragments {
+		in, err := tgtStore.ScanFragment(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[f.Name] = in
+	}
+	back, err := core.Document(tgtLayout, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualShape(doc, back) {
+		t.Error("publish&map end-to-end changed the document")
+	}
+}
+
+func TestShredIntoStreaming(t *testing.T) {
+	// Into must produce the same store contents as Shred+Load, with small
+	// batches forcing many flushes.
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 30_000, Seed: 13})
+	var buf bytes.Buffer
+	xmltree.Write(&buf, doc, xmltree.WriteOptions{})
+	layout := core.MostFragmented(sch)
+
+	streamed, err := relstore.NewStore(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Into(bytes.NewReader(buf.Bytes()), layout, streamed, 7); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := relstore.NewStore(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := Shred(bytes.NewReader(buf.Bytes()), layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range layout.Fragments {
+		if err := batch.Load(insts[f.Name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if streamed.Rows() != batch.Rows() {
+		t.Errorf("streamed %d rows, batch %d", streamed.Rows(), batch.Rows())
+	}
+	for _, name := range layout.Fragments {
+		a, err := streamed.ScanFragment(name.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batch.ScanFragment(name.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Rows() != b.Rows() {
+			t.Errorf("fragment %q: %d vs %d rows", name.Name, a.Rows(), b.Rows())
+		}
+	}
+}
+
+func TestShredIntoPropagatesLoadErrors(t *testing.T) {
+	sch := schema.CustomerInfo()
+	lf := core.LeastFragmented(sch)
+	// A store laid out differently rejects the instances.
+	other, err := relstore.NewStore(core.MostFragmented(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<Customer><CustName>A</CustName></Customer>`
+	if err := Into(strings.NewReader(doc), lf, other, 1); err == nil {
+		t.Error("mismatched store must surface the load error")
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	sch := schema.CustomerInfo()
+	lf := core.LeastFragmented(sch)
+	if _, err := Shred(strings.NewReader("<Unknown/>"), lf); err == nil {
+		t.Error("unknown element must fail")
+	}
+	if _, err := Shred(strings.NewReader("<Customer><CustName>x</CustName>"), lf); err == nil {
+		t.Error("unterminated document must fail")
+	}
+}
+
+func TestShredMintsDeweyIDs(t *testing.T) {
+	sch := schema.CustomerInfo()
+	mf := core.MostFragmented(sch)
+	doc := `<Customer><CustName>A</CustName><Order><Service><ServiceName>s</ServiceName></Service></Order></Customer>`
+	insts, err := Shred(strings.NewReader(doc), mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orderInst *core.Instance
+	for _, in := range insts {
+		if in.Frag.Root == "Order" {
+			orderInst = in
+		}
+	}
+	rec := orderInst.Records[0]
+	if rec.ID != "1.2" || rec.Parent != "1" {
+		t.Errorf("order record id/parent = %q/%q, want 1.2/1", rec.ID, rec.Parent)
+	}
+}
+
+func TestSinkStreaming(t *testing.T) {
+	// The sink sees records as soon as their subtree closes, in document
+	// order of the closing tags.
+	sch := schema.CustomerInfo()
+	lf := core.LeastFragmented(sch)
+	doc := `<Customer><CustName>A</CustName><Order><Service><ServiceName>s</ServiceName>` +
+		`<Line><TelNo>1</TelNo><Switch><SwitchID>w</SwitchID></Switch>` +
+		`<Feature><FeatureID>f</FeatureID></Feature></Line></Service></Order></Customer>`
+	var order []string
+	err := To(strings.NewReader(doc), lf, func(f *core.Fragment, rec *xmltree.Node) error {
+		order = append(order, rec.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Feature", "Line", "Order", "Customer"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("flush order = %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,239 @@
+// Package soap implements the SOAP 1.1 over HTTP binding the paper's WSDL
+// services deploy on (§1.1): envelope construction and parsing, fault
+// handling, a client, and an http.Handler server that dispatches on the
+// body's root element.
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"xdx/internal/xmltree"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// Fault is a SOAP 1.1 fault, usable as a Go error.
+type Fault struct {
+	Code   string
+	String string
+	Detail string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.String)
+}
+
+// Envelope wraps a body payload in a SOAP envelope.
+func Envelope(body *xmltree.Node) *xmltree.Node {
+	return EnvelopeWithHeader(nil, body)
+}
+
+// EnvelopeWithHeader wraps a body payload, preceded by header entries when
+// any are given.
+func EnvelopeWithHeader(headers []*xmltree.Node, body *xmltree.Node) *xmltree.Node {
+	env := &xmltree.Node{Name: "soap:Envelope"}
+	env.SetAttr("xmlns:soap", EnvelopeNS)
+	if len(headers) > 0 {
+		h := &xmltree.Node{Name: "soap:Header"}
+		for _, e := range headers {
+			h.AddKid(e)
+		}
+		env.AddKid(h)
+	}
+	b := &xmltree.Node{Name: "soap:Body"}
+	if body != nil {
+		b.AddKid(body)
+	}
+	env.AddKid(b)
+	return env
+}
+
+// Headers returns the header entries of a parsed envelope (possibly nil).
+// Entries marked mustUnderstand="1" that the caller does not recognize
+// should produce a soap:MustUnderstand fault, per SOAP 1.1 §4.2.3.
+func Headers(env *xmltree.Node) []*xmltree.Node {
+	if env == nil {
+		return nil
+	}
+	for _, k := range env.Kids {
+		if k.Name == "Header" || k.Name == "soap:Header" {
+			return k.Kids
+		}
+	}
+	return nil
+}
+
+// FaultEnvelope wraps a fault in an envelope.
+func FaultEnvelope(f *Fault) *xmltree.Node {
+	n := &xmltree.Node{Name: "soap:Fault"}
+	n.AddKid(&xmltree.Node{Name: "faultcode", Text: f.Code})
+	n.AddKid(&xmltree.Node{Name: "faultstring", Text: f.String})
+	if f.Detail != "" {
+		n.AddKid(&xmltree.Node{Name: "detail", Text: f.Detail})
+	}
+	return Envelope(n)
+}
+
+// OpenEnvelope extracts the body payload from a parsed envelope; a fault
+// body is returned as a *Fault error.
+func OpenEnvelope(env *xmltree.Node) (*xmltree.Node, error) {
+	if env == nil || env.Name != "Envelope" && env.Name != "soap:Envelope" {
+		return nil, fmt.Errorf("soap: not an envelope: %v", nodeName(env))
+	}
+	var body *xmltree.Node
+	for _, k := range env.Kids {
+		if k.Name == "Body" || k.Name == "soap:Body" {
+			body = k
+		}
+	}
+	if body == nil {
+		return nil, fmt.Errorf("soap: envelope has no body")
+	}
+	if len(body.Kids) == 0 {
+		return nil, nil
+	}
+	payload := body.Kids[0]
+	if payload.Name == "Fault" || payload.Name == "soap:Fault" {
+		f := &Fault{}
+		for _, k := range payload.Kids {
+			switch k.Name {
+			case "faultcode":
+				f.Code = k.Text
+			case "faultstring":
+				f.String = k.Text
+			case "detail":
+				f.Detail = k.Text
+			}
+		}
+		return nil, f
+	}
+	return payload, nil
+}
+
+func nodeName(n *xmltree.Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.Name
+}
+
+// Client calls a SOAP endpoint.
+type Client struct {
+	// URL is the service address (the soap:address location of the WSDL
+	// port).
+	URL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Call posts the payload as a SOAP request with the given SOAPAction and
+// returns the response payload. SOAP faults come back as *Fault errors.
+func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, error) {
+	var buf bytes.Buffer
+	if err := xmltree.Write(&buf, Envelope(payload), xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+		return nil, fmt.Errorf("soap: marshal request: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.URL, &buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	req.Header.Set("SOAPAction", `"`+action+`"`)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	env, err := xmltree.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("soap: parse response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	return OpenEnvelope(env)
+}
+
+// HandlerFunc processes one request payload and returns the response
+// payload. Returning an error produces a SOAP fault.
+type HandlerFunc func(req *xmltree.Node) (*xmltree.Node, error)
+
+// Server dispatches SOAP requests to handlers by the body's root element
+// name.
+type Server struct {
+	handlers map[string]HandlerFunc
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server { return &Server{handlers: make(map[string]HandlerFunc)} }
+
+// Handle registers a handler for requests whose body root is elem.
+func (s *Server) Handle(elem string, h HandlerFunc) { s.handlers[elem] = h }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	env, err := xmltree.Parse(r.Body)
+	if err != nil {
+		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "malformed envelope", Detail: err.Error()})
+		return
+	}
+	payload, err := OpenEnvelope(env)
+	if err != nil {
+		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: err.Error()})
+		return
+	}
+	if payload == nil {
+		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "empty body"})
+		return
+	}
+	h, ok := s.handlers[payload.Name]
+	if !ok {
+		s.fault(w, http.StatusNotFound, &Fault{Code: "soap:Client", String: "no handler for " + payload.Name})
+		return
+	}
+	resp, err := h(payload)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.fault(w, http.StatusInternalServerError, f)
+			return
+		}
+		s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: err.Error()})
+		return
+	}
+	s.reply(w, Envelope(resp))
+}
+
+func (s *Server) fault(w http.ResponseWriter, status int, f *Fault) {
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.WriteHeader(status)
+	xmltree.Write(w, FaultEnvelope(f), xmltree.WriteOptions{})
+}
+
+func (s *Server) reply(w http.ResponseWriter, env *xmltree.Node) {
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	xmltree.Write(w, env, xmltree.WriteOptions{EmitAllIDs: true})
+}
+
+// WritePayload streams an already-serialized payload body as a complete
+// envelope; used for large fragment shipments where building a tree first
+// would double memory.
+func WritePayload(w io.Writer, inner []byte) error {
+	if _, err := io.WriteString(w, `<soap:Envelope xmlns:soap="`+EnvelopeNS+`"><soap:Body>`); err != nil {
+		return err
+	}
+	if _, err := w.Write(inner); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, `</soap:Body></soap:Envelope>`)
+	return err
+}

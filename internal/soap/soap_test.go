@@ -1,0 +1,174 @@
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xdx/internal/xmltree"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := &xmltree.Node{Name: "Ping", Text: "hello"}
+	env := Envelope(payload)
+	var buf bytes.Buffer
+	if err := xmltree.Write(&buf, env, xmltree.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenEnvelope(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "Ping" || got.Text != "hello" {
+		t.Errorf("payload = %+v", got)
+	}
+}
+
+func TestOpenEnvelopeFault(t *testing.T) {
+	env := FaultEnvelope(&Fault{Code: "soap:Server", String: "boom", Detail: "stack"})
+	var buf bytes.Buffer
+	xmltree.Write(&buf, env, xmltree.WriteOptions{})
+	parsed, _ := xmltree.Parse(&buf)
+	_, err := OpenEnvelope(parsed)
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if f.Code != "soap:Server" || f.String != "boom" || f.Detail != "stack" {
+		t.Errorf("fault = %+v", f)
+	}
+	if !strings.Contains(f.Error(), "boom") {
+		t.Errorf("Error() = %q", f.Error())
+	}
+}
+
+func TestEnvelopeWithHeader(t *testing.T) {
+	hdr := &xmltree.Node{Name: "TxID", Text: "tx-42"}
+	hdr.SetAttr("mustUnderstand", "1")
+	env := EnvelopeWithHeader([]*xmltree.Node{hdr}, &xmltree.Node{Name: "Ping"})
+	var buf bytes.Buffer
+	xmltree.Write(&buf, env, xmltree.WriteOptions{})
+	parsed, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := Headers(parsed)
+	if len(hs) != 1 || hs[0].Name != "TxID" || hs[0].Text != "tx-42" {
+		t.Fatalf("headers = %+v", hs)
+	}
+	if v, _ := hs[0].Attr("mustUnderstand"); v != "1" {
+		t.Errorf("mustUnderstand lost")
+	}
+	// The body is still reachable.
+	body, err := OpenEnvelope(parsed)
+	if err != nil || body.Name != "Ping" {
+		t.Errorf("body = %v, %v", body, err)
+	}
+	// No headers cases.
+	if Headers(Envelope(&xmltree.Node{Name: "x"})) != nil {
+		t.Error("headerless envelope should report nil")
+	}
+	if Headers(nil) != nil {
+		t.Error("nil envelope should report nil")
+	}
+}
+
+func TestOpenEnvelopeErrors(t *testing.T) {
+	if _, err := OpenEnvelope(nil); err == nil {
+		t.Error("nil envelope must fail")
+	}
+	if _, err := OpenEnvelope(&xmltree.Node{Name: "NotAnEnvelope"}); err == nil {
+		t.Error("wrong root must fail")
+	}
+	if _, err := OpenEnvelope(&xmltree.Node{Name: "Envelope"}); err == nil {
+		t.Error("missing body must fail")
+	}
+}
+
+func TestClientServerEcho(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("Echo", func(req *xmltree.Node) (*xmltree.Node, error) {
+		return &xmltree.Node{Name: "EchoResponse", Text: req.Text}, nil
+	})
+	srv.Handle("Fail", func(req *xmltree.Node) (*xmltree.Node, error) {
+		return nil, fmt.Errorf("kaput")
+	})
+	srv.Handle("FailTyped", func(req *xmltree.Node) (*xmltree.Node, error) {
+		return nil, &Fault{Code: "soap:Client", String: "bad input"}
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+
+	resp, err := c.Call("echo", &xmltree.Node{Name: "Echo", Text: "xyzzy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "EchoResponse" || resp.Text != "xyzzy" {
+		t.Errorf("resp = %+v", resp)
+	}
+
+	_, err = c.Call("fail", &xmltree.Node{Name: "Fail"})
+	if f, ok := err.(*Fault); !ok || f.Code != "soap:Server" {
+		t.Errorf("want server fault, got %v", err)
+	}
+	_, err = c.Call("fail", &xmltree.Node{Name: "FailTyped"})
+	if f, ok := err.(*Fault); !ok || f.Code != "soap:Client" {
+		t.Errorf("want typed fault, got %v", err)
+	}
+	_, err = c.Call("x", &xmltree.Node{Name: "Unknown"})
+	if err == nil {
+		t.Error("unknown action must fault")
+	}
+}
+
+func TestServerRejectsGet(t *testing.T) {
+	hs := httptest.NewServer(NewServer())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerMalformedEnvelope(t *testing.T) {
+	hs := httptest.NewServer(NewServer())
+	defer hs.Close()
+	resp, err := http.Post(hs.URL, "text/xml", strings.NewReader("<broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestWritePayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePayload(&buf, []byte("<Data>42</Data>")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := OpenEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Name != "Data" || payload.Text != "42" {
+		t.Errorf("payload = %+v", payload)
+	}
+}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+func TestFeedRoundTripAuction(t *testing.T) {
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 25_000, Seed: 3})
+	for _, layout := range []*core.Fragmentation{core.MostFragmented(sch), core.LeastFragmented(sch)} {
+		insts, err := core.FromDocument(layout, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range layout.Fragments {
+			in := insts[f.Name]
+			var buf bytes.Buffer
+			if err := WriteFeed(&buf, in, sch); err != nil {
+				t.Fatalf("%s/%s: %v", layout.Name, f.Name, err)
+			}
+			back, err := ReadFeed(&buf, f, sch)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", layout.Name, f.Name, err)
+			}
+			if back.Rows() != in.Rows() {
+				t.Fatalf("%s/%s: rows %d, want %d", layout.Name, f.Name, back.Rows(), in.Rows())
+			}
+			for i := range in.Records {
+				if !xmltree.Equal(in.Records[i], back.Records[i]) {
+					t.Fatalf("%s/%s: record %d changed:\n%s\nvs\n%s", layout.Name, f.Name, i,
+						xmltree.Marshal(in.Records[i], xmltree.WriteOptions{EmitAllIDs: true}),
+						xmltree.Marshal(back.Records[i], xmltree.WriteOptions{EmitAllIDs: true}))
+				}
+			}
+		}
+	}
+}
+
+func TestFeedEscaping(t *testing.T) {
+	sch := schema.MustNew(schema.Elem("a", schema.Elem("b")))
+	f, err := core.NewFragment(sch, "", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &core.Instance{Frag: f, Records: []*xmltree.Node{
+		{Name: "a", ID: "1", Parent: "", Kids: []*xmltree.Node{
+			{Name: "b", ID: "2", Parent: "1", Text: "pipe | back\\slash\nnewline"},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, in, sch); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFeed(&buf, f, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Records[0].Kids[0].Text; got != "pipe | back\\slash\nnewline" {
+		t.Errorf("escaped text changed: %q", got)
+	}
+}
+
+func TestFeedOptionalAbsent(t *testing.T) {
+	sch := schema.MustNew(schema.Elem("a", schema.Opt(schema.Elem("b")), schema.Elem("c")))
+	f, err := core.NewFragment(sch, "", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &core.Instance{Frag: f, Records: []*xmltree.Node{
+		{Name: "a", ID: "1", Kids: []*xmltree.Node{
+			{Name: "c", ID: "3", Parent: "1", Text: "x"},
+		}},
+		{Name: "a", ID: "4", Kids: []*xmltree.Node{
+			{Name: "b", ID: "5", Parent: "4", Text: "y"},
+			{Name: "c", ID: "6", Parent: "4", Text: "z"},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, in, sch); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFeed(&buf, f, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records[0].Kids) != 1 || back.Records[0].Kids[0].Name != "c" {
+		t.Errorf("absent optional element resurrected: %v", xmltree.Marshal(back.Records[0], xmltree.WriteOptions{}))
+	}
+	if len(back.Records[1].Kids) != 2 {
+		t.Errorf("present optional element lost")
+	}
+}
+
+func TestFeedRejectsNonFlat(t *testing.T) {
+	sch := schema.CustomerInfo()
+	f, err := core.NewFragment(sch, "", []string{"Line", "TelNo", "Feature", "FeatureID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &core.Instance{Frag: f}
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, in, sch); err == nil {
+		t.Error("internally repeated fragment must be rejected")
+	}
+	if _, err := ReadFeed(strings.NewReader(""), f, sch); err == nil {
+		t.Error("read of non-flat fragment must be rejected")
+	}
+}
+
+func TestFeedReadErrors(t *testing.T) {
+	sch := schema.MustNew(schema.Elem("a", schema.Elem("b")))
+	f, _ := core.NewFragment(sch, "", []string{"a", "b"})
+	cases := []string{
+		"p|1|2|x|extra|\n", // trailing fields
+		"p|1|\n",           // truncated
+		"p|1|2|bad\\z|\n",  // bad escape
+		"p|1|2|open\n",     // unterminated field
+		"|||\n",            // no record root
+	}
+	for i, c := range cases {
+		if _, err := ReadFeed(strings.NewReader(c), f, sch); err == nil {
+			t.Errorf("case %d (%q) should fail", i, c)
+		}
+	}
+}
+
+func TestFeedSizeClosesToFeedBytes(t *testing.T) {
+	// FeedBytes is the cost model's estimate; the real encoding should be
+	// within a modest factor (escaping and NULL padding differ).
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 20_000, Seed: 5})
+	lf := core.LeastFragmented(sch)
+	insts, _ := core.FromDocument(lf, doc)
+	for _, f := range lf.Fragments {
+		in := insts[f.Name]
+		var buf bytes.Buffer
+		if err := WriteFeed(&buf, in, sch); err != nil {
+			t.Fatal(err)
+		}
+		est := FeedBytes(in)
+		got := int64(buf.Len())
+		if got < est/2 || got > est*2 {
+			t.Errorf("fragment %q: encoded %d vs estimated %d", f.Name, got, est)
+		}
+	}
+}
+
+func TestFeedRandomDocsProperty(t *testing.T) {
+	sch := schema.Balanced(2, 3)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mf := core.MostFragmented(sch)
+		doc := randomBalancedDoc(sch, rng)
+		insts, err := core.FromDocument(mf, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range mf.Fragments {
+			var buf bytes.Buffer
+			if err := WriteFeed(&buf, insts[f.Name], sch); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			back, err := ReadFeed(&buf, f, sch)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if back.Rows() != insts[f.Name].Rows() {
+				t.Fatalf("seed %d fragment %q: rows changed", seed, f.Name)
+			}
+		}
+	}
+}
+
+func randomBalancedDoc(sch *schema.Schema, rng *rand.Rand) *xmltree.Node {
+	var build func(n *schema.Node) *xmltree.Node
+	build = func(n *schema.Node) *xmltree.Node {
+		e := &xmltree.Node{Name: n.Name}
+		if n.IsLeaf() {
+			e.Text = strings.Repeat("v", rng.Intn(5))
+		}
+		for _, c := range n.Children {
+			reps := 1
+			if c.Repeated {
+				reps = 1 + rng.Intn(3)
+			}
+			for i := 0; i < reps; i++ {
+				e.AddKid(build(c))
+			}
+		}
+		return e
+	}
+	doc := build(sch.Root())
+	core.AssignIDs(doc)
+	return doc
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+func fixtures(t *testing.T) (*schema.Schema, *core.Mapping, *core.Graph, core.Assignment) {
+	t.Helper()
+	sch := schema.CustomerInfo()
+	src, err := core.FromPartition(sch, "S", [][]string{
+		{"Customer", "CustName"},
+		{"Order"},
+		{"Service", "ServiceName"},
+		{"Line", "TelNo", "Feature", "FeatureID"},
+		{"Switch", "SwitchID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := core.FromPartition(sch, "T", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMapping(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == core.OpWrite {
+			a[op.ID] = core.LocTarget
+		} else {
+			a[op.ID] = core.LocSource
+		}
+	}
+	return sch, m, g, a
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	sch, _, g, a := fixtures(t)
+	x, err := EncodeProgram(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize through text to prove wire safety.
+	text := xmltree.Marshal(x, xmltree.WriteOptions{})
+	parsed, err := xmltree.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, a2, err := DecodeProgram(parsed, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Ops) != len(g.Ops) || len(g2.Edges) != len(g.Edges) {
+		t.Fatalf("shape changed: %d/%d ops, %d/%d edges", len(g2.Ops), len(g.Ops), len(g2.Edges), len(g.Edges))
+	}
+	for i, op := range g.Ops {
+		if g2.Ops[i].Kind != op.Kind || g2.Ops[i].Out.Name != op.Out.Name {
+			t.Errorf("op %d changed: %s vs %s", i, g2.Ops[i], op)
+		}
+		if a2[i] != a[i] {
+			t.Errorf("op %d location changed", i)
+		}
+	}
+	if g2.String() != g.String() {
+		t.Errorf("program text changed:\n%s\nvs\n%s", g2.String(), g.String())
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	sch := schema.CustomerInfo()
+	cases := []string{
+		`<notaprogram/>`,
+		`<program><ops/><edges/></program>`, // no fragments is fine, but ops empty with edges referencing nothing
+		`<program><fragments/><ops><op id="7" kind="Scan" out="x" loc="S"/></ops><edges/></program>`, // bad id
+		`<program><fragments/><ops><op id="0" kind="Bogus" out="x" loc="S"/></ops><edges/></program>`,
+		`<program><fragments/><ops><op id="0" kind="Scan" out="missing" loc="S"/></ops><edges/></program>`,
+	}
+	for i, c := range cases {
+		x, err := xmltree.Parse(strings.NewReader(c))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if _, _, err := DecodeProgram(x, sch); err == nil && i != 1 {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestShipmentRoundTrip(t *testing.T) {
+	sch, m, g, a := fixtures(t)
+	doc, err := xmltree.Parse(strings.NewReader(
+		`<Customer><CustName>Ann</CustName><Order><Service><ServiceName>s</ServiceName>` +
+			`<Line><TelNo>1</TelNo><Switch><SwitchID>w</SwitchID></Switch>` +
+			`<Feature><FeatureID>f</FeatureID></Feature></Line></Service></Order></Customer>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AssignIDs(doc)
+	sources, err := core.FromDocument(m.Source, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := func(f *core.Fragment) (*core.Instance, error) {
+		for name, in := range sources {
+			if in.Frag.SameElems(f) {
+				_ = name
+				return &core.Instance{Frag: f, Records: in.Records}, nil
+			}
+		}
+		t.Fatalf("no source %q", f.Name)
+		return nil, nil
+	}
+	out, _, err := core.ExecuteSlice(g, sch, a, core.LocSource, core.SliceIO{Scan: scan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no outbound shipment")
+	}
+	x := EncodeShipment(out)
+	text := xmltree.Marshal(x, xmltree.WriteOptions{EmitAllIDs: true})
+	parsed, err := xmltree.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := map[string]*core.Fragment{}
+	for _, e := range g.Edges {
+		frags[e.Frag.Name] = e.Frag
+	}
+	back, err := DecodeShipment(parsed, func(name string) *core.Fragment { return frags[name] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(out) {
+		t.Fatalf("instances %d, want %d", len(back), len(out))
+	}
+	for k, in := range out {
+		got := back[k]
+		if got == nil {
+			t.Fatalf("missing shipment %q", k)
+		}
+		if got.Rows() != in.Rows() {
+			t.Errorf("%s: rows %d, want %d", k, got.Rows(), in.Rows())
+		}
+		// Record roots must keep their ID/PARENT through the wire.
+		for i := range in.Records {
+			if got.Records[i].ID != in.Records[i].ID || got.Records[i].Parent != in.Records[i].Parent {
+				t.Errorf("%s record %d: id/parent %q/%q, want %q/%q", k, i,
+					got.Records[i].ID, got.Records[i].Parent, in.Records[i].ID, in.Records[i].Parent)
+			}
+		}
+	}
+}
+
+func TestShipmentRestoresInteriorParents(t *testing.T) {
+	sch := schema.CustomerInfo()
+	f, err := core.NewFragment(sch, "", []string{"Order", "Service", "ServiceName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &xmltree.Node{Name: "Order", ID: "o1", Parent: "c1", Kids: []*xmltree.Node{
+		{Name: "Service", ID: "s1", Parent: "o1", Kids: []*xmltree.Node{
+			{Name: "ServiceName", ID: "n1", Parent: "s1", Text: "local"},
+		}},
+	}}
+	out := map[string]*core.Instance{"0:x": {Frag: f, Records: []*xmltree.Node{rec}}}
+	x := EncodeShipment(out)
+	text := xmltree.Marshal(x, xmltree.WriteOptions{EmitAllIDs: true})
+	// The leaf value travels bare.
+	if strings.Contains(text, `ServiceName ID=`) {
+		t.Errorf("leaf should not carry an ID on the wire:\n%s", text)
+	}
+	// The interior Service keeps only its ID.
+	if !strings.Contains(text, `<Service ID="s1">`) {
+		t.Errorf("interior node should keep its join key:\n%s", text)
+	}
+	parsed, _ := xmltree.Parse(strings.NewReader(text))
+	back, err := DecodeShipment(parsed, func(string) *core.Fragment { return f })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back["0:x"].Records[0]
+	if got.Kids[0].Parent != "o1" {
+		t.Errorf("interior parent not restored: %q", got.Kids[0].Parent)
+	}
+}
+
+func TestFeedBytes(t *testing.T) {
+	sch := schema.CustomerInfo()
+	f, _ := core.NewFragment(sch, "", []string{"Feature", "FeatureID"})
+	in := &core.Instance{Frag: f, Records: []*xmltree.Node{
+		{Name: "Feature", ID: "9", Parent: "4", Kids: []*xmltree.Node{
+			{Name: "FeatureID", ID: "10", Parent: "9", Text: "callerID"},
+		}},
+	}}
+	// parent(1)+sep + id(1)+sep + leaf id(2)+sep + text(8)+sep + newline
+	want := int64(1+1) + int64(1+1) + int64(2+1) + int64(8+1) + 1
+	if got := FeedBytes(in); got != want {
+		t.Errorf("FeedBytes = %d, want %d", got, want)
+	}
+	if got := ShipmentFeedBytes(map[string]*core.Instance{"a": in, "b": in}); got != 2*want {
+		t.Errorf("ShipmentFeedBytes = %d, want %d", got, 2*want)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	p := &core.StatsProvider{
+		Card:        map[string]float64{"a": 10, "b": 20.5},
+		Bytes:       map[string]float64{"a": 3, "b": 4},
+		Unit:        core.UnitCosts{Scan: 1, Combine: 4, Split: 1.5, Write: 1},
+		SourceSpeed: 2, TargetSpeed: 3, TargetCombines: true,
+	}
+	x := EncodeStats(p)
+	text := xmltree.Marshal(x, xmltree.WriteOptions{})
+	parsed, err := xmltree.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeStats(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Card["b"] != 20.5 || back.Bytes["a"] != 3 || !back.TargetCombines ||
+		back.SourceSpeed != 2 || back.TargetSpeed != 3 || back.Unit.Combine != 4 {
+		t.Errorf("stats changed: %+v", back)
+	}
+	if _, err := DecodeStats(&xmltree.Node{Name: "other"}); err == nil {
+		t.Error("wrong element must fail")
+	}
+}

@@ -1,0 +1,414 @@
+// Package wsdlx models WSDL 1.1 service descriptions (Figure 1) together
+// with the paper's proposed extension: a <fragmentation> element through
+// which a system declares the XML Schema fragments it is willing to produce
+// or consume (§1.1, §2). Documents round-trip through XML so that
+// registrations can travel to the discovery agency.
+package wsdlx
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// Definitions is a WSDL document: the service interface (types, messages,
+// portType, binding, service, port) plus zero or more registered
+// fragmentations of the types schema. The paper's Figure 1 elides the
+// message/portType/binding sections; they are supported here and generated
+// from Operations.
+type Definitions struct {
+	// Name is the definitions name, e.g. "CustomerInfo".
+	Name string
+	// TargetNamespace scopes the definitions.
+	TargetNamespace string
+	// Documentation is the human-readable service description.
+	Documentation string
+	// ServiceName, PortName and Address describe the deployed service.
+	ServiceName, PortName, Address string
+	// Schema is the XML Schema of the exchanged documents (the <types>
+	// section).
+	Schema *schema.Schema
+	// Fragmentations are the registered fragmentations of Schema, the
+	// paper's WSDL extension.
+	Fragmentations []*core.Fragmentation
+	// Operations describe the service's operations; each induces the
+	// corresponding <message>, <portType> and <binding> sections the paper
+	// elides in Figure 1.
+	Operations []Operation
+}
+
+// Operation is one WSDL operation with its input and output message parts.
+type Operation struct {
+	// Name is the operation name, e.g. "GetCustomerInfo".
+	Name string
+	// Input and Output name the message element types (referencing the
+	// types schema or the fragmentation).
+	Input, Output string
+	// SOAPAction is the HTTP SOAPAction header value for the binding.
+	SOAPAction string
+}
+
+// Marshal renders the definitions as a WSDL document.
+func (d *Definitions) Marshal() ([]byte, error) {
+	root := &xmltree.Node{Name: "definitions"}
+	root.SetAttr("name", d.Name)
+	root.SetAttr("targetNamespace", d.TargetNamespace)
+	types := &xmltree.Node{Name: "types"}
+	sel := &xmltree.Node{Name: "schema"}
+	sel.SetAttr("targetNamespace", d.TargetNamespace+".xsd")
+	if d.Schema != nil {
+		sel.AddKid(schemaToXML(d.Schema))
+	}
+	types.AddKid(sel)
+	root.AddKid(types)
+	for _, fr := range d.Fragmentations {
+		if fr.Schema != d.Schema {
+			return nil, fmt.Errorf("wsdlx: fragmentation %q is over a different schema", fr.Name)
+		}
+		root.AddKid(FragmentationToXML(fr))
+	}
+	// Messages, portType and binding, one triple per operation.
+	for _, op := range d.Operations {
+		for _, part := range []struct{ suffix, elem string }{{"Input", op.Input}, {"Output", op.Output}} {
+			msg := &xmltree.Node{Name: "message"}
+			msg.SetAttr("name", op.Name+part.suffix)
+			p := &xmltree.Node{Name: "part"}
+			p.SetAttr("name", "body")
+			p.SetAttr("element", part.elem)
+			msg.AddKid(p)
+			root.AddKid(msg)
+		}
+	}
+	if len(d.Operations) > 0 {
+		pt := &xmltree.Node{Name: "portType"}
+		pt.SetAttr("name", d.ServiceName+"PortType")
+		binding := &xmltree.Node{Name: "binding"}
+		binding.SetAttr("name", d.ServiceName+"Binding")
+		binding.SetAttr("type", "tns:"+d.ServiceName+"PortType")
+		sb := &xmltree.Node{Name: "soap:binding"}
+		sb.SetAttr("style", "document")
+		sb.SetAttr("transport", "http://schemas.xmlsoap.org/soap/http")
+		binding.AddKid(sb)
+		for _, op := range d.Operations {
+			ox := &xmltree.Node{Name: "operation"}
+			ox.SetAttr("name", op.Name)
+			in := &xmltree.Node{Name: "input"}
+			in.SetAttr("message", "tns:"+op.Name+"Input")
+			out := &xmltree.Node{Name: "output"}
+			out.SetAttr("message", "tns:"+op.Name+"Output")
+			ox.AddKid(in)
+			ox.AddKid(out)
+			pt.AddKid(ox)
+
+			bop := &xmltree.Node{Name: "operation"}
+			bop.SetAttr("name", op.Name)
+			so := &xmltree.Node{Name: "soap:operation"}
+			so.SetAttr("soapAction", op.SOAPAction)
+			bop.AddKid(so)
+			binding.AddKid(bop)
+		}
+		root.AddKid(pt)
+		root.AddKid(binding)
+	}
+	svc := &xmltree.Node{Name: "service"}
+	svc.SetAttr("name", d.ServiceName)
+	if d.Documentation != "" {
+		svc.AddKid(&xmltree.Node{Name: "documentation", Text: d.Documentation})
+	}
+	port := &xmltree.Node{Name: "port"}
+	port.SetAttr("name", d.PortName)
+	addr := &xmltree.Node{Name: "soap:address"}
+	addr.SetAttr("location", d.Address)
+	port.AddKid(addr)
+	svc.AddKid(port)
+	root.AddKid(svc)
+
+	var buf bytes.Buffer
+	buf.WriteString(`<?xml version="1.0"?>` + "\n")
+	if err := xmltree.Write(&buf, root, xmltree.WriteOptions{Indent: true}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Parse reads a WSDL document produced by Marshal (or hand-written in the
+// same dialect).
+func Parse(r io.Reader) (*Definitions, error) {
+	root, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("wsdlx: %w", err)
+	}
+	if root.Name != "definitions" {
+		return nil, fmt.Errorf("wsdlx: root element is %q, want definitions", root.Name)
+	}
+	d := &Definitions{}
+	d.Name, _ = root.Attr("name")
+	d.TargetNamespace, _ = root.Attr("targetNamespace")
+	var fragXML []*xmltree.Node
+	msgElem := map[string]string{}  // message name -> part element
+	actionOf := map[string]string{} // operation name -> soapAction
+	var portTypeOps []*xmltree.Node // <operation> under portType
+	for _, k := range root.Kids {
+		switch k.Name {
+		case "message":
+			name, _ := k.Attr("name")
+			for _, p := range k.Kids {
+				if p.Name == "part" {
+					el, _ := p.Attr("element")
+					msgElem[name] = el
+				}
+			}
+		case "portType":
+			for _, ox := range k.Kids {
+				if ox.Name == "operation" {
+					portTypeOps = append(portTypeOps, ox)
+				}
+			}
+		case "binding":
+			for _, ox := range k.Kids {
+				if ox.Name != "operation" {
+					continue
+				}
+				name, _ := ox.Attr("name")
+				for _, so := range ox.Kids {
+					if so.Name == "operation" || so.Name == "soap:operation" {
+						actionOf[name], _ = so.Attr("soapAction")
+					}
+				}
+			}
+		case "types":
+			for _, s := range k.Kids {
+				if s.Name != "schema" || len(s.Kids) == 0 {
+					continue
+				}
+				sch, err := schemaFromXML(s.Kids[0])
+				if err != nil {
+					return nil, err
+				}
+				d.Schema = sch
+			}
+		case "fragmentation":
+			fragXML = append(fragXML, k)
+		case "service":
+			d.ServiceName, _ = k.Attr("name")
+			for _, p := range k.Kids {
+				switch p.Name {
+				case "documentation":
+					d.Documentation = p.Text
+				case "port":
+					d.PortName, _ = p.Attr("name")
+					for _, a := range p.Kids {
+						if a.Name == "address" || a.Name == "soap:address" {
+							d.Address, _ = a.Attr("location")
+						}
+					}
+				}
+			}
+		}
+	}
+	if d.Schema == nil {
+		return nil, fmt.Errorf("wsdlx: no types schema")
+	}
+	for _, ox := range portTypeOps {
+		name, _ := ox.Attr("name")
+		op := Operation{Name: name, SOAPAction: actionOf[name]}
+		for _, io := range ox.Kids {
+			ref, _ := io.Attr("message")
+			ref = strings.TrimPrefix(ref, "tns:")
+			switch io.Name {
+			case "input":
+				op.Input = msgElem[ref]
+			case "output":
+				op.Output = msgElem[ref]
+			}
+		}
+		d.Operations = append(d.Operations, op)
+	}
+	for _, fx := range fragXML {
+		fr, err := FragmentationFromXML(fx, d.Schema)
+		if err != nil {
+			return nil, err
+		}
+		d.Fragmentations = append(d.Fragmentations, fr)
+	}
+	return d, nil
+}
+
+// schemaToXML renders the schema tree in the nested element style of
+// Figure 1: <element name="X"><sequence>...</sequence></element>, with
+// maxOccurs="unbounded" for repeated elements, minOccurs="0" for optional
+// ones, type="string" for leaves and ref="..." for extra parents of
+// multi-parent elements.
+func schemaToXML(s *schema.Schema) *xmltree.Node {
+	extraRefs := map[string][]string{} // parent -> child refs
+	for _, name := range s.Names() {
+		parents := s.Parents(name)
+		if len(parents) < 2 {
+			continue
+		}
+		for _, p := range parents[1:] {
+			extraRefs[p] = append(extraRefs[p], name)
+		}
+	}
+	var conv func(n *schema.Node) *xmltree.Node
+	conv = func(n *schema.Node) *xmltree.Node {
+		e := &xmltree.Node{Name: "element"}
+		e.SetAttr("name", n.Name)
+		if n.Repeated {
+			e.SetAttr("maxOccurs", "unbounded")
+		}
+		if n.Optional {
+			e.SetAttr("minOccurs", "0")
+		}
+		if n.IsLeaf() && len(extraRefs[n.Name]) == 0 {
+			e.SetAttr("type", "string")
+			return e
+		}
+		seq := &xmltree.Node{Name: "sequence"}
+		for _, c := range n.Children {
+			seq.AddKid(conv(c))
+		}
+		for _, ref := range extraRefs[n.Name] {
+			r := &xmltree.Node{Name: "element"}
+			r.SetAttr("ref", ref)
+			seq.AddKid(r)
+		}
+		e.AddKid(seq)
+		return e
+	}
+	return conv(s.Root())
+}
+
+// schemaFromXML parses the nested element form back into a schema.
+func schemaFromXML(x *xmltree.Node) (*schema.Schema, error) {
+	type refEdge struct{ child, parent string }
+	var refs []refEdge
+	var conv func(x *xmltree.Node, parent string) (*schema.Node, error)
+	conv = func(x *xmltree.Node, parent string) (*schema.Node, error) {
+		if x.Name != "element" {
+			return nil, fmt.Errorf("wsdlx: unexpected schema node %q", x.Name)
+		}
+		if ref, ok := x.Attr("ref"); ok {
+			refs = append(refs, refEdge{child: ref, parent: parent})
+			return nil, nil
+		}
+		name, ok := x.Attr("name")
+		if !ok {
+			return nil, fmt.Errorf("wsdlx: schema element without name")
+		}
+		n := &schema.Node{Name: name}
+		if v, ok := x.Attr("maxOccurs"); ok && v == "unbounded" {
+			n.Repeated = true
+		}
+		if v, ok := x.Attr("minOccurs"); ok && v == "0" {
+			n.Optional = true
+		}
+		for _, k := range x.Kids {
+			if k.Name != "sequence" {
+				continue
+			}
+			for _, ce := range k.Kids {
+				c, err := conv(ce, name)
+				if err != nil {
+					return nil, err
+				}
+				if c != nil {
+					n.Children = append(n.Children, c)
+				}
+			}
+		}
+		return n, nil
+	}
+	rootNode, err := conv(x, "")
+	if err != nil {
+		return nil, err
+	}
+	s, err := schema.New(rootNode)
+	if err != nil {
+		return nil, fmt.Errorf("wsdlx: %w", err)
+	}
+	for _, r := range refs {
+		if err := s.AddExtraParent(r.child, r.parent); err != nil {
+			return nil, fmt.Errorf("wsdlx: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// FragmentationToXML renders a fragmentation in the paper's §3.1 style:
+// each fragment is the nested element structure it covers, with the ID and
+// PARENT attribute declarations on its root.
+func FragmentationToXML(fr *core.Fragmentation) *xmltree.Node {
+	root := &xmltree.Node{Name: "fragmentation"}
+	root.SetAttr("name", fr.Name)
+	for _, f := range fr.Fragments {
+		fx := &xmltree.Node{Name: "fragment"}
+		fx.SetAttr("name", f.Name)
+		fx.AddKid(fragmentBody(fr.Schema, f, f.Root, true))
+		root.AddKid(fx)
+	}
+	return root
+}
+
+func fragmentBody(s *schema.Schema, f *core.Fragment, elem string, isRoot bool) *xmltree.Node {
+	e := &xmltree.Node{Name: "element"}
+	e.SetAttr("name", elem)
+	if isRoot {
+		for _, an := range []string{"ID", "PARENT"} {
+			a := &xmltree.Node{Name: "attribute"}
+			a.SetAttr("name", an)
+			a.SetAttr("type", "string")
+			e.AddKid(a)
+		}
+	}
+	for _, c := range s.ByName(elem).Children {
+		if f.Elems[c.Name] {
+			e.AddKid(fragmentBody(s, f, c.Name, false))
+		}
+	}
+	return e
+}
+
+// FragmentationFromXML parses a <fragmentation> element against the agreed
+// schema and validates it.
+func FragmentationFromXML(x *xmltree.Node, sch *schema.Schema) (*core.Fragmentation, error) {
+	if x.Name != "fragmentation" {
+		return nil, fmt.Errorf("wsdlx: expected fragmentation, got %q", x.Name)
+	}
+	name, _ := x.Attr("name")
+	var frags []*core.Fragment
+	for _, fx := range x.Kids {
+		if fx.Name != "fragment" {
+			continue
+		}
+		fname, _ := fx.Attr("name")
+		var elems []string
+		var collect func(n *xmltree.Node)
+		collect = func(n *xmltree.Node) {
+			if n.Name == "element" {
+				if en, ok := n.Attr("name"); ok {
+					elems = append(elems, en)
+				}
+			}
+			for _, k := range n.Kids {
+				collect(k)
+			}
+		}
+		collect(fx)
+		f, err := core.NewFragment(sch, fname, elems)
+		if err != nil {
+			return nil, fmt.Errorf("wsdlx: fragment %q: %w", fname, err)
+		}
+		frags = append(frags, f)
+	}
+	fr, err := core.NewFragmentation(sch, name, frags)
+	if err != nil {
+		return nil, fmt.Errorf("wsdlx: %w", err)
+	}
+	return fr, nil
+}

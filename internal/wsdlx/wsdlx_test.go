@@ -1,0 +1,271 @@
+package wsdlx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+func defs(t *testing.T) *Definitions {
+	t.Helper()
+	sch := schema.CustomerInfo()
+	tfr, err := core.FromPartition(sch, "T-fragmentation", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Definitions{
+		Name:            "CustomerInfo",
+		TargetNamespace: "http://customers.wsdl",
+		Documentation:   "Provides customer information",
+		ServiceName:     "CustomerInfoService",
+		PortName:        "CustomerInfoPort",
+		Address:         "http://customerinfo",
+		Schema:          sch,
+		Fragmentations:  []*core.Fragmentation{tfr},
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	d := defs(t)
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CustomerInfoService", "fragmentation", `name="T-fragmentation"`, "maxOccurs", "soap:address"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshaled WSDL missing %q", want)
+		}
+	}
+	back, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if back.Name != d.Name || back.ServiceName != d.ServiceName || back.Address != d.Address {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	if back.Documentation != d.Documentation {
+		t.Errorf("documentation lost: %q", back.Documentation)
+	}
+	if back.Schema.Len() != d.Schema.Len() {
+		t.Fatalf("schema has %d elements, want %d", back.Schema.Len(), d.Schema.Len())
+	}
+	if !back.Schema.ByName("Order").Repeated {
+		t.Errorf("Order lost repetition")
+	}
+	if len(back.Fragmentations) != 1 {
+		t.Fatalf("fragmentations = %d", len(back.Fragmentations))
+	}
+	fr := back.Fragmentations[0]
+	if fr.Name != "T-fragmentation" || fr.Len() != 4 {
+		t.Errorf("fragmentation wrong: %v", fr)
+	}
+	if fr.FragmentOf("SwitchID").Root != "Line" {
+		t.Errorf("fragment structure lost")
+	}
+}
+
+func TestRoundTripAuctionMultiParent(t *testing.T) {
+	sch := schema.Auction()
+	d := &Definitions{
+		Name: "Auction", TargetNamespace: "http://auction.wsdl",
+		ServiceName: "AuctionService", PortName: "p", Address: "http://a",
+		Schema:         sch,
+		Fragmentations: []*core.Fragmentation{core.LeastFragmented(sch)},
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if back.Schema.Len() != sch.Len() {
+		t.Fatalf("schema length %d, want %d", back.Schema.Len(), sch.Len())
+	}
+	if got := len(back.Schema.Parents("item")); got != 6 {
+		t.Errorf("item parents after round trip = %d, want 6", got)
+	}
+	if back.Fragmentations[0].Len() != 3 {
+		t.Errorf("LF round trip has %d fragments", back.Fragmentations[0].Len())
+	}
+}
+
+func TestOperationsRoundTrip(t *testing.T) {
+	d := defs(t)
+	d.Operations = []wsdlOps{
+		{Name: "GetCustomerInfo", Input: "CustomerRequest", Output: "Customer", SOAPAction: "getCustomerInfo"},
+		{Name: "GetTotalMRC", Input: "MRCRequest", Output: "MRC", SOAPAction: "getTotalMRC"},
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<message", "<portType", "<binding", `soapAction="getTotalMRC"`, `element="Customer"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshaled WSDL missing %q", want)
+		}
+	}
+	back, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if len(back.Operations) != 2 {
+		t.Fatalf("operations = %d, want 2", len(back.Operations))
+	}
+	for i, op := range back.Operations {
+		if op != d.Operations[i] {
+			t.Errorf("operation %d changed: %+v vs %+v", i, op, d.Operations[i])
+		}
+	}
+}
+
+// wsdlOps aliases Operation for test brevity.
+type wsdlOps = Operation
+
+// TestParseFigure1Dialect parses a hand-written WSDL in the style of the
+// paper's Figure 1 (corrected to well-formed XML), not one produced by
+// Marshal.
+func TestParseFigure1Dialect(t *testing.T) {
+	const figure1 = `<?xml version="1.0"?>
+<definitions name="CustomerInfo" targetNamespace="http://customers.wsdl">
+  <types>
+    <schema targetNamespace="http://customers.xsd">
+      <element name="Customer">
+        <sequence>
+          <element name="CustName" type="string"/>
+          <element name="Order" maxOccurs="unbounded">
+            <sequence>
+              <element name="Service">
+                <sequence>
+                  <element name="ServiceName" type="string"/>
+                  <element name="Line" maxOccurs="unbounded">
+                    <sequence>
+                      <element name="TelNo" type="string"/>
+                      <element name="Switch">
+                        <sequence>
+                          <element name="SwitchID" type="string"/>
+                        </sequence>
+                      </element>
+                      <element name="Feature" maxOccurs="unbounded">
+                        <sequence>
+                          <element name="FeatureID" type="string"/>
+                        </sequence>
+                      </element>
+                    </sequence>
+                  </element>
+                </sequence>
+              </element>
+            </sequence>
+          </element>
+        </sequence>
+      </element>
+    </schema>
+  </types>
+  <service name="CustomerInfoService">
+    <documentation>Provides customer information</documentation>
+    <port name="CustomerInfoPort" binding="tns:CustomerInfoBinding">
+      <soap:address xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/" location="http://customerinfo"/>
+    </port>
+  </service>
+</definitions>`
+	d, err := Parse(strings.NewReader(figure1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "CustomerInfo" || d.ServiceName != "CustomerInfoService" {
+		t.Errorf("metadata: %+v", d)
+	}
+	if d.Address != "http://customerinfo" {
+		t.Errorf("address = %q", d.Address)
+	}
+	ref := schema.CustomerInfo()
+	if d.Schema.Len() != ref.Len() {
+		t.Fatalf("schema has %d elements, want %d", d.Schema.Len(), ref.Len())
+	}
+	for _, name := range ref.Names() {
+		n := d.Schema.ByName(name)
+		if n == nil {
+			t.Fatalf("missing element %q", name)
+		}
+		if n.Repeated != ref.ByName(name).Repeated {
+			t.Errorf("element %q repetition mismatch", name)
+		}
+	}
+	// The parsed schema interoperates with the core machinery.
+	if _, err := core.FromPartition(d.Schema, "T", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	}); err != nil {
+		t.Errorf("fragmentation over parsed schema: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("<nope/>")); err == nil {
+		t.Error("wrong root must fail")
+	}
+	if _, err := Parse(strings.NewReader("<definitions><service/></definitions>")); err == nil {
+		t.Error("missing schema must fail")
+	}
+	if _, err := Parse(strings.NewReader("not xml")); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestMarshalRejectsForeignFragmentation(t *testing.T) {
+	d := defs(t)
+	other := core.Trivial(schema.Auction())
+	d.Fragmentations = append(d.Fragmentations, other)
+	if _, err := d.Marshal(); err == nil {
+		t.Error("fragmentation over another schema must be rejected")
+	}
+}
+
+func TestFragmentationXMLMatchesPaperShape(t *testing.T) {
+	d := defs(t)
+	x := FragmentationToXML(d.Fragmentations[0])
+	// Each fragment root carries ID and PARENT attribute declarations.
+	frag := x.Kids[0]
+	if frag.Name != "fragment" {
+		t.Fatalf("first kid = %q", frag.Name)
+	}
+	rootElem := frag.Kids[0]
+	var attrs []string
+	for _, k := range rootElem.Kids {
+		if k.Name == "attribute" {
+			n, _ := k.Attr("name")
+			attrs = append(attrs, n)
+		}
+	}
+	if strings.Join(attrs, ",") != "ID,PARENT" {
+		t.Errorf("root attributes = %v", attrs)
+	}
+}
+
+func TestFragmentationFromXMLValidates(t *testing.T) {
+	sch := schema.CustomerInfo()
+	// A fragmentation XML that misses elements must fail validation.
+	bad := `<fragmentation name="bad"><fragment name="f"><element name="Customer"/></fragment></fragmentation>`
+	root, err := xmltree.Parse(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FragmentationFromXML(root, sch); err == nil {
+		t.Error("incomplete fragmentation must fail")
+	}
+	if _, err := FragmentationFromXML(&xmltree.Node{Name: "other"}, sch); err == nil {
+		t.Error("wrong element must fail")
+	}
+}

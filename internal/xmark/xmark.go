@@ -1,0 +1,141 @@
+// Package xmark generates auction documents conforming to the Figure 7 DTD
+// subset of the paper — a stand-in for the XMark data generator used in the
+// experiments. Documents are sized by target byte count and are fully
+// deterministic given a seed.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// Config controls document generation.
+type Config struct {
+	// TargetBytes is the approximate serialized (dense, no IDs) size of the
+	// generated document; the paper uses 2.5, 12.5 and 25 MB.
+	TargetBytes int64
+	// Seed makes generation deterministic.
+	Seed int64
+	// ItemsPerCategory controls the category count: one category per this
+	// many items (default 20).
+	ItemsPerCategory int
+}
+
+const (
+	// MB is a decimal megabyte, the unit of the paper's document sizes.
+	MB = 1_000_000
+)
+
+var words = []string{
+	"gold", "vintage", "rare", "antique", "mint", "classic", "deluxe",
+	"limited", "edition", "original", "signed", "boxed", "sealed", "grand",
+	"estate", "imported", "handmade", "carved", "woven", "crystal",
+}
+
+var regionNames = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Generate builds an auction document of roughly cfg.TargetBytes bytes,
+// with Dewey instance identifiers assigned.
+func Generate(cfg Config) *xmltree.Node {
+	if cfg.TargetBytes <= 0 {
+		cfg.TargetBytes = MB
+	}
+	if cfg.ItemsPerCategory <= 0 {
+		cfg.ItemsPerCategory = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	site := &xmltree.Node{Name: "site"}
+	regions := &xmltree.Node{Name: "regions"}
+	site.AddKid(regions)
+	regionNodes := make([]*xmltree.Node, len(regionNames))
+	for i, rn := range regionNames {
+		regionNodes[i] = &xmltree.Node{Name: rn}
+		regions.AddKid(regionNodes[i])
+	}
+	categories := &xmltree.Node{Name: "categories"}
+	site.AddKid(categories)
+	site.AddKid(leaf("catgraph", text(rng, 3)))
+	site.AddKid(leaf("people", text(rng, 3)))
+	site.AddKid(leaf("openauctions", text(rng, 3)))
+	site.AddKid(leaf("closedauctions", text(rng, 3)))
+
+	// Fixed overhead of the spine, then fill with items and categories.
+	size := xmltree.SerializedSize(site, false)
+	items := 0
+	for size < cfg.TargetBytes {
+		it := item(rng, items)
+		regionNodes[items%len(regionNodes)].AddKid(it)
+		size += xmltree.SerializedSize(it, false)
+		items++
+		if items%cfg.ItemsPerCategory == 1 {
+			c := category(rng, items/cfg.ItemsPerCategory)
+			categories.AddKid(c)
+			size += xmltree.SerializedSize(c, false)
+		}
+	}
+	if len(categories.Kids) == 0 {
+		categories.AddKid(category(rng, 0))
+	}
+	// Compact integer keys, as the paper's relational feeds carry.
+	core.AssignIntIDs(site)
+	return site
+}
+
+func leaf(name, txt string) *xmltree.Node { return &xmltree.Node{Name: name, Text: txt} }
+
+func text(rng *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[rng.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}
+
+func item(rng *rand.Rand, n int) *xmltree.Node {
+	it := &xmltree.Node{Name: "item"}
+	it.AddKid(leaf("location", text(rng, 2)))
+	it.AddKid(leaf("quantity", fmt.Sprintf("%d", rng.Intn(10)+1)))
+	it.AddKid(leaf("iname", fmt.Sprintf("item-%d %s", n, text(rng, 2))))
+	it.AddKid(leaf("payment", text(rng, 2)))
+	it.AddKid(leaf("idescription", text(rng, 8)))
+	it.AddKid(leaf("shipping", text(rng, 3)))
+	it.AddKid(leaf("mailbox", text(rng, 4)))
+	return it
+}
+
+func category(rng *rand.Rand, n int) *xmltree.Node {
+	c := &xmltree.Node{Name: "category"}
+	c.AddKid(leaf("cname", fmt.Sprintf("cat-%d %s", n, text(rng, 1))))
+	c.AddKid(leaf("cdescription", text(rng, 6)))
+	return c
+}
+
+// Schema returns the auction schema the generated documents conform to.
+func Schema() *schema.Schema { return schema.Auction() }
+
+// Stats derives per-element cardinality and average-size statistics from a
+// generated document, for cost estimation.
+func Stats(doc *xmltree.Node) (card, bytes map[string]float64) {
+	card = make(map[string]float64)
+	bytes = make(map[string]float64)
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		card[n.Name]++
+		bytes[n.Name] += float64(2*len(n.Name)+5) + float64(len(n.Text))
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(doc)
+	for e, c := range card {
+		if c > 0 {
+			bytes[e] /= c
+		}
+	}
+	return card, bytes
+}

@@ -1,0 +1,104 @@
+package xmark
+
+import (
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/xmltree"
+)
+
+func TestGenerateSize(t *testing.T) {
+	for _, target := range []int64{50_000, 250_000} {
+		doc := Generate(Config{TargetBytes: target, Seed: 1})
+		got := xmltree.SerializedSize(doc, false)
+		if got < target || got > target+target/5 {
+			t.Errorf("target %d: generated %d bytes", target, got)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{TargetBytes: 30_000, Seed: 42})
+	b := Generate(Config{TargetBytes: 30_000, Seed: 42})
+	if !xmltree.Equal(a, b) {
+		t.Error("same seed should generate identical documents")
+	}
+	c := Generate(Config{TargetBytes: 30_000, Seed: 43})
+	if xmltree.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateConformsToSchema(t *testing.T) {
+	sch := Schema()
+	doc := Generate(Config{TargetBytes: 40_000, Seed: 7})
+	// Shredding per MF must succeed and cover every element.
+	mf := core.MostFragmented(sch)
+	insts, err := core.FromDocument(mf, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != sch.Len() {
+		t.Errorf("got %d fragments, want %d", len(insts), sch.Len())
+	}
+	var site, items *core.Instance
+	for _, in := range insts {
+		switch in.Frag.Root {
+		case "site":
+			site = in
+		case "item":
+			items = in
+		}
+	}
+	if site.Rows() != 1 {
+		t.Errorf("site rows = %d", site.Rows())
+	}
+	if items.Rows() < 10 {
+		t.Errorf("too few items: %d", items.Rows())
+	}
+}
+
+func TestGenerateIDsAssigned(t *testing.T) {
+	doc := Generate(Config{TargetBytes: 20_000, Seed: 1})
+	if doc.ID != "1" {
+		t.Errorf("root id = %q", doc.ID)
+	}
+	it := doc.Find("item")
+	if it == nil || it.ID == "" || it.Parent == "" {
+		t.Errorf("items must carry IDs: %+v", it)
+	}
+}
+
+func TestGenerateItemsSpreadAcrossRegions(t *testing.T) {
+	doc := Generate(Config{TargetBytes: 100_000, Seed: 9})
+	regions := doc.Kids[0]
+	if regions.Name != "regions" {
+		t.Fatalf("first kid = %q", regions.Name)
+	}
+	for _, r := range regions.Kids {
+		if len(r.Kids) == 0 {
+			t.Errorf("region %q has no items", r.Name)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	doc := Generate(Config{TargetBytes: 60_000, Seed: 3})
+	card, bytes := Stats(doc)
+	if card["site"] != 1 {
+		t.Errorf("site card = %v", card["site"])
+	}
+	if card["item"] < 10 || bytes["idescription"] <= 0 {
+		t.Errorf("stats look wrong: items=%v descBytes=%v", card["item"], bytes["idescription"])
+	}
+	if card["location"] != card["item"] {
+		t.Errorf("each item has one location: %v vs %v", card["location"], card["item"])
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	doc := Generate(Config{})
+	if xmltree.SerializedSize(doc, false) < MB {
+		t.Error("default target should be 1 MB")
+	}
+}

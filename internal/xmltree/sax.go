@@ -1,0 +1,104 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Handler receives streaming parse events, in the style of the SAX C API the
+// paper implemented over expat for shredding (§5.1).
+type Handler interface {
+	// StartElement is called for each open tag. attrs holds the ID and
+	// PARENT attribute values when present ("" otherwise).
+	StartElement(name, id, parent string) error
+	// Text is called with trimmed, non-empty character data of the current
+	// element.
+	Text(data string) error
+	// EndElement is called for each close tag.
+	EndElement(name string) error
+}
+
+// Scan streams XML from r into h. It is single-pass and keeps no tree in
+// memory, which is what lets the shredder discard state as soon as tuples
+// are flushed.
+func Scan(r io.Reader, h Handler) error {
+	dec := xml.NewDecoder(r)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			if depth != 0 {
+				return fmt.Errorf("xmltree: scan: unterminated document")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("xmltree: scan: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var id, parent string
+			for _, a := range t.Attr {
+				switch a.Name.Local {
+				case "ID":
+					id = a.Value
+				case "PARENT":
+					parent = a.Value
+				}
+			}
+			depth++
+			if err := h.StartElement(t.Name.Local, id, parent); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			depth--
+			if err := h.EndElement(t.Name.Local); err != nil {
+				return err
+			}
+		case xml.CharData:
+			if depth == 0 {
+				continue
+			}
+			s := strings.TrimSpace(string(t))
+			if s == "" {
+				continue
+			}
+			if err := h.Text(s); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// FuncHandler adapts three closures into a Handler; nil funcs are no-ops.
+type FuncHandler struct {
+	Start func(name, id, parent string) error
+	Data  func(text string) error
+	End   func(name string) error
+}
+
+// StartElement implements Handler.
+func (f FuncHandler) StartElement(name, id, parent string) error {
+	if f.Start == nil {
+		return nil
+	}
+	return f.Start(name, id, parent)
+}
+
+// Text implements Handler.
+func (f FuncHandler) Text(data string) error {
+	if f.Data == nil {
+		return nil
+	}
+	return f.Data(data)
+}
+
+// EndElement implements Handler.
+func (f FuncHandler) EndElement(name string) error {
+	if f.End == nil {
+		return nil
+	}
+	return f.End(name)
+}

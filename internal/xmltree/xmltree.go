@@ -1,0 +1,338 @@
+// Package xmltree provides the document data plane of the exchange
+// architecture: element instance trees, an XML serializer (the "tagger" of
+// §5.1), a tree parser, and a streaming SAX-style event scanner used by the
+// shredder. It replaces the expat C parser used in the paper.
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Node is one element instance in a document or fragment instance.
+//
+// Every node carries an instance identifier and the identifier of its parent
+// instance. Per Definition 3.1 these are serialized as the ID and PARENT
+// attributes of fragment roots; on interior nodes they are kept as
+// implementation state so that later Combines can locate join partners, but
+// they are not serialized.
+type Node struct {
+	// Name is the element name.
+	Name string
+	// ID uniquely identifies this element instance (Dewey-style or synthetic).
+	ID string
+	// Parent is the ID of the parent element instance in the original
+	// document, or "" for the document root.
+	Parent string
+	// Text is the character content of a leaf element.
+	Text string
+	// Attrs are generic attributes other than ID/PARENT, in document
+	// order. They are used by the WSDL layer; the data plane leaves them
+	// empty.
+	Attrs []Attr
+	// Kids are the child element instances, in document order.
+	Kids []*Node
+}
+
+// Attr is a generic XML attribute.
+type Attr struct {
+	Name, Value string
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets or replaces an attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// AddKid appends a child instance.
+func (n *Node) AddKid(k *Node) { n.Kids = append(n.Kids, k) }
+
+// Count returns the number of element instances in the subtree, including n.
+func (n *Node) Count() int {
+	c := 1
+	for _, k := range n.Kids {
+		c += k.Count()
+	}
+	return c
+}
+
+// Clone returns a deep copy of the subtree.
+func (n *Node) Clone() *Node {
+	c := &Node{Name: n.Name, ID: n.ID, Parent: n.Parent, Text: n.Text}
+	c.Attrs = append(c.Attrs, n.Attrs...)
+	for _, k := range n.Kids {
+		c.Kids = append(c.Kids, k.Clone())
+	}
+	return c
+}
+
+// Find returns the first descendant (including n) with the given element
+// name, in document order, or nil.
+func (n *Node) Find(name string) *Node {
+	if n.Name == name {
+		return n
+	}
+	for _, k := range n.Kids {
+		if m := k.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll appends to dst every descendant (including n) with the given
+// element name, in document order, and returns the extended slice.
+func (n *Node) FindAll(name string, dst []*Node) []*Node {
+	if n.Name == name {
+		dst = append(dst, n)
+	}
+	for _, k := range n.Kids {
+		dst = k.FindAll(name, dst)
+	}
+	return dst
+}
+
+// WriteOptions controls serialization.
+type WriteOptions struct {
+	// EmitIDs serializes the root node's ID and PARENT as attributes
+	// (Definition 3.1). Interior nodes never carry them.
+	EmitIDs bool
+	// EmitAllIDs serializes ID and PARENT on every node. Used when
+	// shipping intermediate fragments between systems, where later
+	// Combines may join into interior elements (the paper's sorted feeds
+	// likewise carry their keys).
+	EmitAllIDs bool
+	// Indent pretty-prints with two-space indentation when true; the dense
+	// form (default) is what is shipped between systems.
+	Indent bool
+}
+
+// Write serializes the subtree rooted at n to w. This is the "tagger" step
+// of XML publishing.
+func Write(w io.Writer, n *Node, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	if err := writeNode(bw, n, opts, 0, true); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *Node, opts WriteOptions, depth int, isRoot bool) error {
+	if opts.Indent && depth > 0 {
+		w.WriteByte('\n')
+		for i := 0; i < depth; i++ {
+			w.WriteString("  ")
+		}
+	}
+	w.WriteByte('<')
+	w.WriteString(n.Name)
+	if opts.EmitIDs && isRoot {
+		w.WriteString(` ID="`)
+		escapeTo(w, n.ID)
+		w.WriteString(`" PARENT="`)
+		escapeTo(w, n.Parent)
+		w.WriteString(`"`)
+	} else if opts.EmitAllIDs {
+		if n.ID != "" {
+			w.WriteString(` ID="`)
+			escapeTo(w, n.ID)
+			w.WriteString(`"`)
+		}
+		if n.Parent != "" {
+			w.WriteString(` PARENT="`)
+			escapeTo(w, n.Parent)
+			w.WriteString(`"`)
+		}
+	}
+	for _, a := range n.Attrs {
+		w.WriteByte(' ')
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		escapeTo(w, a.Value)
+		w.WriteByte('"')
+	}
+	if len(n.Kids) == 0 && n.Text == "" {
+		w.WriteString("/>")
+		return nil
+	}
+	w.WriteByte('>')
+	if n.Text != "" {
+		escapeTo(w, n.Text)
+	}
+	for _, k := range n.Kids {
+		if err := writeNode(w, k, opts, depth+1, false); err != nil {
+			return err
+		}
+	}
+	if opts.Indent && len(n.Kids) > 0 {
+		w.WriteByte('\n')
+		for i := 0; i < depth; i++ {
+			w.WriteString("  ")
+		}
+	}
+	w.WriteString("</")
+	w.WriteString(n.Name)
+	w.WriteByte('>')
+	return nil
+}
+
+func escapeTo(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '&':
+			w.WriteString("&amp;")
+		case '"':
+			w.WriteString("&quot;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+// Marshal serializes the subtree to a string, for tests and small payloads.
+func Marshal(n *Node, opts WriteOptions) string {
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	writeNode(bw, n, opts, 0, true)
+	bw.Flush()
+	return b.String()
+}
+
+// SerializedSize returns the number of bytes Write would produce with the
+// dense form; it is the communication-cost size() function of §4.1 for
+// fragment instances shipped in XML format.
+func SerializedSize(n *Node, emitIDs bool) int64 {
+	return SizeWith(n, WriteOptions{EmitIDs: emitIDs})
+}
+
+// SizeWith returns the serialized size under arbitrary options.
+func SizeWith(n *Node, opts WriteOptions) int64 {
+	cw := &countWriter{}
+	bw := bufio.NewWriter(cw)
+	writeNode(bw, n, opts, 0, true)
+	bw.Flush()
+	return cw.n
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+
+// Parse reads one XML element tree from r. ID and PARENT attributes on the
+// outermost element are restored into the Node's ID/Parent fields; all other
+// attributes are ignored. Character data is attached to the innermost open
+// element.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			for _, a := range t.Attr {
+				switch a.Name.Local {
+				case "ID":
+					n.ID = a.Value
+				case "PARENT":
+					n.Parent = a.Value
+				case "xmlns":
+					// namespace declarations are not round-tripped
+				default:
+					n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+				}
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple document roots")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AddKid(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				s := strings.TrimSpace(string(t))
+				if s != "" {
+					stack[len(stack)-1].Text += s
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unterminated document")
+	}
+	return root, nil
+}
+
+// Equal reports deep equality of two subtrees including IDs; used by tests.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.ID != b.ID || a.Parent != b.Parent || a.Text != b.Text || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !Equal(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualShape is like Equal but ignores ID/Parent bookkeeping; two trees are
+// shape-equal when they serialize to the same document without IDs.
+func EqualShape(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Text != b.Text || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !EqualShape(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,236 @@
+package xdx_test
+
+// Facade tests: exercise the library through its public surface only, the
+// way a downstream user would.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xdx"
+	"xdx/internal/endpoint"
+)
+
+const facadeDTD = `
+	<!ELEMENT Customer (CustName, Order*)>
+	<!ELEMENT Order (Service)>
+	<!ELEMENT Service (ServiceName, Line*)>
+	<!ELEMENT Line (TelNo, Switch, Feature*)>
+	<!ELEMENT Switch (SwitchID)>
+	<!ELEMENT Feature (FeatureID)>
+`
+
+const facadeDoc = `<Customer><CustName>Ann</CustName>` +
+	`<Order><Service><ServiceName>local</ServiceName>` +
+	`<Line><TelNo>555-0001</TelNo><Switch><SwitchID>sw1</SwitchID></Switch>` +
+	`<Feature><FeatureID>callerID</FeatureID></Feature></Line>` +
+	`</Service></Order></Customer>`
+
+func facadeSetup(t *testing.T) (*xdx.Schema, *xdx.Fragmentation, *xdx.Fragmentation, *xdx.Model) {
+	t.Helper()
+	sch, err := xdx.ParseDTD(facadeDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := xdx.FromPartition(sch, "S", [][]string{
+		{"Customer", "CustName"},
+		{"Order"},
+		{"Service", "ServiceName"},
+		{"Line", "TelNo", "Feature", "FeatureID"},
+		{"Switch", "SwitchID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := xdx.FromPartition(sch, "T", [][]string{
+		{"Customer", "CustName"},
+		{"Order", "Service", "ServiceName"},
+		{"Line", "TelNo", "Switch", "SwitchID"},
+		{"Feature", "FeatureID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &xdx.StatsProvider{Card: map[string]float64{}, Bytes: map[string]float64{}}
+	for _, e := range sch.Names() {
+		stats.Card[e], stats.Bytes[e] = 10, 20
+	}
+	stats.Unit.Scan, stats.Unit.Combine, stats.Unit.Split, stats.Unit.Write = 1, 4, 1.5, 1
+	stats.SourceSpeed, stats.TargetSpeed, stats.TargetCombines = 1, 1, true
+	return sch, src, tgt, xdx.NewModel(stats)
+}
+
+func TestFacadeOptimalExchange(t *testing.T) {
+	sch, src, tgt, model := facadeSetup(t)
+	m, err := xdx.NewMapping(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := xdx.Optimal(m, model, xdx.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := xdx.Greedy(m, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Cost < opt.Cost-1e-9 {
+		t.Errorf("greedy %v beat optimal %v", gr.Cost, opt.Cost)
+	}
+	doc, err := xdx.ParseDocument(strings.NewReader(facadeDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xdx.AssignIDs(doc)
+	sources, err := xdx.FromDocument(src, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xdx.Execute(opt.Program, sch, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := xdx.Document(tgt, res.Written)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := xdx.WriteDocument(&buf, back); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != facadeDoc {
+		t.Errorf("document changed:\n%s", buf.String())
+	}
+}
+
+func TestFacadeParallelExecution(t *testing.T) {
+	sch, src, tgt, model := facadeSetup(t)
+	m, _ := xdx.NewMapping(src, tgt)
+	gr, err := xdx.Greedy(m, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xdx.ParseDocument(strings.NewReader(facadeDoc))
+	xdx.AssignIDs(doc)
+	sources, _ := xdx.FromDocument(src, doc)
+	if _, err := xdx.ExecuteParallel(gr.Program, sch, sources); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFilterAndRecommend(t *testing.T) {
+	_, src, _, model := facadeSetup(t)
+	doc, _ := xdx.ParseDocument(strings.NewReader(facadeDoc))
+	xdx.AssignIDs(doc)
+	sources, _ := xdx.FromDocument(src, doc)
+	kept, err := xdx.FilterSources(src, sources, func(rec *xdx.Node) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range kept {
+		if in.Rows() != 0 {
+			t.Errorf("fragment %q kept %d rows after reject-all filter", name, in.Rows())
+		}
+	}
+	rec, err := xdx.RecommendTarget(src, model, xdx.RecommendOptions{Candidates: 5, Seed: 1, MaxClimbSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fragmentation == nil {
+		t.Fatal("no recommendation")
+	}
+}
+
+func TestFacadePaperFragmentations(t *testing.T) {
+	sch := xdx.CustomerInfoSchema()
+	s, err := xdx.PaperSFragmentation(sch)
+	if err != nil || s.Len() != 5 {
+		t.Fatalf("S-fragmentation: %v, %v", s, err)
+	}
+	tf, err := xdx.PaperTFragmentation(sch)
+	if err != nil || tf.Len() != 4 {
+		t.Fatalf("T-fragmentation: %v, %v", tf, err)
+	}
+	if _, err := xdx.NewMapping(s, tf); err != nil {
+		t.Errorf("paper mapping: %v", err)
+	}
+	if xdx.AuctionSchema().Root().Name != "site" {
+		t.Error("auction schema wrong")
+	}
+}
+
+func TestFacadeLayouts(t *testing.T) {
+	sch, err := xdx.ParseDTD(facadeDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xdx.Trivial(sch).Len() != 1 {
+		t.Error("trivial should be one fragment")
+	}
+	if xdx.MostFragmented(sch).Len() != sch.Len() {
+		t.Error("MF wrong")
+	}
+	if xdx.LeastFragmented(sch).Len() != 4 {
+		t.Errorf("LF = %d fragments", xdx.LeastFragmented(sch).Len())
+	}
+	f, err := xdx.NewFragment(sch, "x", []string{"Order", "Service"})
+	if err != nil || f.Root != "Order" {
+		t.Errorf("NewFragment: %v %v", f, err)
+	}
+	s2, err := xdx.NewSchema(xdx.Elem("a", xdx.Rep(xdx.Elem("b"))))
+	if err != nil || s2.Len() != 2 {
+		t.Errorf("NewSchema: %v", err)
+	}
+}
+
+func TestFacadeAgencyOverHTTP(t *testing.T) {
+	sch, srcFr, tgtFr, _ := facadeSetup(t)
+	srcStore, err := xdx.NewRelStore(srcFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xdx.ParseDocument(strings.NewReader(facadeDoc))
+	xdx.AssignIDs(doc)
+	if err := srcStore.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	dir := xdx.NewLDAPStore(tgtFr)
+
+	srcSrv := httptest.NewServer(xdx.NewEndpoint("s", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil).Handler())
+	defer srcSrv.Close()
+	tgtSrv := httptest.NewServer(xdx.NewEndpoint("t", &endpoint.LDAPBackend{Store: dir, Speed: 1}, nil).Handler())
+	defer tgtSrv.Close()
+
+	defs := func(fr *xdx.Fragmentation, addr string) []byte {
+		d := &xdx.Definitions{
+			Name: "CustomerInfo", TargetNamespace: "ns", ServiceName: "svc",
+			PortName: "p", Address: addr, Schema: sch,
+			Fragmentations: []*xdx.Fragmentation{fr},
+		}
+		data, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ag := xdx.NewAgency()
+	if err := ag.Register("svc", xdx.RoleSource, defs(srcFr, srcSrv.URL), srcSrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("svc", xdx.RoleTarget, defs(tgtFr, tgtSrv.URL), tgtSrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ag.Plan("svc", xdx.PlanOptions{Algorithm: xdx.AlgGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ag.Execute("svc", plan, xdx.Loopback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShipBytes <= 0 || dir.Dir.Len() == 0 {
+		t.Errorf("exchange produced nothing: %d bytes, %d entries", report.ShipBytes, dir.Dir.Len())
+	}
+}
