@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments experiments-quick examples clean
+.PHONY: all build test vet check bench experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The merge gate: vet, build, and the full suite under the race detector
+# (the streaming executor is concurrency-heavy). CI runs the same script.
+check:
+	./scripts/check.sh
 
 # One testing.B benchmark per table and figure, plus ablations.
 bench:

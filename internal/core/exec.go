@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"xdx/internal/schema"
-	"xdx/internal/xmltree"
 )
 
 // OpTrace records the execution of one operation, for the measurement
@@ -40,6 +39,7 @@ func Execute(g *Graph, sch *schema.Schema, sources map[string]*Instance) (*ExecR
 	res := &ExecResult{Written: make(map[string]*Instance)}
 	// outputs[opID][fragName] holds produced instances.
 	outputs := make([]map[string]*Instance, len(g.Ops))
+	counts := consumerCounts(g)
 	input := func(op *Op, e *Edge) (*Instance, error) {
 		m := outputs[e.From.ID]
 		if m == nil {
@@ -49,10 +49,10 @@ func Execute(g *Graph, sch *schema.Schema, sources map[string]*Instance) (*ExecR
 		if in == nil {
 			return nil, fmt.Errorf("core: exec: producer %s has no output %q", e.From, e.Frag.Name)
 		}
-		// Combine mutates its first input; copy when the producer output
-		// has more than one consumer.
-		if consumers(g, e.From, e.Frag) > 1 {
-			in = cloneInstance(in)
+		// Combine mutates its first input; hand out a copy-on-write view
+		// when the producer output has more than one consumer.
+		if counts[e.From.ID][e.Frag] > 1 {
+			in = in.Share()
 		}
 		return in, nil
 	}
@@ -177,11 +177,25 @@ func ExecuteSlice(g *Graph, sch *schema.Schema, a Assignment, loc Location, io S
 	outputs := make([]map[string]*Instance, len(g.Ops))
 	outbound := make(map[string]*Instance)
 	var traces []OpTrace
+	counts := consumerCounts(g)
+	// Several local edges may share one inbound shipment (same producer and
+	// fragment); hand out copy-on-write views so the consumers stay isolated.
+	inboundCount := make(map[string]int)
+	for _, op := range g.Ops {
+		for _, e := range g.Out(op) {
+			if a[e.From.ID] != loc && a[e.To.ID] == loc {
+				inboundCount[EdgeKey(e)]++
+			}
+		}
+	}
 	input := func(op *Op, e *Edge) (*Instance, error) {
 		if a[e.From.ID] != loc {
 			in := io.Inbound[EdgeKey(e)]
 			if in == nil {
 				return nil, fmt.Errorf("core: slice: op %s misses inbound %s", op, EdgeKey(e))
+			}
+			if inboundCount[EdgeKey(e)] > 1 {
+				in = in.Share()
 			}
 			return in, nil
 		}
@@ -190,8 +204,10 @@ func ExecuteSlice(g *Graph, sch *schema.Schema, a Assignment, loc Location, io S
 			return nil, fmt.Errorf("core: slice: op %s consumed before %s produced", op, e.From)
 		}
 		in := m[e.Frag.Name]
-		if consumers(g, e.From, e.Frag) > 1 {
-			in = cloneInstance(in)
+		// The count includes cross edges, so an output that is also shipped
+		// is never mutated by a local consumer before serialization.
+		if counts[e.From.ID][e.Frag] > 1 {
+			in = in.Share()
 		}
 		return in, nil
 	}
@@ -290,20 +306,20 @@ func combinableFrags(sch *schema.Schema, a, b *Fragment) bool {
 	return true
 }
 
-func consumers(g *Graph, from *Op, frag *Fragment) int {
-	n := 0
-	for _, e := range g.Out(from) {
-		if e.Frag == frag {
-			n++
+// consumerCounts precomputes, for every op, how many edges consume each of
+// its output fragments. Executors consult it per input instead of rescanning
+// the producer's out-edges per consumption. Edge fragments are the
+// producer's own Fragment pointers (Graph.Validate enforces identity), so
+// the map is keyed by pointer.
+func consumerCounts(g *Graph) []map[*Fragment]int {
+	counts := make([]map[*Fragment]int, len(g.Ops))
+	for _, op := range g.Ops {
+		for _, e := range g.Out(op) {
+			if counts[op.ID] == nil {
+				counts[op.ID] = make(map[*Fragment]int)
+			}
+			counts[op.ID][e.Frag]++
 		}
 	}
-	return n
-}
-
-func cloneInstance(in *Instance) *Instance {
-	recs := make([]*xmltree.Node, len(in.Records))
-	for i, r := range in.Records {
-		recs[i] = r.Clone()
-	}
-	return &Instance{Frag: in.Frag, Records: recs}
+	return counts
 }

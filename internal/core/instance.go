@@ -17,10 +17,117 @@ type Instance struct {
 	Frag *Fragment
 	// Records are the fragment's element trees in document order.
 	Records []*xmltree.Node
+
+	// shared marks records borrowed from another instance (copy-on-write):
+	// a shared record must be cloned before any mutation. nil means every
+	// record is owned. Maintained by Share and by Combine.
+	shared []bool
+	// idx is the persistent join index over the interior element instances
+	// of every record, keyed by (element name, ID). It is built lazily by
+	// Combine and updated incrementally as records are attached, so a chain
+	// of k Combines indexes each node once instead of re-walking the
+	// growing merged instance k times. Leaf elements can never be a join
+	// parent, so they are excluded via interior.
+	idx map[nodeKey]idxEntry
+	// interior filters idx: the schema's interior-element set, captured
+	// when the index is first built.
+	interior map[string]bool
+}
+
+// nodeKey identifies an element instance in the join index. Keying by
+// element name as well as ID keeps unrelated elements whose stores assigned
+// colliding IDs apart.
+type nodeKey struct{ name, id string }
+
+// idxEntry locates an indexed node and the record that holds it (the record
+// index is needed to resolve copy-on-write before mutating).
+type idxEntry struct {
+	n   *xmltree.Node
+	rec int
 }
 
 // Rows returns the number of records.
 func (in *Instance) Rows() int { return len(in.Records) }
+
+// Share returns a copy-on-write view of the instance: the view lists the
+// same records but marks each one shared, so a Combine running over the
+// view clones only the records it actually mutates. It replaces the
+// whole-instance deep copies previously taken on multi-consumer edges; a
+// view costs O(records), not O(nodes). The view carries no join index —
+// views diverge from their origin, so incremental index state cannot be
+// shared.
+func (in *Instance) Share() *Instance {
+	recs := make([]*xmltree.Node, len(in.Records))
+	copy(recs, in.Records)
+	shared := make([]bool, len(recs))
+	for i := range shared {
+		shared[i] = true
+	}
+	return &Instance{Frag: in.Frag, Records: recs, shared: shared}
+}
+
+// sharedRec reports whether record i is borrowed from another instance.
+func (in *Instance) sharedRec(i int) bool {
+	return i < len(in.shared) && in.shared[i]
+}
+
+// ensureIndex builds the join index over all current records if absent.
+func (in *Instance) ensureIndex(sch *schema.Schema) {
+	if in.idx != nil {
+		return
+	}
+	in.idx = make(map[nodeKey]idxEntry)
+	in.interior = sch.InteriorElems()
+	for i, r := range in.Records {
+		in.indexTree(r, i)
+	}
+}
+
+// indexTree adds (or repoints) index entries for every interior node of the
+// subtree.
+func (in *Instance) indexTree(n *xmltree.Node, rec int) {
+	if in.interior[n.Name] {
+		in.idx[nodeKey{name: n.Name, id: n.ID}] = idxEntry{n: n, rec: rec}
+	}
+	for _, k := range n.Kids {
+		in.indexTree(k, rec)
+	}
+}
+
+// appendRecords appends streamed records, keeping the shared flags and the
+// join index (when built) consistent. shared may be nil (all owned) or
+// aligned with recs.
+func (in *Instance) appendRecords(recs []*xmltree.Node, shared []bool) {
+	base := len(in.Records)
+	in.Records = append(in.Records, recs...)
+	if in.shared != nil || shared != nil {
+		for len(in.shared) < base {
+			in.shared = append(in.shared, false)
+		}
+		for i := range recs {
+			in.shared = append(in.shared, shared != nil && shared[i])
+		}
+	}
+	if in.idx != nil {
+		for i, r := range recs {
+			in.indexTree(r, base+i)
+		}
+	}
+}
+
+// ownRec makes record i safe to mutate: a shared record is deep-cloned, its
+// index entries are repointed at the clone, and the record is marked owned.
+func (in *Instance) ownRec(i int) {
+	if !in.sharedRec(i) {
+		return
+	}
+	c := in.Records[i].Clone()
+	in.Records[i] = c
+	in.shared[i] = false
+	if in.idx != nil {
+		in.indexTree(c, i)
+	}
+}
 
 // Nodes returns the total number of element instances across all records.
 func (in *Instance) Nodes() int {
@@ -82,65 +189,120 @@ func AssignIntIDs(doc *xmltree.Node) {
 // over the merged fragment; parent's records are mutated in place (the
 // operation "modifies the input fragment f1").
 func Combine(sch *schema.Schema, parent, child *Instance) (*Instance, error) {
-	// Every possible schema parent of the child's root must lie inside the
-	// parent fragment (the paper's "specific join conditions"; for
-	// multi-parent elements such as XMark's item all six regions must be
-	// present or some records would be orphaned).
-	joinElems := sch.Parents(child.Frag.Root)
-	if len(joinElems) == 0 {
-		return nil, fmt.Errorf("core: cannot combine %q into %q: %q is the schema root", child.Frag.Name, parent.Frag.Name, child.Frag.Root)
+	j, err := newJoiner(sch, parent, child.Frag)
+	if err != nil {
+		return nil, err
 	}
-	for _, p := range joinElems {
-		if !parent.Frag.Elems[p] {
-			return nil, fmt.Errorf("core: cannot combine %q into %q: parent element %q of %q missing", child.Frag.Name, parent.Frag.Name, p, child.Frag.Root)
-		}
-	}
-	joinable := make(map[string]bool, len(joinElems))
-	for _, e := range joinElems {
-		joinable[e] = true
-	}
-	// Hash side: index parent-fragment element instances by ID.
-	idx := make(map[string]*xmltree.Node)
-	var index func(n *xmltree.Node)
-	index = func(n *xmltree.Node) {
-		if joinable[n.Name] {
-			idx[n.ID] = n
-		}
-		for _, k := range n.Kids {
-			index(k)
-		}
-	}
-	for _, r := range parent.Records {
-		index(r)
-	}
-	// Probe side: attach each child record.
-	touched := make(map[*xmltree.Node]bool)
-	for _, rec := range child.Records {
-		p := idx[rec.Parent]
-		if p == nil {
+	for i, rec := range child.Records {
+		if !j.attach(rec, child.sharedRec(i)) {
 			return nil, fmt.Errorf("core: combine %q into %q: orphan record %s (parent %s not found)",
 				child.Frag.Name, parent.Frag.Name, rec.ID, rec.Parent)
 		}
-		p.AddKid(rec)
-		touched[p] = true
 	}
-	// Recover child order dictated by the XML Schema (Definition 3.7).
-	for p := range touched {
-		sortKids(sch, p)
-	}
+	j.finish()
 	merged, err := mergeFragments(sch, parent.Frag, child.Frag)
 	if err != nil {
 		return nil, err
 	}
-	return &Instance{Frag: merged, Records: parent.Records}, nil
+	return &Instance{Frag: merged, Records: parent.Records, shared: parent.shared, idx: parent.idx, interior: parent.interior}, nil
+}
+
+// joiner incrementally attaches child records into a parent instance: the
+// hash-join core shared by Combine and the pipelined executor's Combine
+// stages. It reuses (and maintains) the parent instance's persistent join
+// index, so probing and indexing cost is proportional to the new data, not
+// to the accumulated merged instance.
+type joiner struct {
+	sch       *schema.Schema
+	parent    *Instance
+	childFrag *Fragment
+	joinElems []string
+	touched   map[*xmltree.Node]bool
+}
+
+// newJoiner validates the join (Definition 3.7's "specific join
+// conditions": every possible schema parent of the child's root must lie
+// inside the parent fragment — for multi-parent elements such as XMark's
+// item all six regions must be present or some records would be orphaned)
+// and indexes the parent's current records.
+func newJoiner(sch *schema.Schema, parent *Instance, childFrag *Fragment) (*joiner, error) {
+	joinElems := sch.Parents(childFrag.Root)
+	if len(joinElems) == 0 {
+		return nil, fmt.Errorf("core: cannot combine %q into %q: %q is the schema root", childFrag.Name, parent.Frag.Name, childFrag.Root)
+	}
+	for _, p := range joinElems {
+		if !parent.Frag.Elems[p] {
+			return nil, fmt.Errorf("core: cannot combine %q into %q: parent element %q of %q missing", childFrag.Name, parent.Frag.Name, p, childFrag.Root)
+		}
+	}
+	parent.ensureIndex(sch)
+	return &joiner{sch: sch, parent: parent, childFrag: childFrag, joinElems: joinElems, touched: make(map[*xmltree.Node]bool)}, nil
+}
+
+// adopt replaces an empty parent with inst wholesale, inheriting inst's
+// join index so a chained Combine never re-indexes upstream work; a
+// non-empty parent appends inst's records instead.
+func (j *joiner) adopt(inst *Instance) {
+	if len(j.parent.Records) == 0 {
+		inst.ensureIndex(j.sch)
+		j.parent = inst
+		return
+	}
+	j.appendParent(inst.Records, inst.shared)
+}
+
+// appendParent adds streamed parent-side records (pipelined execution).
+func (j *joiner) appendParent(recs []*xmltree.Node, shared []bool) {
+	j.parent.appendRecords(recs, shared)
+}
+
+// attach joins one child record under the parent element instance whose ID
+// matches the record's PARENT, resolving copy-on-write on both sides: a
+// shared parent record is cloned before mutation, and a shared child record
+// is cloned before it is embedded in the parent tree (its origin may still
+// be read by another consumer). It reports false when no parent instance
+// matches — the caller decides whether that means "buffer and retry"
+// (streaming) or "orphan" (batch).
+func (j *joiner) attach(rec *xmltree.Node, shared bool) bool {
+	var e idxEntry
+	var key nodeKey
+	found := false
+	for _, je := range j.joinElems {
+		key = nodeKey{name: je, id: rec.Parent}
+		if ent, ok := j.parent.idx[key]; ok {
+			e = ent
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	if j.parent.sharedRec(e.rec) {
+		j.parent.ownRec(e.rec)
+		e = j.parent.idx[key]
+	}
+	child := rec
+	if shared {
+		child = rec.Clone()
+	}
+	e.n.AddKid(child)
+	j.parent.indexTree(child, e.rec)
+	j.touched[e.n] = true
+	return true
+}
+
+// finish recovers the child order dictated by the XML Schema (Definition
+// 3.7) under every parent instance that received children.
+func (j *joiner) finish() {
+	for p := range j.touched {
+		sortKids(j.sch, p)
+	}
 }
 
 // sortKids stably reorders n's children into schema order.
 func sortKids(sch *schema.Schema, n *xmltree.Node) {
-	order := make(map[string]int)
-	for i, c := range sch.AllChildren(n.Name) {
-		order[c] = i
-	}
+	order := sch.ChildOrderMap(n.Name)
 	sort.SliceStable(n.Kids, func(i, j int) bool {
 		return order[n.Kids[i].Name] < order[n.Kids[j].Name]
 	})
@@ -164,61 +326,95 @@ func mergeFragments(sch *schema.Schema, a, b *Fragment) (*Fragment, error) {
 // elements. Each projected record keeps the ID/PARENT pair of its root so
 // that parent/child relationships dictated by the XML Schema are preserved.
 func Split(sch *schema.Schema, in *Instance, parts []*Fragment) ([]*Instance, error) {
-	// Verify the parts partition the input.
-	seen := make(map[string]string)
-	for _, p := range parts {
-		for e := range p.Elems {
-			if !in.Frag.Elems[e] {
-				return nil, fmt.Errorf("core: split of %q: part %q references %q outside the input", in.Frag.Name, p.Name, e)
-			}
-			if prev, dup := seen[e]; dup {
-				return nil, fmt.Errorf("core: split of %q: element %q in both %q and %q", in.Frag.Name, e, prev, p.Name)
-			}
-			seen[e] = p.Name
-		}
-	}
-	if len(seen) != len(in.Frag.Elems) {
-		return nil, fmt.Errorf("core: split of %q: parts cover %d of %d elements", in.Frag.Name, len(seen), len(in.Frag.Elems))
-	}
-	partOf := make(map[string]*Fragment)
-	rootOf := make(map[string]*Fragment)
-	for _, p := range parts {
-		rootOf[p.Root] = p
-		for e := range p.Elems {
-			partOf[e] = p
-		}
+	sp, err := newSplitter(in.Frag, parts)
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[*Fragment][]*xmltree.Node, len(parts))
-	// extract returns a copy of n pruned to n's own part; subtrees rooted at
-	// other parts' roots are emitted as records of those parts.
-	var extract func(n *xmltree.Node) *xmltree.Node
-	extract = func(n *xmltree.Node) *xmltree.Node {
-		cp := &xmltree.Node{Name: n.Name, ID: n.ID, Parent: n.Parent, Text: n.Text}
-		myPart := partOf[n.Name]
-		for _, k := range n.Kids {
-			kc := extract(k)
-			if partOf[k.Name] == myPart {
-				cp.AddKid(kc)
-			} else {
-				p := rootOf[k.Name]
-				out[p] = append(out[p], kc)
-			}
-		}
-		return cp
-	}
 	for _, rec := range in.Records {
-		cp := extract(rec)
-		p := rootOf[rec.Name]
-		if p == nil {
-			return nil, fmt.Errorf("core: split of %q: record root %q is not a part root", in.Frag.Name, rec.Name)
+		if err := sp.extract(rec, out); err != nil {
+			return nil, err
 		}
-		out[p] = append(out[p], cp)
 	}
 	res := make([]*Instance, len(parts))
 	for i, p := range parts {
 		res[i] = &Instance{Frag: p, Records: out[p]}
 	}
 	return res, nil
+}
+
+// splitter projects records into disjoint fragments: the projection core
+// shared by Split and the pipelined executor's Split stages. Partition
+// validation happens once at construction; extract then handles records one
+// at a time as they stream in.
+type splitter struct {
+	inFrag *Fragment
+	parts  []*Fragment
+	partOf map[string]*Fragment
+	rootOf map[string]*Fragment
+}
+
+// newSplitter verifies that parts partition the input fragment's elements.
+func newSplitter(inFrag *Fragment, parts []*Fragment) (*splitter, error) {
+	seen := make(map[string]string)
+	for _, p := range parts {
+		for e := range p.Elems {
+			if !inFrag.Elems[e] {
+				return nil, fmt.Errorf("core: split of %q: part %q references %q outside the input", inFrag.Name, p.Name, e)
+			}
+			if prev, dup := seen[e]; dup {
+				return nil, fmt.Errorf("core: split of %q: element %q in both %q and %q", inFrag.Name, e, prev, p.Name)
+			}
+			seen[e] = p.Name
+		}
+	}
+	if len(seen) != len(inFrag.Elems) {
+		return nil, fmt.Errorf("core: split of %q: parts cover %d of %d elements", inFrag.Name, len(seen), len(inFrag.Elems))
+	}
+	sp := &splitter{
+		inFrag: inFrag,
+		parts:  parts,
+		partOf: make(map[string]*Fragment),
+		rootOf: make(map[string]*Fragment),
+	}
+	for _, p := range parts {
+		sp.rootOf[p.Root] = p
+		for e := range p.Elems {
+			sp.partOf[e] = p
+		}
+	}
+	return sp, nil
+}
+
+// extract projects one input record, appending the projected copies to out
+// (keyed by part). Nested subtrees rooted in other parts are emitted before
+// the record's own pruned copy, preserving the record order Split has always
+// produced. The input record is only read, never mutated, so shared
+// (copy-on-write) records need no cloning here — every emitted node is
+// fresh.
+func (sp *splitter) extract(rec *xmltree.Node, out map[*Fragment][]*xmltree.Node) error {
+	var walk func(n *xmltree.Node) *xmltree.Node
+	walk = func(n *xmltree.Node) *xmltree.Node {
+		cp := &xmltree.Node{Name: n.Name, ID: n.ID, Parent: n.Parent, Text: n.Text}
+		myPart := sp.partOf[n.Name]
+		for _, k := range n.Kids {
+			kc := walk(k)
+			if sp.partOf[k.Name] == myPart {
+				cp.AddKid(kc)
+			} else {
+				p := sp.rootOf[k.Name]
+				out[p] = append(out[p], kc)
+			}
+		}
+		return cp
+	}
+	cp := walk(rec)
+	p := sp.rootOf[rec.Name]
+	if p == nil {
+		return fmt.Errorf("core: split of %q: record root %q is not a part root", sp.inFrag.Name, rec.Name)
+	}
+	out[p] = append(out[p], cp)
+	return nil
 }
 
 // FromDocument extracts the instance of every fragment of fr from a full

@@ -27,7 +27,12 @@ func ExecuteParallel(g *Graph, sch *schema.Schema, sources map[string]*Instance)
 		done[i] = make(chan struct{})
 	}
 	res := &ExecResult{Written: make(map[string]*Instance)}
-	var mu sync.Mutex // guards res
+	var mu sync.Mutex // guards res.Written
+	// traces[opID] is written only by op's own goroutine (disjoint slots, no
+	// lock needed) and collected in topological order after the wait, so
+	// SummarizeTraces output is stable across runs.
+	traces := make([]OpTrace, len(g.Ops))
+	counts := consumerCounts(g)
 
 	input := func(op *Op, e *Edge) (*Instance, error) {
 		<-done[e.From.ID]
@@ -39,8 +44,8 @@ func ExecuteParallel(g *Graph, sch *schema.Schema, sources map[string]*Instance)
 		if in == nil {
 			return nil, fmt.Errorf("core: parallel: producer %s has no output %q", e.From, e.Frag.Name)
 		}
-		if consumers(g, e.From, e.Frag) > 1 {
-			in = cloneInstance(in)
+		if counts[e.From.ID][e.Frag] > 1 {
+			in = in.Share()
 		}
 		return in, nil
 	}
@@ -110,9 +115,7 @@ func ExecuteParallel(g *Graph, sch *schema.Schema, sources map[string]*Instance)
 			}
 			results[op.ID] = opResult{out: out, err: err}
 			if err == nil {
-				mu.Lock()
-				res.Traces = append(res.Traces, OpTrace{Op: op, Duration: time.Since(start), OutRows: rows})
-				mu.Unlock()
+				traces[op.ID] = OpTrace{Op: op, Duration: time.Since(start), OutRows: rows}
 			}
 		}()
 	}
@@ -121,6 +124,9 @@ func ExecuteParallel(g *Graph, sch *schema.Schema, sources map[string]*Instance)
 		if results[op.ID].err != nil {
 			return nil, results[op.ID].err
 		}
+	}
+	for _, op := range g.Topo() {
+		res.Traces = append(res.Traces, traces[op.ID])
 	}
 	return res, nil
 }

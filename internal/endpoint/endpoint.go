@@ -15,6 +15,7 @@ import (
 	"xdx/internal/core"
 	"xdx/internal/ldapstore"
 	"xdx/internal/relstore"
+	"xdx/internal/schema"
 	"xdx/internal/soap"
 	"xdx/internal/wire"
 	"xdx/internal/wsdlx"
@@ -274,7 +275,7 @@ func (e *Endpoint) executeSource(req *xmltree.Node) (*xmltree.Node, error) {
 		}
 	}
 	start := time.Now()
-	outbound, _, err := core.ExecuteSlice(g, e.backend.Layout().Schema, a, core.LocSource, core.SliceIO{
+	outbound, _, err := sliceExecutor(req)(g, e.backend.Layout().Schema, a, core.LocSource, core.SliceIO{
 		Scan: scan,
 	})
 	if err != nil {
@@ -290,6 +291,17 @@ func (e *Endpoint) executeSource(req *xmltree.Node) (*xmltree.Node, error) {
 	}
 	resp.AddKid(shipment)
 	return resp, nil
+}
+
+// sliceExecutor selects the slice executor a request asks for: the
+// pipelined streaming engine when the request carries pipelined="1" (or
+// "true"), the batch executor otherwise. Both have identical semantics;
+// the pipelined one overlaps stage execution.
+func sliceExecutor(req *xmltree.Node) func(*core.Graph, *schema.Schema, core.Assignment, core.Location, core.SliceIO) (map[string]*core.Instance, []core.OpTrace, error) {
+	if v, ok := req.Attr("pipelined"); ok && (v == "1" || v == "true") {
+		return core.ExecuteSlicePipelined
+	}
+	return core.ExecuteSlice
 }
 
 // scanByElems resolves a plan fragment to this system's layout fragment by
@@ -369,7 +381,7 @@ func (e *Endpoint) executeTarget(req *xmltree.Node) (*xmltree.Node, error) {
 	}
 	var writeTime time.Duration
 	start := time.Now()
-	_, _, err = core.ExecuteSlice(g, e.backend.Layout().Schema, a, core.LocTarget, core.SliceIO{
+	_, _, err = sliceExecutor(req)(g, e.backend.Layout().Schema, a, core.LocTarget, core.SliceIO{
 		Inbound: inbound,
 		Write: func(in *core.Instance) error {
 			ws := time.Now()

@@ -399,6 +399,10 @@ type ExecOptions struct {
 	// only root-fragment records whose FilterElem leaf equals FilterValue
 	// (and their descendants) are exchanged.
 	FilterElem, FilterValue string
+	// Pipelined asks both endpoints to run their program slices on the
+	// streaming executor (stages connected by channels) instead of the
+	// batch one. Semantics are identical; scheduling overlaps.
+	Pipelined bool
 }
 
 // Execute drives an exchange end-to-end (step 4 of Figure 2) with default
@@ -432,6 +436,9 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 		reqS.SetAttr("filterElem", opts.FilterElem)
 		reqS.SetAttr("filterValue", opts.FilterValue)
 	}
+	if opts.Pipelined {
+		reqS.SetAttr("pipelined", "1")
+	}
 	reqS.AddKid(progXML)
 	cs := &soap.Client{URL: src.URL}
 	respS, err := cs.Call("ExecuteSource", reqS)
@@ -462,6 +469,9 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 	report.ShipTime = link.TransferTime(report.ShipBytes)
 
 	reqT := &xmltree.Node{Name: "ExecuteTarget"}
+	if opts.Pipelined {
+		reqT.SetAttr("pipelined", "1")
+	}
 	// Re-encode the program for the target side.
 	progXML2, err := wire.EncodeProgram(plan.Program, plan.Assign)
 	if err != nil {

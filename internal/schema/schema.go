@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Node is one element declaration in a schema tree.
@@ -57,6 +58,10 @@ type Schema struct {
 	byName       map[string]*Node
 	names        []string // pre-order
 	extraParents map[string][]string
+
+	orderMu       sync.RWMutex
+	orderCache    map[string]map[string]int
+	interiorCache map[string]bool
 }
 
 // New validates the element tree rooted at root and builds an indexed
@@ -184,6 +189,55 @@ func (s *Schema) ChildOrder(parent, child string) int {
 	return -1
 }
 
+// ChildOrderMap returns a map from child element name to its position among
+// name's possible children (AllChildren order), cached per element — Combine
+// consults it for every parent instance that receives children, and
+// rebuilding the map per touched parent dominated chained merges. The
+// returned map is shared across callers and must not be mutated.
+func (s *Schema) ChildOrderMap(name string) map[string]int {
+	s.orderMu.RLock()
+	m := s.orderCache[name]
+	s.orderMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	m = make(map[string]int)
+	for i, c := range s.AllChildren(name) {
+		m[c] = i
+	}
+	s.orderMu.Lock()
+	if s.orderCache == nil {
+		s.orderCache = make(map[string]map[string]int)
+	}
+	s.orderCache[name] = m
+	s.orderMu.Unlock()
+	return m
+}
+
+// InteriorElems returns the set of element names that may contain child
+// elements in documents (AllChildren non-empty, counting extra children).
+// Only these elements can be the join parent of a Combine, so instance join
+// indexes restrict themselves to this set. The returned map is cached,
+// shared across callers, and must not be mutated.
+func (s *Schema) InteriorElems() map[string]bool {
+	s.orderMu.RLock()
+	m := s.interiorCache
+	s.orderMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	m = make(map[string]bool)
+	for _, name := range s.names {
+		if len(s.AllChildren(name)) > 0 {
+			m[name] = true
+		}
+	}
+	s.orderMu.Lock()
+	s.interiorCache = m
+	s.orderMu.Unlock()
+	return m
+}
+
 // AddExtraParent records that parent may also contain name in documents,
 // in addition to name's primary tree position. Both elements must exist.
 func (s *Schema) AddExtraParent(name, parent string) error {
@@ -199,6 +253,10 @@ func (s *Schema) AddExtraParent(name, parent string) error {
 		}
 	}
 	s.extraParents[name] = append(s.extraParents[name], parent)
+	s.orderMu.Lock()
+	delete(s.orderCache, parent)
+	s.interiorCache = nil
+	s.orderMu.Unlock()
 	return nil
 }
 

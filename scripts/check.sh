@@ -1,0 +1,12 @@
+#!/bin/sh
+# Merge gate: vet, build, and the full test suite under the race detector.
+# The pipelined executor runs every program operation as a goroutine stage,
+# so race coverage is mandatory, not optional. Run via `make check` or
+# directly from CI.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...

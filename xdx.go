@@ -261,6 +261,15 @@ func ExecuteParallel(g *Graph, s *Schema, sources map[string]*Instance) (*core.E
 	return core.ExecuteParallel(g, s, sources)
 }
 
+// ExecutePipelined runs a program as a streaming pipeline: every operation
+// is a stage connected to its consumers by bounded channels, Combines probe
+// an incrementally maintained join index while upstream stages still
+// produce, and multi-consumer outputs flow as copy-on-write views.
+// Semantics are identical to Execute.
+func ExecutePipelined(g *Graph, s *Schema, sources map[string]*Instance) (*core.ExecResult, error) {
+	return core.ExecutePipelined(g, s, sources)
+}
+
 // FilterSources restricts source instances to the records reachable from
 // accepted root records (§3.2's service arguments).
 func FilterSources(fr *Fragmentation, sources map[string]*Instance, keep func(*Node) bool) (map[string]*Instance, error) {
