@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench experiments experiments-quick examples clean
+.PHONY: all build test vet check bench bench-smoke experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -24,6 +24,12 @@ check:
 # One testing.B benchmark per table and figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast benchmark smoke: a fixed 100 iterations per benchmark, just enough
+# to catch benchmarks that stopped compiling or started failing. Part of
+# the merge gate; not for performance numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=100x ./...
 
 # Regenerate every table and figure at the paper's document sizes.
 experiments:

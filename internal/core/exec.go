@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xdx/internal/schema"
+	"xdx/internal/xmltree"
 )
 
 // OpTrace records the execution of one operation, for the measurement
@@ -152,6 +153,15 @@ type SliceIO struct {
 	// Inbound holds instances received from the other system, keyed by
 	// EdgeKey of their cross-edge.
 	Inbound map[string]*Instance
+	// Emit, when set, receives outbound cross-edge records as their
+	// producers finish batches, instead of accumulating them in the
+	// executor's returned map — the hook the streaming wire path plugs a
+	// shipment writer into. Records flow in several calls per key (one per
+	// batch); a key that produced nothing is flushed once with nil records
+	// at the end of the run, so the receiver still learns of the empty
+	// instance. Calls are serialized by the executor. Only the pipelined
+	// slice executor honors Emit; ExecuteSlice ignores it.
+	Emit func(key string, frag *Fragment, recs []*xmltree.Node) error
 }
 
 // EdgeKey identifies a cross-edge shipment: the producing op and the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -49,11 +50,15 @@ func (m pipeMsg) records() ([]*xmltree.Node, []bool) {
 }
 
 // pipeOut is the fan-out of one (op, fragment) output: the channels of its
-// local consumers, an optional outbound accumulator for cross-edges (slice
-// execution), and the total consumer count deciding copy-on-write.
+// local consumers, the cross-edge destination (an outbound accumulator, or
+// the run's emit hook addressed by key/frag), and the total consumer count
+// deciding copy-on-write.
 type pipeOut struct {
 	local []chan pipeMsg
 	outb  *Instance
+	cross bool
+	key   string
+	frag  *Fragment
 	total int
 }
 
@@ -73,6 +78,9 @@ type pipeRun struct {
 	feeds map[*Edge]*Instance
 	// outbound maps cross-edge keys to pre-created accumulator instances.
 	outbound map[string]*Instance
+	// emitOut, when set, streams outbound cross-edge records out of the
+	// process as they are produced; outbound accumulators are not used.
+	emitOut func(key string, frag *Fragment, recs []*xmltree.Node) error
 
 	chans  map[*Edge]chan pipeMsg
 	outs   []map[*Fragment]*pipeOut
@@ -134,16 +142,13 @@ func (r *pipeRun) emit(po *pipeOut, m pipeMsg) bool {
 		return true // output has no consumers
 	}
 	if po.total == 1 {
-		if po.outb != nil {
-			recs, _ := m.records()
-			po.outb.Records = append(po.outb.Records, recs...)
-			return true
+		if po.cross {
+			return r.ship(po, m)
 		}
 		return r.send(po.local[0], m)
 	}
-	if po.outb != nil {
-		recs, _ := m.records()
-		po.outb.Records = append(po.outb.Records, recs...)
+	if po.cross && !r.ship(po, m) {
+		return false
 	}
 	if m.inst != nil {
 		for _, ch := range po.local {
@@ -162,6 +167,22 @@ func (r *pipeRun) emit(po *pipeOut, m pipeMsg) bool {
 			return false
 		}
 	}
+	return true
+}
+
+// ship delivers one produced message to a cross-edge destination: the emit
+// hook when the run streams outbound data, the pre-created accumulator
+// otherwise.
+func (r *pipeRun) ship(po *pipeOut, m pipeMsg) bool {
+	recs, _ := m.records()
+	if r.emitOut != nil {
+		if err := r.emitOut(po.key, po.frag, recs); err != nil {
+			r.fail(err)
+			return false
+		}
+		return true
+	}
+	po.outb.Records = append(po.outb.Records, recs...)
 	return true
 }
 
@@ -196,6 +217,8 @@ func (r *pipeRun) run() ([]OpTrace, error) {
 			if r.runs(e.To) {
 				po.local = append(po.local, r.chans[e])
 			} else {
+				po.cross = true
+				po.key, po.frag = EdgeKey(e), e.Frag
 				po.outb = r.outbound[EdgeKey(e)]
 			}
 		}
@@ -488,6 +511,7 @@ func ExecuteSlicePipelined(g *Graph, sch *schema.Schema, a Assignment, loc Locat
 		}
 	}
 	outbound := make(map[string]*Instance)
+	crossFrags := make(map[string]*Fragment)
 	feeds := make(map[*Edge]*Instance)
 	for _, e := range g.Edges {
 		switch {
@@ -503,7 +527,8 @@ func ExecuteSlicePipelined(g *Graph, sch *schema.Schema, a Assignment, loc Locat
 			}
 			feeds[e] = in
 		case a[e.From.ID] == loc && a[e.To.ID] != loc:
-			if outbound[EdgeKey(e)] == nil {
+			crossFrags[EdgeKey(e)] = e.Frag
+			if io.Emit == nil && outbound[EdgeKey(e)] == nil {
 				outbound[EdgeKey(e)] = &Instance{Frag: e.Frag}
 			}
 		}
@@ -541,9 +566,36 @@ func ExecuteSlicePipelined(g *Graph, sch *schema.Schema, a Assignment, loc Locat
 		feeds:    feeds,
 		outbound: outbound,
 	}
+	// Stages produce concurrently; serialize the Emit hook and remember
+	// which keys flowed so silent producers still announce their (empty)
+	// instances afterwards.
+	var emitMu sync.Mutex
+	emitted := make(map[string]bool)
+	if io.Emit != nil {
+		r.emitOut = func(key string, frag *Fragment, recs []*xmltree.Node) error {
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			emitted[key] = true
+			return io.Emit(key, frag, recs)
+		}
+	}
 	traces, err := r.run()
 	if err != nil {
 		return nil, nil, err
+	}
+	if io.Emit != nil {
+		keys := make([]string, 0, len(crossFrags))
+		for key := range crossFrags {
+			if !emitted[key] {
+				keys = append(keys, key)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if err := io.Emit(key, crossFrags[key], nil); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	return outbound, traces, nil
 }

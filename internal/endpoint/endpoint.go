@@ -180,8 +180,8 @@ func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
 	e.srv.Handle("GetWSDL", e.getWSDL)
 	e.srv.Handle("ProbeStats", e.probeStats)
 	e.srv.Handle("ProbeCost", e.probeCost)
-	e.srv.Handle("ExecuteSource", e.executeSource)
-	e.srv.Handle("ExecuteTarget", e.executeTarget)
+	e.srv.HandleStream("ExecuteSource", e.executeSourceStream)
+	e.srv.HandleStream("ExecuteTarget", e.executeTargetStream)
 	return e
 }
 
@@ -347,63 +347,6 @@ func (e *Endpoint) filteredScan(filterElem, filterValue string) (func(*core.Frag
 		}
 		return nil, fmt.Errorf("endpoint %s: no layout fragment matching %q", e.Name, f.Name)
 	}, nil
-}
-
-// executeTarget runs the target slice: operations placed here plus the
-// Writes, consuming the inbound shipment, then builds indexes.
-func (e *Endpoint) executeTarget(req *xmltree.Node) (*xmltree.Node, error) {
-	g, a, err := decodeProgramChild(req, e.backend.Layout())
-	if err != nil {
-		return nil, err
-	}
-	var shipment *xmltree.Node
-	for _, k := range req.Kids {
-		if k.Name == "shipment" {
-			shipment = k
-		}
-	}
-	if shipment == nil {
-		return nil, &soap.Fault{Code: "soap:Client", String: "missing shipment"}
-	}
-	frags := map[string]*core.Fragment{}
-	for _, op := range g.Ops {
-		frags[op.Out.Name] = op.Out
-		for _, p := range op.Parts {
-			frags[p.Name] = p
-		}
-	}
-	for _, ed := range g.Edges {
-		frags[ed.Frag.Name] = ed.Frag
-	}
-	inbound, err := wire.DecodeShipmentAuto(shipment, e.backend.Layout().Schema, func(name string) *core.Fragment { return frags[name] })
-	if err != nil {
-		return nil, err
-	}
-	var writeTime time.Duration
-	start := time.Now()
-	_, _, err = sliceExecutor(req)(g, e.backend.Layout().Schema, a, core.LocTarget, core.SliceIO{
-		Inbound: inbound,
-		Write: func(in *core.Instance) error {
-			ws := time.Now()
-			err := e.backend.Write(in)
-			writeTime += time.Since(ws)
-			return err
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	execTime := time.Since(start) - writeTime
-	is := time.Now()
-	if err := e.backend.BuildIndexes(); err != nil {
-		return nil, err
-	}
-	indexTime := time.Since(is)
-	resp := &xmltree.Node{Name: "ExecuteTargetResponse"}
-	resp.SetAttr("execMillis", formatMillis(execTime))
-	resp.SetAttr("writeMillis", formatMillis(writeTime))
-	resp.SetAttr("indexMillis", formatMillis(indexTime))
-	return resp, nil
 }
 
 func decodeProgramChild(req *xmltree.Node, layout *core.Fragmentation) (*core.Graph, core.Assignment, error) {

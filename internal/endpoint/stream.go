@@ -1,0 +1,280 @@
+package endpoint
+
+// Streaming execution handlers. Both execute operations dispatch through
+// the SOAP server's streaming path, so the endpoint never materializes an
+// envelope:
+//
+//   - ExecuteSource consumes the (small) request tree and, when the caller
+//     asks for stream="1", serializes the outbound shipment directly onto
+//     the HTTP response as the slice executes — with the pipelined engine
+//     records hit the wire while upstream operators still produce.
+//   - ExecuteTarget always scans its (large) request as SAX events: the
+//     program subtree is materialized, the shipment subtree flows straight
+//     into the streaming shipment decoder, and the envelope tree is never
+//     built. Buffered and streaming clients produce the same bytes, so one
+//     request path serves both.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xdx/internal/core"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/xmltree"
+)
+
+// attrTrue reports whether a flag attribute is set.
+func attrTrue(v string) bool { return v == "1" || v == "true" }
+
+// findAttr returns the named attribute from a reused scan-attrs slice.
+func findAttr(attrs []xmltree.Attr, name string) string {
+	for _, a := range attrs {
+		if a.Name == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// executeSourceStream is the stream dispatch for ExecuteSource. Requests
+// without stream="1" take the legacy tree path (materialize request,
+// build response tree); with it, the response shipment streams.
+func (e *Endpoint) executeSourceStream(attrs []xmltree.Attr) (xmltree.AttrHandler, soap.RespondFunc, error) {
+	streamed := attrTrue(findAttr(attrs, "stream"))
+	tb := &xmltree.TreeBuilder{}
+	if !streamed {
+		return tb, func(w io.Writer) error {
+			resp, err := e.executeSource(tb.Root())
+			if err != nil {
+				return err
+			}
+			return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+		}, nil
+	}
+	return tb, func(w io.Writer) error { return e.respondSourceStream(tb.Root(), w) }, nil
+}
+
+// respondSourceStream executes the source slice and streams the shipment
+// onto w as it is produced. Since serialization overlaps execution, the
+// query time cannot ride on the response root's attributes; it follows the
+// shipment as a trailing <timing> element.
+func (e *Endpoint) respondSourceStream(req *xmltree.Node, w io.Writer) error {
+	g, a, err := decodeProgramChild(req, e.backend.Layout())
+	if err != nil {
+		return err
+	}
+	scan := e.scanByElems
+	if filterElem, ok := req.Attr("filterElem"); ok && filterElem != "" {
+		filterValue, _ := req.Attr("filterValue")
+		scan, err = e.filteredScan(filterElem, filterValue)
+		if err != nil {
+			return err
+		}
+	}
+	sch := e.backend.Layout().Schema
+	format, _ := req.Attr("format")
+	start := time.Now()
+	if _, err := io.WriteString(w, "<ExecuteSourceResponse>"); err != nil {
+		return err
+	}
+	sw := wire.NewShipmentWriter(w, sch, format == "feed")
+	if v, ok := req.Attr("pipelined"); ok && attrTrue(v) {
+		// Producers emit straight onto the wire as they finish batches.
+		_, _, err = core.ExecuteSlicePipelined(g, sch, a, core.LocSource, core.SliceIO{
+			Scan: scan,
+			Emit: sw.Emit,
+		})
+	} else {
+		var outbound map[string]*core.Instance
+		outbound, _, err = core.ExecuteSlice(g, sch, a, core.LocSource, core.SliceIO{Scan: scan})
+		if err == nil {
+			err = wire.EmitShipment(sw, outbound)
+		}
+	}
+	if err != nil {
+		sw.Close()
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `<timing queryMillis="%s"/>`, formatMillis(time.Since(start))); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "</ExecuteSourceResponse>")
+	return err
+}
+
+// executeTargetStream is the stream dispatch for ExecuteTarget: one SAX
+// pass over the request, program tree materialized, shipment decoded
+// incrementally.
+func (e *Endpoint) executeTargetStream(attrs []xmltree.Attr) (xmltree.AttrHandler, soap.RespondFunc, error) {
+	h := &targetScan{e: e}
+	return h, h.respond, nil
+}
+
+// targetScan routes an ExecuteTarget request's subtrees: <program> into a
+// tree builder (programs are small), <shipment> into the streaming
+// shipment decoder, which restores interior PARENT links as elements
+// arrive.
+type targetScan struct {
+	e *Endpoint
+
+	depth int
+	skip  int
+
+	sub      xmltree.AttrHandler
+	subDepth int
+	subProg  bool
+
+	pipelined   bool
+	tb          *xmltree.TreeBuilder
+	dec         *wire.ShipmentDecoder
+	g           *core.Graph
+	a           core.Assignment
+	sawShipment bool
+}
+
+// StartElement implements xmltree.AttrHandler.
+func (t *targetScan) StartElement(name string, attrs []xmltree.Attr) error {
+	if t.skip > 0 {
+		t.skip++
+		return nil
+	}
+	if t.sub != nil {
+		t.subDepth++
+		return t.sub.StartElement(name, attrs)
+	}
+	t.depth++
+	switch t.depth {
+	case 1:
+		t.pipelined = attrTrue(findAttr(attrs, "pipelined"))
+	case 2:
+		switch name {
+		case "program":
+			t.tb = &xmltree.TreeBuilder{}
+			t.sub, t.subDepth, t.subProg = t.tb, 1, true
+			return t.tb.StartElement(name, attrs)
+		case "shipment":
+			if t.dec == nil {
+				return &soap.Fault{Code: "soap:Client", String: "shipment before program"}
+			}
+			t.sawShipment = true
+			t.sub, t.subDepth, t.subProg = t.dec, 1, false
+			return t.dec.StartElement(name, attrs)
+		default:
+			t.depth--
+			t.skip = 1
+		}
+	}
+	return nil
+}
+
+// Text implements xmltree.AttrHandler.
+func (t *targetScan) Text(data string) error {
+	if t.skip > 0 || t.sub == nil {
+		return nil
+	}
+	return t.sub.Text(data)
+}
+
+// EndElement implements xmltree.AttrHandler.
+func (t *targetScan) EndElement(name string) error {
+	switch {
+	case t.skip > 0:
+		t.skip--
+	case t.sub != nil:
+		t.subDepth--
+		sub := t.sub
+		if t.subDepth == 0 {
+			t.sub = nil
+			t.depth--
+		}
+		if err := sub.EndElement(name); err != nil {
+			return err
+		}
+		if t.sub == nil && t.subProg {
+			return t.programDone()
+		}
+	default:
+		t.depth--
+	}
+	return nil
+}
+
+// programDone decodes the completed program subtree and prepares the
+// shipment decoder with the program's fragment dictionary.
+func (t *targetScan) programDone() error {
+	g, a, err := wire.DecodeProgram(t.tb.Root(), t.e.backend.Layout().Schema)
+	if err != nil {
+		return err
+	}
+	t.g, t.a = g, a
+	frags := map[string]*core.Fragment{}
+	for _, op := range g.Ops {
+		frags[op.Out.Name] = op.Out
+		for _, p := range op.Parts {
+			frags[p.Name] = p
+		}
+	}
+	for _, ed := range g.Edges {
+		frags[ed.Frag.Name] = ed.Frag
+	}
+	t.dec = wire.NewShipmentDecoder(t.e.backend.Layout().Schema, func(name string) *core.Fragment { return frags[name] })
+	return nil
+}
+
+// respond runs the target slice once the request is fully consumed.
+func (t *targetScan) respond(w io.Writer) error {
+	if t.g == nil {
+		return &soap.Fault{Code: "soap:Client", String: "missing program"}
+	}
+	if !t.sawShipment {
+		return &soap.Fault{Code: "soap:Client", String: "missing shipment"}
+	}
+	inbound, err := t.dec.Result()
+	if err != nil {
+		return err
+	}
+	resp, err := t.e.runTarget(t.g, t.a, inbound, t.pipelined)
+	if err != nil {
+		return err
+	}
+	return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+}
+
+// runTarget executes the target slice over decoded inbound instances and
+// reports the timing split the agency's cost model is validated against.
+func (e *Endpoint) runTarget(g *core.Graph, a core.Assignment, inbound map[string]*core.Instance, pipelined bool) (*xmltree.Node, error) {
+	exec := core.ExecuteSlice
+	if pipelined {
+		exec = core.ExecuteSlicePipelined
+	}
+	var writeTime time.Duration
+	start := time.Now()
+	_, _, err := exec(g, e.backend.Layout().Schema, a, core.LocTarget, core.SliceIO{
+		Inbound: inbound,
+		Write: func(in *core.Instance) error {
+			ws := time.Now()
+			err := e.backend.Write(in)
+			writeTime += time.Since(ws)
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	execTime := time.Since(start) - writeTime
+	is := time.Now()
+	if err := e.backend.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	indexTime := time.Since(is)
+	resp := &xmltree.Node{Name: "ExecuteTargetResponse"}
+	resp.SetAttr("execMillis", formatMillis(execTime))
+	resp.SetAttr("writeMillis", formatMillis(writeTime))
+	resp.SetAttr("indexMillis", formatMillis(indexTime))
+	return resp, nil
+}

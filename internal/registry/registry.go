@@ -403,6 +403,14 @@ type ExecOptions struct {
 	// streaming executor (stages connected by channels) instead of the
 	// batch one. Semantics are identical; scheduling overlaps.
 	Pipelined bool
+	// Streamed drives the exchange over the zero-materialization wire
+	// path: the source serializes its shipment directly onto the HTTP
+	// response as the slice executes, the agency decodes it incrementally
+	// and pipes it onward, and the target decodes the request in one SAX
+	// pass — no envelope tree is materialized anywhere. With Streamed,
+	// ShipBytes reports actual wire bytes of the shipment (framing
+	// included), where the tree path counts serialized records only.
+	Streamed bool
 }
 
 // Execute drives an exchange end-to-end (step 4 of Figure 2) with default
@@ -416,6 +424,9 @@ func (a *Agency) Execute(service string, plan *Plan, link netsim.Link) (*Report,
 // target together with the target slice. Communication time is modeled
 // over the link from the actual shipment size.
 func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Report, error) {
+	if opts.Streamed {
+		return a.executeStreamed(service, plan, opts)
+	}
 	link := opts.Link
 	src := a.Party(service, RoleSource)
 	tgt := a.Party(service, RoleTarget)

@@ -26,7 +26,7 @@ const customerXML = `<Customer><CustName>Ann</CustName>` +
 	`<Feature><FeatureID>callerID</FeatureID></Feature></Line>` +
 	`</Service></Order></Customer>`
 
-func customerDoc(t *testing.T) *xmltree.Node {
+func customerDoc(t testing.TB) *xmltree.Node {
 	t.Helper()
 	doc, err := xmltree.Parse(strings.NewReader(customerXML))
 	if err != nil {
@@ -36,7 +36,7 @@ func customerDoc(t *testing.T) *xmltree.Node {
 	return doc
 }
 
-func sFragmentation(t *testing.T, sch *schema.Schema) *core.Fragmentation {
+func sFragmentation(t testing.TB, sch *schema.Schema) *core.Fragmentation {
 	t.Helper()
 	fr, err := core.FromPartition(sch, "S-fragmentation", [][]string{
 		{"Customer", "CustName"},
@@ -51,7 +51,7 @@ func sFragmentation(t *testing.T, sch *schema.Schema) *core.Fragmentation {
 	return fr
 }
 
-func tFragmentation(t *testing.T, sch *schema.Schema) *core.Fragmentation {
+func tFragmentation(t testing.TB, sch *schema.Schema) *core.Fragmentation {
 	t.Helper()
 	fr, err := core.FromPartition(sch, "T-fragmentation", [][]string{
 		{"Customer", "CustName"},
@@ -65,7 +65,7 @@ func tFragmentation(t *testing.T, sch *schema.Schema) *core.Fragmentation {
 	return fr
 }
 
-func wsdlFor(t *testing.T, sch *schema.Schema, fr *core.Fragmentation, addr string) []byte {
+func wsdlFor(t testing.TB, sch *schema.Schema, fr *core.Fragmentation, addr string) []byte {
 	t.Helper()
 	d := &wsdlx.Definitions{
 		Name:            "CustomerInfo",
@@ -85,7 +85,7 @@ func wsdlFor(t *testing.T, sch *schema.Schema, fr *core.Fragmentation, addr stri
 
 // startExchange wires a relational source and target into live endpoints
 // and a registered agency.
-func startExchange(t *testing.T, alg Algorithm) (*Agency, *Plan, *relstore.Store, func()) {
+func startExchange(t testing.TB, alg Algorithm) (*Agency, *Plan, *relstore.Store, func()) {
 	t.Helper()
 	sch := schema.CustomerInfo()
 	sFr := sFragmentation(t, sch)

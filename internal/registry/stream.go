@@ -1,0 +1,213 @@
+package registry
+
+// Streamed exchange driving. The tree path in ExecuteOpts materializes the
+// source's whole response envelope, re-encodes the shipment into the
+// target request, and buffers that request too — three copies of the
+// exchange's dominant payload. The streamed path keeps exactly one: the
+// source response is decoded incrementally into instances as it arrives
+// (SAX events straight into the shipment decoder), and the target request
+// flows through an io.Pipe with the shipment serialized directly from
+// those instances, metered for the communication-cost report as it leaves.
+
+import (
+	"fmt"
+	"io"
+
+	"xdx/internal/core"
+	"xdx/internal/netsim"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/xmltree"
+)
+
+// scanAttr returns the named attribute from a reused scan-attrs slice.
+func scanAttr(attrs []xmltree.Attr, name string) string {
+	for _, a := range attrs {
+		if a.Name == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// sourceRespScan consumes an ExecuteSourceResponse stream: the shipment
+// subtree flows into the shipment decoder, the timing rides either on the
+// trailing <timing> element (streamed endpoint) or on the root's
+// queryMillis attribute (buffered endpoint).
+type sourceRespScan struct {
+	dec *wire.ShipmentDecoder
+
+	depth int
+	skip  int
+
+	sub      bool
+	subDepth int
+
+	queryMillis string
+	sawShipment bool
+}
+
+// StartElement implements xmltree.AttrHandler.
+func (s *sourceRespScan) StartElement(name string, attrs []xmltree.Attr) error {
+	if s.skip > 0 {
+		s.skip++
+		return nil
+	}
+	if s.sub {
+		s.subDepth++
+		return s.dec.StartElement(name, attrs)
+	}
+	s.depth++
+	switch s.depth {
+	case 1:
+		if v := scanAttr(attrs, "queryMillis"); v != "" {
+			s.queryMillis = v
+		}
+	case 2:
+		switch name {
+		case "shipment":
+			s.sawShipment = true
+			s.sub, s.subDepth = true, 1
+			return s.dec.StartElement(name, attrs)
+		case "timing":
+			if v := scanAttr(attrs, "queryMillis"); v != "" {
+				s.queryMillis = v
+			}
+			s.depth--
+			s.skip = 1
+		default:
+			s.depth--
+			s.skip = 1
+		}
+	}
+	return nil
+}
+
+// Text implements xmltree.AttrHandler.
+func (s *sourceRespScan) Text(data string) error {
+	if s.skip > 0 || !s.sub {
+		return nil
+	}
+	return s.dec.Text(data)
+}
+
+// EndElement implements xmltree.AttrHandler.
+func (s *sourceRespScan) EndElement(name string) error {
+	switch {
+	case s.skip > 0:
+		s.skip--
+	case s.sub:
+		s.subDepth--
+		if s.subDepth == 0 {
+			s.sub = false
+			s.depth--
+		}
+		return s.dec.EndElement(name)
+	default:
+		s.depth--
+	}
+	return nil
+}
+
+// executeStreamed drives an exchange over the zero-materialization wire
+// path: streamed source response, piped target request, no envelope trees
+// on either hop. The shipment is counted by a meter as it is re-serialized
+// toward the target, so ShipBytes reports actual wire bytes (shipment
+// framing included — the tree path's per-record count omits the
+// <shipment>/<instance> wrappers).
+func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (*Report, error) {
+	link := opts.Link
+	src := a.Party(service, RoleSource)
+	tgt := a.Party(service, RoleTarget)
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("registry: service %q not fully registered", service)
+	}
+	sch := src.Fragmentation.Schema
+	progXML, err := wire.EncodeProgram(plan.Program, plan.Assign)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Plan: plan}
+
+	reqS := &xmltree.Node{Name: "ExecuteSource"}
+	reqS.SetAttr("stream", "1")
+	if opts.Format != "" {
+		reqS.SetAttr("format", opts.Format)
+	}
+	if opts.FilterElem != "" {
+		reqS.SetAttr("filterElem", opts.FilterElem)
+		reqS.SetAttr("filterValue", opts.FilterValue)
+	}
+	if opts.Pipelined {
+		reqS.SetAttr("pipelined", "1")
+	}
+	reqS.AddKid(progXML)
+
+	frags := map[string]*core.Fragment{}
+	for _, op := range plan.Program.Ops {
+		frags[op.Out.Name] = op.Out
+		for _, p := range op.Parts {
+			frags[p.Name] = p
+		}
+	}
+	for _, ed := range plan.Program.Edges {
+		frags[ed.Frag.Name] = ed.Frag
+	}
+	dec := wire.NewShipmentDecoder(sch, func(name string) *core.Fragment { return frags[name] })
+	scanS := &sourceRespScan{dec: dec}
+
+	cs := &soap.Client{URL: src.URL}
+	err = cs.CallStream("ExecuteSource", func(w io.Writer) error {
+		return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
+	}, scanS)
+	if err != nil {
+		return nil, fmt.Errorf("registry: source execution: %w", err)
+	}
+	if !scanS.sawShipment {
+		return nil, fmt.Errorf("registry: source returned no shipment")
+	}
+	report.SourceTime = parseMillis(scanS.queryMillis)
+	inbound, err := dec.Result()
+	if err != nil {
+		return nil, fmt.Errorf("registry: source shipment: %w", err)
+	}
+
+	open := `<ExecuteTarget`
+	if opts.Pipelined {
+		open += ` pipelined="1"`
+	}
+	open += `>`
+	tb := &xmltree.TreeBuilder{}
+	ct := &soap.Client{URL: tgt.URL}
+	err = ct.CallStream("ExecuteTarget", func(w io.Writer) error {
+		if _, err := io.WriteString(w, open); err != nil {
+			return err
+		}
+		if err := xmltree.Write(w, progXML, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+			return err
+		}
+		m := netsim.NewMeter(w)
+		if err := wire.StreamShipment(m, inbound, sch, opts.Format == "feed"); err != nil {
+			return err
+		}
+		report.ShipBytes = m.Bytes()
+		_, err := io.WriteString(w, `</ExecuteTarget>`)
+		return err
+	}, tb)
+	if err != nil {
+		return nil, fmt.Errorf("registry: target execution: %w", err)
+	}
+	report.ShipTime = link.TransferTime(report.ShipBytes)
+	if respT := tb.Root(); respT != nil {
+		if v, ok := respT.Attr("execMillis"); ok {
+			report.TargetTime = parseMillis(v)
+		}
+		if v, ok := respT.Attr("writeMillis"); ok {
+			report.WriteTime = parseMillis(v)
+		}
+		if v, ok := respT.Attr("indexMillis"); ok {
+			report.IndexTime = parseMillis(v)
+		}
+	}
+	return report, nil
+}

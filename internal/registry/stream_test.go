@@ -1,0 +1,88 @@
+package registry
+
+import (
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/netsim"
+	"xdx/internal/relstore"
+	"xdx/internal/xmltree"
+)
+
+// streamedTargetDoc runs a full streamed exchange and reassembles the
+// target store's contents into a document.
+func streamedTargetDoc(t testing.TB, opts ExecOptions) (*Report, *xmltree.Node, *relstore.Store) {
+	t.Helper()
+	ag, plan, tgtStore, done := startExchange(t, AlgGreedy)
+	defer done()
+	report, err := ag.ExecuteOpts("CustomerInfoService", plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := map[string]*core.Instance{}
+	for _, f := range tgtStore.Layout.Fragments {
+		in, err := tgtStore.ScanFragment(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[f.Name] = in
+	}
+	back, err := core.Document(tgtStore.Layout, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report, back, tgtStore
+}
+
+func TestEndToEndExchangeStreamed(t *testing.T) {
+	// The same exchange over the zero-materialization wire path: the
+	// source's shipment streams onto its response as slices execute, the
+	// agency decodes it incrementally and pipes it into the target request.
+	report, back, _ := streamedTargetDoc(t, ExecOptions{Link: netsim.Loopback(), Streamed: true})
+	if report.ShipBytes <= 0 {
+		t.Errorf("no bytes shipped")
+	}
+	if !xmltree.EqualShape(customerDoc(t), back) {
+		t.Errorf("document changed in streamed transit:\n%s", xmltree.Marshal(back, xmltree.WriteOptions{}))
+	}
+}
+
+func TestEndToEndExchangeStreamedPipelined(t *testing.T) {
+	// Streamed wire path with the pipelined executor on both endpoints:
+	// records reach the wire while upstream operators still produce.
+	report, back, _ := streamedTargetDoc(t, ExecOptions{Link: netsim.Loopback(), Streamed: true, Pipelined: true})
+	if report.ShipBytes <= 0 {
+		t.Errorf("no bytes shipped")
+	}
+	if !xmltree.EqualShape(customerDoc(t), back) {
+		t.Errorf("document changed in streamed pipelined transit:\n%s", xmltree.Marshal(back, xmltree.WriteOptions{}))
+	}
+}
+
+func TestEndToEndExchangeStreamedFeed(t *testing.T) {
+	// Streamed wire path with sorted-feed shipments (§4.1).
+	_, back, _ := streamedTargetDoc(t, ExecOptions{Link: netsim.Loopback(), Streamed: true, Format: "feed"})
+	if !xmltree.EqualShape(customerDoc(t), back) {
+		t.Errorf("document changed in streamed feed transit:\n%s", xmltree.Marshal(back, xmltree.WriteOptions{}))
+	}
+}
+
+func TestStreamedMatchesBufferedReport(t *testing.T) {
+	// Timing fields must be populated the same way on both paths; the
+	// streamed ShipBytes includes shipment framing, so it is >= the tree
+	// path's per-record count.
+	ag, plan, _, done := startExchange(t, AlgGreedy)
+	defer done()
+	buffered, err := ag.ExecuteOpts("CustomerInfoService", plan, ExecOptions{Link: netsim.Loopback()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ag.ExecuteOpts("CustomerInfoService", plan, ExecOptions{Link: netsim.Loopback(), Streamed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.ShipBytes < buffered.ShipBytes {
+		t.Errorf("streamed ShipBytes %d < buffered %d; framing should only add bytes",
+			streamed.ShipBytes, buffered.ShipBytes)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"xdx/internal/xmltree"
 )
@@ -21,10 +22,17 @@ type Fault struct {
 	Code   string
 	String string
 	Detail string
+	// HTTPStatus is the HTTP status the fault arrived with, when it came
+	// back through a client call (zero otherwise — e.g. server-side faults
+	// about to be sent).
+	HTTPStatus int
 }
 
 // Error implements error.
 func (f *Fault) Error() string {
+	if f.HTTPStatus != 0 {
+		return fmt.Sprintf("soap: fault %s (HTTP %d): %s", f.Code, f.HTTPStatus, f.String)
+	}
 	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.String)
 }
 
@@ -129,19 +137,27 @@ type Client struct {
 	URL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds one call, body included. Zero means DefaultTimeout;
+	// negative disables the bound.
+	Timeout time.Duration
 }
 
 // Call posts the payload as a SOAP request with the given SOAPAction and
-// returns the response payload. SOAP faults come back as *Fault errors.
+// returns the response payload. The request is buffered, so it travels
+// with an explicit Content-Length. SOAP faults come back as *Fault errors
+// carrying the HTTP status.
 func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, error) {
 	var buf bytes.Buffer
 	if err := xmltree.Write(&buf, Envelope(payload), xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
 		return nil, fmt.Errorf("soap: marshal request: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, c.URL, &buf)
+	ctx, cancel := c.callContext()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, &buf)
 	if err != nil {
 		return nil, err
 	}
+	req.ContentLength = int64(buf.Len())
 	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
 	req.Header.Set("SOAPAction", `"`+action+`"`)
 	hc := c.HTTPClient
@@ -157,7 +173,11 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 	if err != nil {
 		return nil, fmt.Errorf("soap: parse response (HTTP %d): %w", resp.StatusCode, err)
 	}
-	return OpenEnvelope(env)
+	payload, err = OpenEnvelope(env)
+	if f, ok := err.(*Fault); ok {
+		f.HTTPStatus = resp.StatusCode
+	}
+	return payload, err
 }
 
 // HandlerFunc processes one request payload and returns the response
@@ -165,53 +185,26 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 type HandlerFunc func(req *xmltree.Node) (*xmltree.Node, error)
 
 // Server dispatches SOAP requests to handlers by the body's root element
-// name.
+// name. Handlers come in two flavors: tree handlers (Handle), which get
+// the materialized payload, and stream handlers (HandleStream), which
+// consume the payload as parse events and write the response directly to
+// the connection. Dispatch itself is streaming either way — see
+// ServeHTTP in stream.go.
 type Server struct {
 	handlers map[string]HandlerFunc
+	streams  map[string]StreamHandlerFunc
 }
 
 // NewServer returns an empty server.
-func NewServer() *Server { return &Server{handlers: make(map[string]HandlerFunc)} }
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]HandlerFunc),
+		streams:  make(map[string]StreamHandlerFunc),
+	}
+}
 
 // Handle registers a handler for requests whose body root is elem.
 func (s *Server) Handle(elem string, h HandlerFunc) { s.handlers[elem] = h }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
-		return
-	}
-	env, err := xmltree.Parse(r.Body)
-	if err != nil {
-		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "malformed envelope", Detail: err.Error()})
-		return
-	}
-	payload, err := OpenEnvelope(env)
-	if err != nil {
-		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: err.Error()})
-		return
-	}
-	if payload == nil {
-		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "empty body"})
-		return
-	}
-	h, ok := s.handlers[payload.Name]
-	if !ok {
-		s.fault(w, http.StatusNotFound, &Fault{Code: "soap:Client", String: "no handler for " + payload.Name})
-		return
-	}
-	resp, err := h(payload)
-	if err != nil {
-		if f, ok := err.(*Fault); ok {
-			s.fault(w, http.StatusInternalServerError, f)
-			return
-		}
-		s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: err.Error()})
-		return
-	}
-	s.reply(w, Envelope(resp))
-}
 
 func (s *Server) fault(w http.ResponseWriter, status int, f *Fault) {
 	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
@@ -228,12 +221,12 @@ func (s *Server) reply(w http.ResponseWriter, env *xmltree.Node) {
 // envelope; used for large fragment shipments where building a tree first
 // would double memory.
 func WritePayload(w io.Writer, inner []byte) error {
-	if _, err := io.WriteString(w, `<soap:Envelope xmlns:soap="`+EnvelopeNS+`"><soap:Body>`); err != nil {
+	if _, err := io.WriteString(w, envPrefix); err != nil {
 		return err
 	}
 	if _, err := w.Write(inner); err != nil {
 		return err
 	}
-	_, err := io.WriteString(w, `</soap:Body></soap:Envelope>`)
+	_, err := io.WriteString(w, envSuffix)
 	return err
 }

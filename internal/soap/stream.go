@@ -1,0 +1,460 @@
+package soap
+
+// Streaming SOAP binding. The tree binding in soap.go buffers whole
+// envelopes on both sides; for fragment shipments — the dominant payloads
+// of an exchange — that re-materializes data the wire codec already
+// streams. This file adds the zero-materialization path: requests flow
+// through an io.Pipe (chunked transfer, no full-request buffer), responses
+// are consumed by SAX handlers, and the server dispatches payloads to
+// stream handlers that read the body as events and write the reply
+// directly to the connection. Both bindings speak the same envelopes, so
+// buffered and streaming peers interoperate.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"xdx/internal/xmltree"
+)
+
+const (
+	envPrefix = `<soap:Envelope xmlns:soap="` + EnvelopeNS + `"><soap:Body>`
+	envSuffix = `</soap:Body></soap:Envelope>`
+)
+
+// DefaultTimeout bounds a Client call when Client.Timeout is zero.
+const DefaultTimeout = 2 * time.Minute
+
+// callContext derives the request context from the client's timeout
+// policy: zero means DefaultTimeout, negative disables the bound.
+func (c *Client) callContext() (context.Context, context.CancelFunc) {
+	d := c.Timeout
+	if d == 0 {
+		d = DefaultTimeout
+	}
+	if d < 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// CallStream posts a SOAP request whose body is produced by writeBody
+// directly onto the wire (chunked, never buffered whole) and feeds the
+// response payload's parse events to h. h may be nil to ignore a non-fault
+// response. SOAP faults come back as *Fault errors carrying the HTTP
+// status.
+func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xmltree.AttrHandler) error {
+	ctx, cancel := c.callContext()
+	defer cancel()
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := io.WriteString(pw, envPrefix)
+		if err == nil {
+			err = writeBody(pw)
+		}
+		if err == nil {
+			_, err = io.WriteString(pw, envSuffix)
+		}
+		pw.CloseWithError(err)
+		errc <- err
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, pr)
+	if err != nil {
+		pr.Close()
+		<-errc
+		return err
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	req.Header.Set("SOAPAction", `"`+action+`"`)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		pr.CloseWithError(err)
+		if werr := <-errc; werr != nil && !errors.Is(werr, io.ErrClosedPipe) {
+			return fmt.Errorf("soap: write request: %w", werr)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	fault, scanErr := ScanEnvelope(resp.Body, h)
+	pr.CloseWithError(io.ErrClosedPipe)
+	werr := <-errc
+	if fault != nil {
+		fault.HTTPStatus = resp.StatusCode
+		return fault
+	}
+	if scanErr != nil {
+		return fmt.Errorf("soap: parse response (HTTP %d): %w", resp.StatusCode, scanErr)
+	}
+	if werr != nil && !errors.Is(werr, io.ErrClosedPipe) {
+		return fmt.Errorf("soap: write request: %w", werr)
+	}
+	return nil
+}
+
+// ScanEnvelope consumes a serialized envelope from r in one SAX pass,
+// delegating the payload element's events (including its own start/end) to
+// h. A soap:Fault payload is collected and returned instead of being
+// delegated. h may be nil to discard a non-fault payload.
+func ScanEnvelope(r io.Reader, h xmltree.AttrHandler) (*Fault, error) {
+	v := &envelopeScanner{h: h}
+	if err := xmltree.ScanAttrs(r, v); err != nil {
+		return v.fault, err
+	}
+	return v.fault, nil
+}
+
+// envelopeScanner walks Envelope/Body framing around a delegated payload.
+type envelopeScanner struct {
+	h xmltree.AttrHandler
+
+	depth       int
+	skip        int
+	inPayload   int
+	payloadSeen bool
+
+	fault      *Fault
+	inFault    int
+	faultField string
+}
+
+// StartElement implements xmltree.AttrHandler.
+func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error {
+	if v.skip > 0 {
+		v.skip++
+		return nil
+	}
+	if v.inFault > 0 {
+		v.inFault++
+		if v.inFault == 2 {
+			v.faultField = name
+		}
+		return nil
+	}
+	if v.inPayload > 0 {
+		v.inPayload++
+		return v.h.StartElement(name, attrs)
+	}
+	v.depth++
+	switch v.depth {
+	case 1:
+		if name != "Envelope" {
+			return fmt.Errorf("soap: not an envelope: %s", name)
+		}
+	case 2:
+		if name != "Body" {
+			// Header entries (and foreign siblings) are not the payload.
+			v.depth--
+			v.skip = 1
+		}
+	case 3:
+		if v.payloadSeen {
+			// Like the tree binding, only the first payload element counts.
+			v.depth--
+			v.skip = 1
+			return nil
+		}
+		v.payloadSeen = true
+		if name == "Fault" {
+			v.fault = &Fault{}
+			v.inFault = 1
+			return nil
+		}
+		if v.h == nil {
+			v.depth--
+			v.skip = 1
+			return nil
+		}
+		v.inPayload = 1
+		return v.h.StartElement(name, attrs)
+	}
+	return nil
+}
+
+// Text implements xmltree.AttrHandler.
+func (v *envelopeScanner) Text(data string) error {
+	switch {
+	case v.skip > 0:
+	case v.inFault > 1:
+		switch v.faultField {
+		case "faultcode":
+			v.fault.Code += data
+		case "faultstring":
+			v.fault.String += data
+		case "detail":
+			v.fault.Detail += data
+		}
+	case v.inPayload > 0:
+		return v.h.Text(data)
+	}
+	return nil
+}
+
+// EndElement implements xmltree.AttrHandler.
+func (v *envelopeScanner) EndElement(name string) error {
+	switch {
+	case v.skip > 0:
+		v.skip--
+	case v.inFault > 0:
+		v.inFault--
+		if v.inFault == 0 {
+			v.depth--
+		}
+	case v.inPayload > 0:
+		v.inPayload--
+		if err := v.h.EndElement(name); err != nil {
+			return err
+		}
+		if v.inPayload == 0 {
+			v.depth--
+		}
+	default:
+		v.depth--
+	}
+	return nil
+}
+
+// RespondFunc writes a response payload body. The first write opens the
+// response envelope; writing nothing yields an empty body.
+type RespondFunc func(w io.Writer) error
+
+// StreamHandlerFunc accepts one request payload as a stream. It receives
+// the payload root's attributes and returns a handler for the payload's
+// parse events (the root's own start/end included) plus the responder that
+// runs once the request is fully consumed. Returning an error — here or
+// from the event handler — produces a SOAP fault.
+type StreamHandlerFunc func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error)
+
+// HandleStream registers a streaming handler for requests whose body root
+// is elem. Stream handlers take precedence over Handle handlers for the
+// same element.
+func (s *Server) HandleStream(elem string, h StreamHandlerFunc) { s.streams[elem] = h }
+
+// handlerError marks an error raised by application handler code during
+// the request scan, so dispatch can distinguish it from a malformed
+// envelope.
+type handlerError struct{ err error }
+
+func (e *handlerError) Error() string { return e.err.Error() }
+func (e *handlerError) Unwrap() error { return e.err }
+
+// reqFault aborts the request scan with a specific fault and HTTP status.
+type reqFault struct {
+	status int
+	f      *Fault
+}
+
+func (e *reqFault) Error() string { return e.f.String }
+
+// serverWalker is the server's request-side envelope scanner: it enforces
+// the Envelope/Body framing and routes the payload subtree to the
+// dispatched handler without materializing the envelope.
+type serverWalker struct {
+	s *Server
+
+	depth int
+	skip  int
+
+	sawBody     bool
+	payloadName string
+	notFound    bool
+
+	inPayload int
+	delegate  xmltree.AttrHandler
+	respond   RespondFunc
+	legacy    HandlerFunc
+	tree      *xmltree.TreeBuilder
+}
+
+// StartElement implements xmltree.AttrHandler.
+func (v *serverWalker) StartElement(name string, attrs []xmltree.Attr) error {
+	if v.skip > 0 {
+		v.skip++
+		return nil
+	}
+	if v.inPayload > 0 {
+		v.inPayload++
+		if err := v.delegate.StartElement(name, attrs); err != nil {
+			return &handlerError{err}
+		}
+		return nil
+	}
+	v.depth++
+	switch v.depth {
+	case 1:
+		if name != "Envelope" {
+			return &reqFault{status: http.StatusBadRequest,
+				f: &Fault{Code: "soap:Client", String: "soap: not an envelope: " + name}}
+		}
+	case 2:
+		if name == "Body" {
+			v.sawBody = true
+		} else {
+			v.depth--
+			v.skip = 1
+		}
+	case 3:
+		if v.payloadName != "" {
+			v.depth--
+			v.skip = 1
+			return nil
+		}
+		v.payloadName = name
+		switch {
+		case v.s.streams[name] != nil:
+			h, respond, err := v.s.streams[name](attrs)
+			if err != nil {
+				return &handlerError{err}
+			}
+			v.delegate, v.respond = h, respond
+		case v.s.handlers[name] != nil:
+			v.legacy = v.s.handlers[name]
+			v.tree = &xmltree.TreeBuilder{}
+			v.delegate = v.tree
+		default:
+			// Keep scanning so a malformed body still reports 400, like the
+			// tree dispatch which parsed before looking up handlers.
+			v.notFound = true
+			v.depth--
+			v.skip = 1
+			return nil
+		}
+		v.inPayload = 1
+		if err := v.delegate.StartElement(name, attrs); err != nil {
+			return &handlerError{err}
+		}
+	}
+	return nil
+}
+
+// Text implements xmltree.AttrHandler.
+func (v *serverWalker) Text(data string) error {
+	if v.skip > 0 || v.inPayload == 0 {
+		return nil
+	}
+	if err := v.delegate.Text(data); err != nil {
+		return &handlerError{err}
+	}
+	return nil
+}
+
+// EndElement implements xmltree.AttrHandler.
+func (v *serverWalker) EndElement(name string) error {
+	switch {
+	case v.skip > 0:
+		v.skip--
+	case v.inPayload > 0:
+		v.inPayload--
+		if err := v.delegate.EndElement(name); err != nil {
+			return &handlerError{err}
+		}
+		if v.inPayload == 0 {
+			v.depth--
+		}
+	default:
+		v.depth--
+	}
+	return nil
+}
+
+// envelopeWriter lazily opens the response envelope on first write, so a
+// responder that fails before producing output can still get a clean SOAP
+// fault instead of a half-written envelope.
+type envelopeWriter struct {
+	w       http.ResponseWriter
+	started bool
+}
+
+// Write implements io.Writer.
+func (e *envelopeWriter) Write(p []byte) (int, error) {
+	if !e.started {
+		e.started = true
+		e.w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+		io.WriteString(e.w, envPrefix)
+	}
+	return e.w.Write(p)
+}
+
+// finish closes the envelope (emitting an empty one if nothing was
+// written).
+func (e *envelopeWriter) finish() {
+	if !e.started {
+		e.started = true
+		e.w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+		io.WriteString(e.w, envPrefix)
+	}
+	io.WriteString(e.w, envSuffix)
+}
+
+// ServeHTTP implements http.Handler. Requests are consumed in one SAX
+// pass: payloads with a registered stream handler flow through it
+// event-by-event and the response is written directly to the connection;
+// payloads with a tree handler are materialized (payload only — never the
+// envelope) and dispatched as before.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	walk := &serverWalker{s: s}
+	if err := xmltree.ScanAttrs(r.Body, walk); err != nil {
+		var rf *reqFault
+		var he *handlerError
+		switch {
+		case errors.As(err, &rf):
+			s.fault(w, rf.status, rf.f)
+		case errors.As(err, &he):
+			if f, ok := he.err.(*Fault); ok {
+				s.fault(w, http.StatusInternalServerError, f)
+			} else {
+				s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: he.err.Error()})
+			}
+		default:
+			s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "malformed envelope", Detail: err.Error()})
+		}
+		return
+	}
+	switch {
+	case !walk.sawBody:
+		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "soap: envelope has no body"})
+	case walk.payloadName == "":
+		s.fault(w, http.StatusBadRequest, &Fault{Code: "soap:Client", String: "empty body"})
+	case walk.notFound:
+		s.fault(w, http.StatusNotFound, &Fault{Code: "soap:Client", String: "no handler for " + walk.payloadName})
+	case walk.respond != nil:
+		ew := &envelopeWriter{w: w}
+		if err := walk.respond(ew); err != nil {
+			if !ew.started {
+				if f, ok := err.(*Fault); ok {
+					s.fault(w, http.StatusInternalServerError, f)
+				} else {
+					s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: err.Error()})
+				}
+				return
+			}
+			// The envelope is already flowing; truncating it is the only way
+			// left to signal failure — the client's parser will report it.
+			return
+		}
+		ew.finish()
+	default:
+		resp, err := walk.legacy(walk.tree.Root())
+		if err != nil {
+			if f, ok := err.(*Fault); ok {
+				s.fault(w, http.StatusInternalServerError, f)
+				return
+			}
+			s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: err.Error()})
+			return
+		}
+		s.reply(w, Envelope(resp))
+	}
+}

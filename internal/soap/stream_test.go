@@ -1,0 +1,197 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xdx/internal/xmltree"
+)
+
+// streamServer registers a streaming Echo handler (request text collected
+// via SAX events, response written straight to the wire) alongside the
+// failure modes the client must surface.
+func streamServer() *Server {
+	srv := NewServer()
+	srv.HandleStream("Echo", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+		tb := &xmltree.TreeBuilder{}
+		return tb, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "<EchoResponse>%s</EchoResponse>", tb.Root().Text)
+			return err
+		}, nil
+	})
+	srv.HandleStream("Fail", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
+			return fmt.Errorf("kaput")
+		}, nil
+	})
+	srv.HandleStream("FailTyped", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
+			return &Fault{Code: "soap:Client", String: "bad input"}
+		}, nil
+	})
+	return srv
+}
+
+func TestCallStreamEcho(t *testing.T) {
+	hs := httptest.NewServer(streamServer())
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+
+	tb := &xmltree.TreeBuilder{}
+	err := c.CallStream("echo", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Echo>xyzzy</Echo>")
+		return err
+	}, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := tb.Root()
+	if resp == nil || resp.Name != "EchoResponse" || resp.Text != "xyzzy" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestCallStreamAgainstTreeHandler(t *testing.T) {
+	// A streaming client must interoperate with a buffered tree handler:
+	// the wire bytes are the same either way.
+	srv := NewServer()
+	srv.Handle("Echo", func(req *xmltree.Node) (*xmltree.Node, error) {
+		return &xmltree.Node{Name: "EchoResponse", Text: req.Text}, nil
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+
+	tb := &xmltree.TreeBuilder{}
+	err := c.CallStream("echo", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Echo>plugh</Echo>")
+		return err
+	}, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := tb.Root(); resp == nil || resp.Text != "plugh" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestBufferedCallAgainstStreamHandler(t *testing.T) {
+	// And the reverse: a buffered Call against a streaming handler.
+	hs := httptest.NewServer(streamServer())
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+
+	resp, err := c.Call("echo", &xmltree.Node{Name: "Echo", Text: "plover"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "EchoResponse" || resp.Text != "plover" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestCallStreamFaults(t *testing.T) {
+	hs := httptest.NewServer(streamServer())
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+
+	err := c.CallStream("fail", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Fail/>")
+		return err
+	}, nil)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != "soap:Server" {
+		t.Fatalf("want server fault, got %v", err)
+	}
+	if f.HTTPStatus != 500 {
+		t.Errorf("fault HTTPStatus = %d, want 500", f.HTTPStatus)
+	}
+	if !strings.Contains(f.Error(), "HTTP 500") {
+		t.Errorf("Error() should carry the HTTP status: %q", f.Error())
+	}
+
+	err = c.CallStream("fail", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<FailTyped/>")
+		return err
+	}, nil)
+	if !errors.As(err, &f) || f.Code != "soap:Client" || f.String != "bad input" {
+		t.Errorf("want typed fault, got %v", err)
+	}
+
+	err = c.CallStream("x", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Unknown/>")
+		return err
+	}, nil)
+	if !errors.As(err, &f) || f.HTTPStatus != 404 {
+		t.Errorf("unknown action: want 404 fault, got %v", err)
+	}
+}
+
+func TestCallFaultHTTPStatus(t *testing.T) {
+	// The buffered client also records the transport status on faults.
+	hs := httptest.NewServer(streamServer())
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+	_, err := c.Call("fail", &xmltree.Node{Name: "Fail"})
+	var f *Fault
+	if !errors.As(err, &f) || f.HTTPStatus != 500 {
+		t.Errorf("want fault with HTTP 500, got %v", err)
+	}
+}
+
+func TestCallStreamWriteBodyError(t *testing.T) {
+	hs := httptest.NewServer(streamServer())
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+	boom := fmt.Errorf("disk on fire")
+	err := c.CallStream("echo", func(w io.Writer) error { return boom }, nil)
+	if !errors.Is(err, boom) {
+		t.Errorf("want the body writer's error, got %v", err)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := NewServer()
+	srv.HandleStream("Slow", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
+			<-block
+			return nil
+		}, nil
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer close(block) // unblock the handler before Close waits on it
+
+	c := &Client{URL: hs.URL, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Call("slow", &xmltree.Node{Name: "Slow"})
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestScanEnvelopeFault(t *testing.T) {
+	env := `<soap:Envelope xmlns:soap="` + EnvelopeNS + `"><soap:Body>` +
+		`<soap:Fault><faultcode>soap:Server</faultcode><faultstring>boom</faultstring><detail>stack</detail></soap:Fault>` +
+		`</soap:Body></soap:Envelope>`
+	f, err := ScanEnvelope(strings.NewReader(env), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || f.Code != "soap:Server" || f.String != "boom" || f.Detail != "stack" {
+		t.Errorf("fault = %+v", f)
+	}
+
+	if _, err := ScanEnvelope(strings.NewReader("<NotAnEnvelope/>"), nil); err == nil {
+		t.Error("wrong root must fail")
+	}
+}

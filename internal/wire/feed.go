@@ -27,10 +27,20 @@ import (
 // store-layout fragment; absent optional elements are materialized as
 // empty fields — the NULLs the paper notes inlined feeds carry.
 func WriteFeed(w io.Writer, in *core.Instance, sch *schema.Schema) error {
+	bw := bufio.NewWriter(w)
+	if err := writeFeedRecords(bw, in, sch); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeFeedRecords emits the feed rows of an instance into an existing
+// buffered writer without flushing, so the streaming shipment encoder can
+// interleave feed chunks with its own framing.
+func writeFeedRecords(bw *bufio.Writer, in *core.Instance, sch *schema.Schema) error {
 	if err := checkFlat(sch, in.Frag); err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(w)
 	shape := feedShape(sch, in.Frag)
 	for _, rec := range in.Records {
 		if rec.Name != in.Frag.Root {
@@ -42,7 +52,7 @@ func WriteFeed(w io.Writer, in *core.Instance, sch *schema.Schema) error {
 		}
 		bw.WriteByte('\n')
 	}
-	return bw.Flush()
+	return nil
 }
 
 func checkFlat(sch *schema.Schema, f *core.Fragment) error {
@@ -233,7 +243,8 @@ func readFeedNode(elem, parentID string, next func() (string, error), sch *schem
 // the form of sorted feeds".
 func EncodeShipmentAuto(out map[string]*core.Instance, sch *schema.Schema, preferFeed bool) (*xmltree.Node, error) {
 	root := &xmltree.Node{Name: "shipment"}
-	for key, in := range out {
+	for _, key := range sortedKeys(out) {
+		in := out[key]
 		if preferFeed && checkFlat(sch, in.Frag) == nil {
 			var buf strings.Builder
 			if err := WriteFeed(&buf, in, sch); err != nil {

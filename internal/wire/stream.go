@@ -1,0 +1,409 @@
+package wire
+
+// This file implements the zero-materialization streaming wire path for
+// fragment shipments. The tree codec (EncodeShipment/DecodeShipment) clones
+// every record to strip identifiers, builds a full envelope xmltree, and —
+// on the receiving end — parses the whole shipment back into a tree before
+// instances are rebuilt. The paper's own argument (§4.1, Table 3) is that
+// communication dominates an exchange, so the wire layer must not
+// re-materialize what the pipelined executor streams: the encoder here
+// serializes instances directly to a writer with pooled buffers and no
+// intermediate copies, and the decoder builds core.Instance records
+// straight from SAX events, restoring interior PARENT links from nesting on
+// the fly, without ever constructing the shipment tree.
+//
+// Both codecs produce and accept the same wire format, byte for byte (the
+// property tests in stream_test.go hold them to it), so streaming and
+// buffered peers interoperate freely.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"bufio"
+
+	"xdx/internal/core"
+	"xdx/internal/netsim"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// bufPool recycles the serialization buffers of shipment writers; encoding
+// runs on the hot path of every exchange, so buffers are pooled rather than
+// allocated per shipment.
+var bufPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) },
+}
+
+// ShipmentWriter streams a shipment onto a writer as a sequence of
+// <instance> chunks inside one <shipment> element. Emit may be called
+// concurrently by pipeline stages as producers finish batches; chunks
+// sharing an edge key are merged back into one instance by the decoders.
+type ShipmentWriter struct {
+	mu         sync.Mutex
+	bw         *bufio.Writer
+	sch        *schema.Schema
+	preferFeed bool
+	opened     bool
+	closed     bool
+}
+
+// NewShipmentWriter starts a shipment onto w. When preferFeed is set, flat
+// fragments travel as sorted-feed chunks (format="feed"); anything else is
+// keyed XML. Close must be called to complete the shipment and release the
+// pooled buffer.
+func NewShipmentWriter(w io.Writer, sch *schema.Schema, preferFeed bool) *ShipmentWriter {
+	bw := bufPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return &ShipmentWriter{bw: bw, sch: sch, preferFeed: preferFeed}
+}
+
+// Emit writes one instance chunk carrying recs for the cross-edge key. It
+// is the sink ExecuteSlicePipelined's SliceIO.Emit plugs into, so records
+// flow onto the wire as stages produce them.
+func (sw *ShipmentWriter) Emit(key string, frag *core.Fragment, recs []*xmltree.Node) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed {
+		return fmt.Errorf("wire: emit on closed shipment writer")
+	}
+	if !sw.opened {
+		sw.opened = true
+		sw.bw.WriteString("<shipment>")
+	}
+	if sw.preferFeed && checkFlat(sw.sch, frag) == nil {
+		return sw.emitFeed(key, frag, recs)
+	}
+	sw.bw.WriteString(`<instance edge="`)
+	xmltree.Escape(sw.bw, key)
+	sw.bw.WriteString(`" frag="`)
+	xmltree.Escape(sw.bw, frag.Name)
+	if len(recs) == 0 {
+		sw.bw.WriteString(`"/>`)
+		return nil
+	}
+	sw.bw.WriteString(`">`)
+	for _, rec := range recs {
+		streamRecord(sw.bw, rec, true)
+	}
+	sw.bw.WriteString("</instance>")
+	return nil
+}
+
+// emitFeed writes one feed-format instance chunk. Feed text escapes the
+// XML-special characters itself, so the rows embed verbatim.
+func (sw *ShipmentWriter) emitFeed(key string, frag *core.Fragment, recs []*xmltree.Node) error {
+	sw.bw.WriteString(`<instance edge="`)
+	xmltree.Escape(sw.bw, key)
+	sw.bw.WriteString(`" frag="`)
+	xmltree.Escape(sw.bw, frag.Name)
+	sw.bw.WriteString(`" format="feed`)
+	if len(recs) == 0 {
+		sw.bw.WriteString(`"/>`)
+		return nil
+	}
+	sw.bw.WriteString(`">`)
+	if err := writeFeedRecords(sw.bw, &core.Instance{Frag: frag, Records: recs}, sw.sch); err != nil {
+		return err
+	}
+	sw.bw.WriteString("</instance>")
+	return nil
+}
+
+// Close completes the shipment, flushes, and returns the buffer to the
+// pool. A shipment with no emitted instance closes as <shipment/>.
+func (sw *ShipmentWriter) Close() error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	if sw.opened {
+		sw.bw.WriteString("</shipment>")
+	} else {
+		sw.bw.WriteString("<shipment/>")
+	}
+	err := sw.bw.Flush()
+	sw.bw.Reset(io.Discard)
+	bufPool.Put(sw.bw)
+	sw.bw = nil
+	return err
+}
+
+// streamRecord serializes one shipment record directly, producing exactly
+// the bytes the tree codec emits for stripIDs(rec) under EmitAllIDs —
+// record roots carry ID and PARENT (Definition 3.1), interior or
+// potentially-joinable empty elements keep only ID, leaf values travel
+// bare — without ever cloning the record.
+func streamRecord(w *bufio.Writer, n *xmltree.Node, isRoot bool) {
+	w.WriteByte('<')
+	w.WriteString(n.Name)
+	interior := len(n.Kids) > 0 || n.Text == ""
+	if (isRoot || interior) && n.ID != "" {
+		w.WriteString(` ID="`)
+		xmltree.Escape(w, n.ID)
+		w.WriteByte('"')
+	}
+	if isRoot && n.Parent != "" {
+		w.WriteString(` PARENT="`)
+		xmltree.Escape(w, n.Parent)
+		w.WriteByte('"')
+	}
+	for _, a := range n.Attrs {
+		w.WriteByte(' ')
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		xmltree.Escape(w, a.Value)
+		w.WriteByte('"')
+	}
+	if len(n.Kids) == 0 && n.Text == "" {
+		w.WriteString("/>")
+		return
+	}
+	w.WriteByte('>')
+	if n.Text != "" {
+		xmltree.Escape(w, n.Text)
+	}
+	for _, k := range n.Kids {
+		streamRecord(w, k, false)
+	}
+	w.WriteString("</")
+	w.WriteString(n.Name)
+	w.WriteByte('>')
+}
+
+// StreamShipment encodes cross-edge instances directly to w — no record
+// clones, no intermediate xmltree — in deterministic (sorted-key) order.
+// With preferFeed, flat fragments travel as sorted feeds, mirroring
+// EncodeShipmentAuto. It produces byte-for-byte the serialization of the
+// tree codec for the same shipment.
+func StreamShipment(w io.Writer, out map[string]*core.Instance, sch *schema.Schema, preferFeed bool) error {
+	sw := NewShipmentWriter(w, sch, preferFeed)
+	if err := EmitShipment(sw, out); err != nil {
+		sw.Close()
+		return err
+	}
+	return sw.Close()
+}
+
+// EmitShipment emits a whole instance map through an open shipment writer
+// in deterministic (sorted-key) order, one chunk per instance. The caller
+// closes the writer.
+func EmitShipment(sw *ShipmentWriter, out map[string]*core.Instance) error {
+	for _, key := range sortedKeys(out) {
+		in := out[key]
+		if err := sw.Emit(key, in.Frag, in.Records); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(out map[string]*core.Instance) []string {
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ShipmentDecoder is a SAX handler that rebuilds the inbound instance map
+// directly from shipment parse events: record nodes are constructed as
+// their tags open, interior PARENT links are restored from nesting on the
+// fly (an element inside a record whose PARENT did not travel must be the
+// child of the enclosing element instance — nesting is exactly the parent
+// relation the encoder erased), and feed-format instances are re-parsed
+// from their accumulated rows. The surrounding envelope tree is never
+// built. Instance chunks sharing an edge key append to one instance, which
+// is what lets the streaming encoder emit batches as producers finish.
+type ShipmentDecoder struct {
+	sch    *schema.Schema
+	lookup func(name string) *core.Fragment
+
+	out     map[string]*core.Instance
+	started bool
+	done    bool
+	depth   int
+	skip    int
+
+	cur      *core.Instance
+	feed     *strings.Builder
+	feedFrag *core.Fragment
+	stack    []*xmltree.Node
+}
+
+// NewShipmentDecoder prepares a decoder resolving fragments via lookup
+// (typically the decoded program's dictionary).
+func NewShipmentDecoder(sch *schema.Schema, lookup func(name string) *core.Fragment) *ShipmentDecoder {
+	return &ShipmentDecoder{sch: sch, lookup: lookup, out: map[string]*core.Instance{}}
+}
+
+// StartElement implements xmltree.AttrHandler.
+func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error {
+	if d.skip > 0 {
+		d.skip++
+		return nil
+	}
+	d.depth++
+	switch d.depth {
+	case 1:
+		if name != "shipment" {
+			return fmt.Errorf("wire: expected shipment, got %q", name)
+		}
+		d.started = true
+		return nil
+	case 2:
+		if name != "instance" {
+			// Foreign elements inside a shipment are skipped, as the tree
+			// decoder ignores what it does not recognize.
+			d.depth--
+			d.skip = 1
+			return nil
+		}
+		var key, fragName, format string
+		for _, a := range attrs {
+			switch a.Name {
+			case "edge":
+				key = a.Value
+			case "frag":
+				fragName = a.Value
+			case "format":
+				format = a.Value
+			}
+		}
+		f := d.lookup(fragName)
+		if f == nil {
+			return fmt.Errorf("wire: shipment references unknown fragment %q", fragName)
+		}
+		if format == "feed" {
+			d.feed = &strings.Builder{}
+			d.feedFrag = f
+			d.cur = d.instanceFor(key, f)
+			return nil
+		}
+		d.cur = d.instanceFor(key, f)
+		return nil
+	}
+	if d.feed != nil {
+		// The tree decoder ignores element content of feed instances; do the
+		// same.
+		d.depth--
+		d.skip = 1
+		return nil
+	}
+	n := &xmltree.Node{Name: name}
+	for _, a := range attrs {
+		switch a.Name {
+		case "ID":
+			n.ID = a.Value
+		case "PARENT":
+			n.Parent = a.Value
+		default:
+			n.Attrs = append(n.Attrs, a)
+		}
+	}
+	if len(d.stack) > 0 && n.Parent == "" {
+		// Interior PARENTs are stripped on the wire; nesting is the parent
+		// relation, so restore the link the moment the element opens.
+		n.Parent = d.stack[len(d.stack)-1].ID
+	}
+	if len(d.stack) == 0 {
+		d.cur.Records = append(d.cur.Records, n)
+	} else {
+		d.stack[len(d.stack)-1].AddKid(n)
+	}
+	d.stack = append(d.stack, n)
+	return nil
+}
+
+// instanceFor returns the accumulating instance of an edge key, creating
+// it on first sight.
+func (d *ShipmentDecoder) instanceFor(key string, f *core.Fragment) *core.Instance {
+	if in := d.out[key]; in != nil {
+		return in
+	}
+	in := &core.Instance{Frag: f}
+	d.out[key] = in
+	return in
+}
+
+// Text implements xmltree.AttrHandler.
+func (d *ShipmentDecoder) Text(data string) error {
+	switch {
+	case d.skip > 0:
+	case d.feed != nil:
+		d.feed.WriteString(data)
+	case len(d.stack) > 0:
+		top := d.stack[len(d.stack)-1]
+		top.Text += data
+	}
+	return nil
+}
+
+// EndElement implements xmltree.AttrHandler.
+func (d *ShipmentDecoder) EndElement(string) error {
+	if d.skip > 0 {
+		d.skip--
+		return nil
+	}
+	switch {
+	case len(d.stack) > 0:
+		d.stack = d.stack[:len(d.stack)-1]
+	case d.depth == 2 && d.feed != nil:
+		in, err := ReadFeed(strings.NewReader(d.feed.String()), d.feedFrag, d.sch)
+		if err != nil {
+			return err
+		}
+		d.cur.Records = append(d.cur.Records, in.Records...)
+		d.feed, d.feedFrag, d.cur = nil, nil, nil
+	case d.depth == 2:
+		d.cur = nil
+	case d.depth == 1:
+		d.done = true
+	}
+	d.depth--
+	return nil
+}
+
+// Result returns the decoded instance map once the shipment element has
+// closed.
+func (d *ShipmentDecoder) Result() (map[string]*core.Instance, error) {
+	if !d.started || !d.done {
+		return nil, fmt.Errorf("wire: incomplete shipment stream")
+	}
+	return d.out, nil
+}
+
+// ReadShipment rebuilds the inbound instance map by scanning r in one SAX
+// pass — the streaming counterpart of Parse + DecodeShipmentAuto.
+func ReadShipment(r io.Reader, sch *schema.Schema, lookup func(name string) *core.Fragment) (map[string]*core.Instance, error) {
+	d := NewShipmentDecoder(sch, lookup)
+	if err := xmltree.ScanAttrs(r, d); err != nil {
+		return nil, err
+	}
+	return d.Result()
+}
+
+// ShipmentBytes serializes a shipment's records through a counting writer
+// and reports the size the communication cost is charged on. Pure
+// accounting: no record clones, no buffering — the streaming encoder runs
+// over a meter that discards the bytes.
+func ShipmentBytes(out map[string]*core.Instance) int64 {
+	m := netsim.NewMeter(nil)
+	bw := bufPool.Get().(*bufio.Writer)
+	bw.Reset(m)
+	for _, in := range out {
+		for _, rec := range in.Records {
+			streamRecord(bw, rec, true)
+		}
+	}
+	bw.Flush()
+	bw.Reset(io.Discard)
+	bufPool.Put(bw)
+	return m.Bytes()
+}

@@ -1,0 +1,342 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+// outboundFixture runs the source slice of the CustomerInfo exchange and
+// returns its cross-edge shipment plus the fragment dictionary a receiver
+// would decode against.
+func outboundFixture(t *testing.T) (*schema.Schema, map[string]*core.Instance, func(string) *core.Fragment) {
+	t.Helper()
+	sch, m, g, a := fixtures(t)
+	doc, err := xmltree.Parse(strings.NewReader(
+		`<Customer><CustName>Ann &amp; Bob</CustName><Order><Service><ServiceName>s&lt;1&gt;</ServiceName>` +
+			`<Line><TelNo>1</TelNo><Switch><SwitchID>w</SwitchID></Switch>` +
+			`<Feature><FeatureID>f</FeatureID></Feature></Line></Service></Order></Customer>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AssignIDs(doc)
+	sources, err := core.FromDocument(m.Source, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := func(f *core.Fragment) (*core.Instance, error) {
+		for _, in := range sources {
+			if in.Frag.SameElems(f) {
+				return &core.Instance{Frag: f, Records: in.Records}, nil
+			}
+		}
+		t.Fatalf("no source %q", f.Name)
+		return nil, nil
+	}
+	out, _, err := core.ExecuteSlice(g, sch, a, core.LocSource, core.SliceIO{Scan: scan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no outbound shipment")
+	}
+	frags := map[string]*core.Fragment{}
+	for _, e := range g.Edges {
+		frags[e.Frag.Name] = e.Frag
+	}
+	return sch, out, func(name string) *core.Fragment { return frags[name] }
+}
+
+// shipmentsEqual reports whether two decoded shipments are deeply equal
+// (same keys, same fragments, record-wise tree equality including IDs).
+func shipmentsEqual(a, b map[string]*core.Instance) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("instance count %d vs %d", len(a), len(b))
+	}
+	for k, av := range a {
+		bv := b[k]
+		if bv == nil {
+			return fmt.Errorf("missing key %q", k)
+		}
+		if av.Frag.Name != bv.Frag.Name {
+			return fmt.Errorf("%s: fragment %q vs %q", k, av.Frag.Name, bv.Frag.Name)
+		}
+		if len(av.Records) != len(bv.Records) {
+			return fmt.Errorf("%s: %d vs %d records", k, len(av.Records), len(bv.Records))
+		}
+		for i := range av.Records {
+			if !xmltree.Equal(av.Records[i], bv.Records[i]) {
+				return fmt.Errorf("%s record %d differs:\n%s\nvs\n%s", k, i,
+					xmltree.Marshal(av.Records[i], xmltree.WriteOptions{EmitAllIDs: true}),
+					xmltree.Marshal(bv.Records[i], xmltree.WriteOptions{EmitAllIDs: true}))
+			}
+		}
+	}
+	return nil
+}
+
+// TestStreamShipmentMatchesTreeBytes holds the streaming encoder to the
+// tree codec's exact serialization, for both wire formats: streaming and
+// buffered peers must interoperate byte for byte.
+func TestStreamShipmentMatchesTreeBytes(t *testing.T) {
+	sch, out, _ := outboundFixture(t)
+	for _, preferFeed := range []bool{false, true} {
+		x, err := EncodeShipmentAuto(out, sch, preferFeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := xmltree.Marshal(x, xmltree.WriteOptions{EmitAllIDs: true})
+		var buf bytes.Buffer
+		if err := StreamShipment(&buf, out, sch, preferFeed); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.String(); got != want {
+			t.Errorf("preferFeed=%v: stream bytes differ from tree codec:\n%s\nvs\n%s", preferFeed, got, want)
+		}
+	}
+	// Plain EncodeShipment (no feed negotiation) must match the non-feed
+	// streaming output too.
+	want := xmltree.Marshal(EncodeShipment(out), xmltree.WriteOptions{EmitAllIDs: true})
+	var buf bytes.Buffer
+	if err := StreamShipment(&buf, out, sch, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("stream bytes differ from EncodeShipment:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestReadShipmentMatchesDecode holds the streaming decoder to the tree
+// decoder's results on the same bytes.
+func TestReadShipmentMatchesDecode(t *testing.T) {
+	sch, out, lookup := outboundFixture(t)
+	for _, preferFeed := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := StreamShipment(&buf, out, sch, preferFeed); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := xmltree.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DecodeShipmentAuto(parsed, sch, lookup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadShipment(bytes.NewReader(buf.Bytes()), sch, lookup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shipmentsEqual(want, got); err != nil {
+			t.Errorf("preferFeed=%v: %v", preferFeed, err)
+		}
+	}
+}
+
+func TestStreamShipmentEmpty(t *testing.T) {
+	sch := schema.CustomerInfo()
+	var buf bytes.Buffer
+	if err := StreamShipment(&buf, nil, sch, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "<shipment/>" {
+		t.Errorf("empty shipment = %q", buf.String())
+	}
+	got, err := ReadShipment(&buf, sch, func(string) *core.Fragment { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d instances from empty shipment", len(got))
+	}
+}
+
+// TestShipmentWriterMergesChunks checks the chunked-emission contract: a
+// producer may emit several instance chunks for one edge key (the
+// pipelined executor does, one per batch), and decoders merge them back
+// into a single instance.
+func TestShipmentWriterMergesChunks(t *testing.T) {
+	sch := schema.CustomerInfo()
+	f, err := core.NewFragment(sch, "feat", []string{"Feature", "FeatureID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(id, fid, txt string) *xmltree.Node {
+		return &xmltree.Node{Name: "Feature", ID: id, Parent: "l1", Kids: []*xmltree.Node{
+			{Name: "FeatureID", ID: fid, Parent: id, Text: txt},
+		}}
+	}
+	for _, preferFeed := range []bool{false, true} {
+		var buf bytes.Buffer
+		sw := NewShipmentWriter(&buf, sch, preferFeed)
+		if err := sw.Emit("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Emit("0:feat", f, []*xmltree.Node{rec("f2", "i2", "voicemail")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadShipment(&buf, sch, func(string) *core.Fragment { return f })
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := got["0:feat"]
+		if in == nil || len(in.Records) != 2 {
+			t.Fatalf("preferFeed=%v: chunks not merged: %+v", preferFeed, got)
+		}
+		if in.Records[1].Kids[0].Text != "voicemail" {
+			t.Errorf("preferFeed=%v: second chunk lost: %q", preferFeed, in.Records[1].Kids[0].Text)
+		}
+	}
+}
+
+func TestShipmentBytesMatchesStrippedSerialization(t *testing.T) {
+	_, out, _ := outboundFixture(t)
+	var want int64
+	for _, in := range out {
+		for _, rec := range in.Records {
+			want += xmltree.SizeWith(stripIDs(rec, true), xmltree.WriteOptions{EmitAllIDs: true})
+		}
+	}
+	if got := ShipmentBytes(out); got != want {
+		t.Errorf("ShipmentBytes = %d, want %d", got, want)
+	}
+	if got := ShipmentBytes(nil); got != 0 {
+		t.Errorf("ShipmentBytes(nil) = %d", got)
+	}
+}
+
+// randomInstance builds a pseudo-random Order/Service/ServiceName instance
+// exercising optional elements, empty texts, empty IDs, and XML-special
+// characters in texts, IDs, and keys.
+func randomInstance(rng *rand.Rand, f *core.Fragment) *core.Instance {
+	alphabet := []rune(`ab<>&"'|\~é`)
+	word := func() string {
+		n := rng.Intn(8)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	in := &core.Instance{Frag: f}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		root := &xmltree.Node{Name: "Order", ID: word(), Parent: word()}
+		if rng.Intn(4) > 0 { // Service is optional in some records
+			svc := &xmltree.Node{Name: "Service", ID: word(), Parent: root.ID}
+			if rng.Intn(4) > 0 {
+				svc.AddKid(&xmltree.Node{Name: "ServiceName", ID: word(), Parent: svc.ID, Text: word()})
+			}
+			root.AddKid(svc)
+		}
+		in.Records = append(in.Records, root)
+	}
+	return in
+}
+
+// TestStreamShipmentRandomized is the randomized equivalence property: for
+// arbitrary instances the streaming encoder produces the tree codec's
+// bytes, and the streaming decoder produces the tree decoder's instances.
+func TestStreamShipmentRandomized(t *testing.T) {
+	sch := schema.CustomerInfo()
+	f, err := core.NewFragment(sch, "ord", []string{"Order", "Service", "ServiceName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		out := map[string]*core.Instance{}
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			out[fmt.Sprintf(`%d:or"d<%d>`, i, rng.Intn(10))] = randomInstance(rng, f)
+		}
+		x := EncodeShipment(out)
+		want := xmltree.Marshal(x, xmltree.WriteOptions{EmitAllIDs: true})
+		var buf bytes.Buffer
+		if err := StreamShipment(&buf, out, sch, false); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != want {
+			t.Fatalf("iter %d: bytes differ:\n%s\nvs\n%s", iter, buf.String(), want)
+		}
+		parsed, err := xmltree.Parse(strings.NewReader(want))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		wantDec, err := DecodeShipment(parsed, func(string) *core.Fragment { return f })
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		gotDec, err := ReadShipment(bytes.NewReader(buf.Bytes()), sch, func(string) *core.Fragment { return f })
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if err := shipmentsEqual(wantDec, gotDec); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+// FuzzStreamShipment cross-checks the streaming codec against the tree
+// codec on fuzzer-driven shipments: identical bytes out, identical
+// instances (or identical failure) back.
+func FuzzStreamShipment(f *testing.F) {
+	f.Add("o1", "c1", "s1", "local", "0:ord", false)
+	f.Add(`o"<>&`, "", "", "a|b\\n", `k<&>"`, true)
+	f.Add("", "p", "s", "", "k", false)
+	sch := schema.CustomerInfo()
+	frag, err := core.NewFragment(sch, "ord", []string{"Order", "Service", "ServiceName"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	lookup := func(string) *core.Fragment { return frag }
+	f.Fuzz(func(t *testing.T, id, parent, svcID, text, key string, twoRecords bool) {
+		rec := &xmltree.Node{Name: "Order", ID: id, Parent: parent, Kids: []*xmltree.Node{
+			{Name: "Service", ID: svcID, Parent: id, Kids: []*xmltree.Node{
+				{Name: "ServiceName", Parent: svcID, Text: text},
+			}},
+		}}
+		in := &core.Instance{Frag: frag, Records: []*xmltree.Node{rec}}
+		if twoRecords {
+			in.Records = append(in.Records, &xmltree.Node{Name: "Order", ID: text, Parent: id})
+		}
+		out := map[string]*core.Instance{key: in}
+
+		want := xmltree.Marshal(EncodeShipment(out), xmltree.WriteOptions{EmitAllIDs: true})
+		var buf bytes.Buffer
+		if err := StreamShipment(&buf, out, sch, false); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != want {
+			t.Fatalf("bytes differ:\n%s\nvs\n%s", buf.String(), want)
+		}
+
+		// Fuzzed strings may contain characters XML cannot carry (control
+		// bytes, invalid UTF-8); both decoders must then fail alike.
+		parsed, perr := xmltree.Parse(strings.NewReader(want))
+		gotDec, serr := ReadShipment(bytes.NewReader(buf.Bytes()), sch, lookup)
+		if perr != nil {
+			if serr == nil {
+				t.Fatalf("tree decode failed (%v) but stream decode succeeded", perr)
+			}
+			return
+		}
+		if serr != nil {
+			t.Fatalf("stream decode failed: %v", serr)
+		}
+		wantDec, derr := DecodeShipment(parsed, lookup)
+		if derr != nil {
+			t.Fatalf("tree decode failed: %v", derr)
+		}
+		if err := shipmentsEqual(wantDec, gotDec); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -193,8 +193,8 @@ func parseLoc(s string) core.Location {
 // travel bare.
 func EncodeShipment(out map[string]*core.Instance) *xmltree.Node {
 	root := &xmltree.Node{Name: "shipment"}
-	for key, in := range out {
-		root.AddKid(encodeInstance(key, in))
+	for _, key := range sortedKeys(out) {
+		root.AddKid(encodeInstance(key, out[key]))
 	}
 	return root
 }
@@ -260,18 +260,6 @@ func restoreParents(n *xmltree.Node) {
 		}
 		restoreParents(k)
 	}
-}
-
-// ShipmentBytes serializes a shipment and reports its size; the payload is
-// what communication cost is charged on.
-func ShipmentBytes(out map[string]*core.Instance) int64 {
-	var n int64
-	for _, in := range out {
-		for _, rec := range in.Records {
-			n += xmltree.SizeWith(stripIDs(rec, true), xmltree.WriteOptions{EmitAllIDs: true})
-		}
-	}
-	return n
 }
 
 // FeedBytes returns the size of an instance shipped as a sorted feed in

@@ -1,10 +1,7 @@
 package xmltree
 
 import (
-	"encoding/xml"
-	"fmt"
 	"io"
-	"strings"
 )
 
 // Handler receives streaming parse events, in the style of the SAX C API the
@@ -24,52 +21,112 @@ type Handler interface {
 // memory, which is what lets the shredder discard state as soon as tuples
 // are flushed.
 func Scan(r io.Reader, h Handler) error {
-	dec := xml.NewDecoder(r)
-	depth := 0
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			if depth != 0 {
-				return fmt.Errorf("xmltree: scan: unterminated document")
-			}
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("xmltree: scan: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			var id, parent string
-			for _, a := range t.Attr {
-				switch a.Name.Local {
-				case "ID":
-					id = a.Value
-				case "PARENT":
-					parent = a.Value
-				}
-			}
-			depth++
-			if err := h.StartElement(t.Name.Local, id, parent); err != nil {
-				return err
-			}
-		case xml.EndElement:
-			depth--
-			if err := h.EndElement(t.Name.Local); err != nil {
-				return err
-			}
-		case xml.CharData:
-			if depth == 0 {
-				continue
-			}
-			s := strings.TrimSpace(string(t))
-			if s == "" {
-				continue
-			}
-			if err := h.Text(s); err != nil {
-				return err
-			}
+	return scanStream(r, idParentAdapter{h})
+}
+
+// idParentAdapter narrows AttrHandler events to the Handler interface,
+// extracting the ID/PARENT pair the shredder dispatches on.
+type idParentAdapter struct{ h Handler }
+
+// StartElement implements AttrHandler.
+func (a idParentAdapter) StartElement(name string, attrs []Attr) error {
+	var id, parent string
+	for _, at := range attrs {
+		switch at.Name {
+		case "ID":
+			id = at.Value
+		case "PARENT":
+			parent = at.Value
 		}
 	}
+	return a.h.StartElement(name, id, parent)
+}
+
+// Text implements AttrHandler.
+func (a idParentAdapter) Text(data string) error { return a.h.Text(data) }
+
+// EndElement implements AttrHandler.
+func (a idParentAdapter) EndElement(name string) error { return a.h.EndElement(name) }
+
+// AttrHandler receives streaming parse events carrying the full attribute
+// list of each element, for consumers that dispatch on attributes beyond
+// ID/PARENT (the wire shipment decoder, the SOAP envelope walker).
+type AttrHandler interface {
+	// StartElement is called for each open tag. attrs holds every generic
+	// attribute in document order; namespace declarations are dropped. The
+	// slice is reused between calls — copy it to retain it.
+	StartElement(name string, attrs []Attr) error
+	// Text is called with trimmed, non-empty character data of the current
+	// element.
+	Text(data string) error
+	// EndElement is called for each close tag.
+	EndElement(name string) error
+}
+
+// ScanAttrs streams XML from r into h, like Scan but delivering the full
+// attribute list of every element. It is single-pass and keeps no tree in
+// memory; it is what the zero-materialization wire path parses shipments
+// with.
+func ScanAttrs(r io.Reader, h AttrHandler) error {
+	return scanStream(r, h)
+}
+
+// TreeBuilder is an AttrHandler that materializes scanned elements into
+// Node trees with the same semantics as Parse: ID and PARENT attributes
+// become the Node's identifier fields, any other attribute is kept, and
+// trimmed character data accumulates on the innermost open element. It lets
+// a streaming consumer (the SOAP server) materialize only the small
+// subtrees it needs while larger siblings flow through purpose-built
+// handlers.
+type TreeBuilder struct {
+	roots []*Node
+	stack []*Node
+}
+
+// StartElement implements AttrHandler.
+func (b *TreeBuilder) StartElement(name string, attrs []Attr) error {
+	n := &Node{Name: name}
+	for _, a := range attrs {
+		switch a.Name {
+		case "ID":
+			n.ID = a.Value
+		case "PARENT":
+			n.Parent = a.Value
+		default:
+			n.Attrs = append(n.Attrs, a)
+		}
+	}
+	if len(b.stack) == 0 {
+		b.roots = append(b.roots, n)
+	} else {
+		b.stack[len(b.stack)-1].AddKid(n)
+	}
+	b.stack = append(b.stack, n)
+	return nil
+}
+
+// Text implements AttrHandler.
+func (b *TreeBuilder) Text(data string) error {
+	if len(b.stack) > 0 {
+		b.stack[len(b.stack)-1].Text += data
+	}
+	return nil
+}
+
+// EndElement implements AttrHandler.
+func (b *TreeBuilder) EndElement(string) error {
+	if len(b.stack) > 0 {
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	return nil
+}
+
+// Root returns the first completed tree, or nil if no element finished.
+func (b *TreeBuilder) Root() *Node {
+	if len(b.roots) == 0 || len(b.stack) != 0 {
+		return nil
+	}
+	return b.roots[0]
 }
 
 // FuncHandler adapts three closures into a Handler; nil funcs are no-ops.

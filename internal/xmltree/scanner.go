@@ -1,0 +1,500 @@
+package xmltree
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"unicode/utf8"
+)
+
+// attrScanner is the byte-level SAX tokenizer behind Scan and ScanAttrs.
+// encoding/xml allocates the token struct plus every element and attribute
+// name on each event; at shipment sizes that tokenizer dominated the
+// streaming decoder's allocation profile. This scanner interns names (the
+// vocabulary of any document is small), reuses one attribute slice and one
+// scratch buffer, and allocates only the strings the handler actually
+// keeps: text chunks and attribute values.
+type attrScanner struct {
+	br    *bufio.Reader
+	h     AttrHandler
+	names map[string]string
+	attrs []Attr
+	text  []byte // raw accumulation of the pending character data
+	dec   []byte // entity-decoding scratch
+	depth int
+}
+
+var errUnterminated = fmt.Errorf("xmltree: scan: unterminated document")
+
+// scanStream drives the tokenizer over r, delivering events to h with the
+// same contract as ScanAttrs: local names, xmlns attributes dropped,
+// trimmed non-empty text, attribute slice reused between calls.
+func scanStream(r io.Reader, h AttrHandler) error {
+	s := &attrScanner{
+		br:    bufio.NewReaderSize(r, 32<<10),
+		h:     h,
+		names: make(map[string]string, 32),
+	}
+	for {
+		err := s.scanText()
+		if err == io.EOF {
+			if s.depth != 0 {
+				return errUnterminated
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return errUnterminated
+		}
+		switch c {
+		case '/':
+			err = s.scanEndTag()
+		case '!':
+			err = s.scanBang()
+		case '?':
+			err = s.skipUntil("?>")
+		default:
+			s.br.UnreadByte()
+			err = s.scanStartTag()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// scanText consumes character data up to the next '<' (which it also
+// consumes) and emits it trimmed. Returns io.EOF at end of input.
+func (s *attrScanner) scanText() error {
+	s.text = s.text[:0]
+	for {
+		chunk, err := s.br.ReadSlice('<')
+		if err == nil {
+			body := chunk[:len(chunk)-1]
+			if len(s.text) == 0 {
+				return s.emitText(body)
+			}
+			s.text = append(s.text, body...)
+			return s.emitText(s.text)
+		}
+		s.text = append(s.text, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF {
+			if e := s.emitText(s.text); e != nil {
+				return e
+			}
+			return io.EOF
+		}
+		return fmt.Errorf("xmltree: scan: %w", err)
+	}
+}
+
+// emitText decodes entities, trims, and delivers a text event. Character
+// data outside the root element is discarded, matching encoding/xml's
+// behaviour for the handlers this package feeds.
+func (s *attrScanner) emitText(raw []byte) error {
+	if s.depth == 0 {
+		return nil
+	}
+	if bytes.IndexByte(raw, '&') < 0 && bytes.IndexByte(raw, '\r') < 0 {
+		if err := checkChars(raw); err != nil {
+			return err
+		}
+		if t := bytes.TrimSpace(raw); len(t) > 0 {
+			return s.h.Text(string(t))
+		}
+		return nil
+	}
+	dec, err := decodeEntities(s.dec[:0], raw)
+	s.dec = dec[:0]
+	if err != nil {
+		return err
+	}
+	if err := checkChars(dec); err != nil {
+		return err
+	}
+	if t := bytes.TrimSpace(dec); len(t) > 0 {
+		return s.h.Text(string(t))
+	}
+	return nil
+}
+
+// checkChars enforces the XML Char production the way encoding/xml does:
+// control codes outside tab/LF/CR, surrogate halves, U+FFFE/U+FFFF, and
+// invalid UTF-8 sequences are all rejected. The streaming and tree decode
+// paths must fail on exactly the same inputs.
+func checkChars(b []byte) error {
+	for i := 0; i < len(b); {
+		c := b[i]
+		if c >= 0x20 && c < 0x80 {
+			i++
+			continue
+		}
+		if c < 0x80 {
+			if c == '\t' || c == '\n' || c == '\r' {
+				i++
+				continue
+			}
+			return fmt.Errorf("xmltree: scan: illegal character code %#x", c)
+		}
+		r, size := utf8.DecodeRune(b[i:])
+		if r == utf8.RuneError && size == 1 {
+			return fmt.Errorf("xmltree: scan: invalid UTF-8")
+		}
+		if !isXMLChar(r) {
+			return fmt.Errorf("xmltree: scan: illegal character code %#x", r)
+		}
+		i += size
+	}
+	return nil
+}
+
+// isXMLChar reports whether r is in the XML 1.0 Char production.
+func isXMLChar(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+// decodeEntities appends src to dst resolving the five XML entities,
+// numeric character references, and CR/CRLF newline normalization.
+func decodeEntities(dst, src []byte) ([]byte, error) {
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch c {
+		case '\r':
+			if i+1 < len(src) && src[i+1] == '\n' {
+				continue // CRLF collapses to the upcoming LF
+			}
+			dst = append(dst, '\n')
+		case '&':
+			semi := bytes.IndexByte(src[i:min(i+34, len(src))], ';')
+			if semi < 1 {
+				return dst, fmt.Errorf("xmltree: scan: malformed entity")
+			}
+			ent := src[i+1 : i+semi]
+			i += semi
+			switch string(ent) {
+			case "lt":
+				dst = append(dst, '<')
+			case "gt":
+				dst = append(dst, '>')
+			case "amp":
+				dst = append(dst, '&')
+			case "quot":
+				dst = append(dst, '"')
+			case "apos":
+				dst = append(dst, '\'')
+			default:
+				if len(ent) < 2 || ent[0] != '#' {
+					return dst, fmt.Errorf("xmltree: scan: unknown entity &%s;", ent)
+				}
+				var (
+					n   uint64
+					err error
+				)
+				if ent[1] == 'x' || ent[1] == 'X' {
+					n, err = strconv.ParseUint(string(ent[2:]), 16, 32)
+				} else {
+					n, err = strconv.ParseUint(string(ent[1:]), 10, 32)
+				}
+				if err != nil || !isXMLChar(rune(n)) {
+					return dst, fmt.Errorf("xmltree: scan: bad character reference &%s;", ent)
+				}
+				dst = utf8.AppendRune(dst, rune(n))
+			}
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst, nil
+}
+
+// intern returns a shared string for a name, allocating only the first
+// time each distinct name is seen.
+func (s *attrScanner) intern(b []byte) string {
+	if v, ok := s.names[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.names[v] = v
+	return v
+}
+
+// localPart strips a single namespace prefix, mirroring xml.Name.Local.
+func localPart(b []byte) []byte {
+	if i := bytes.LastIndexByte(b, ':'); i >= 0 {
+		return b[i+1:]
+	}
+	return b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// readName consumes a tag or attribute name, stopping before the first
+// byte that cannot be part of one. The returned slice aliases s.dec.
+func (s *attrScanner) readName() ([]byte, error) {
+	s.dec = s.dec[:0]
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return nil, errUnterminated
+		}
+		if isSpace(c) || c == '>' || c == '/' || c == '=' {
+			s.br.UnreadByte()
+			if len(s.dec) == 0 {
+				return nil, fmt.Errorf("xmltree: scan: empty name")
+			}
+			return s.dec, nil
+		}
+		if c == '<' {
+			return nil, fmt.Errorf("xmltree: scan: '<' in tag")
+		}
+		s.dec = append(s.dec, c)
+	}
+}
+
+func (s *attrScanner) skipSpace() (byte, error) {
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return 0, errUnterminated
+		}
+		if !isSpace(c) {
+			return c, nil
+		}
+	}
+}
+
+// scanStartTag parses an open (or self-closing) tag; the leading '<' is
+// already consumed.
+func (s *attrScanner) scanStartTag() error {
+	nameB, err := s.readName()
+	if err != nil {
+		return err
+	}
+	name := s.intern(localPart(nameB))
+	s.attrs = s.attrs[:0]
+	for {
+		c, err := s.skipSpace()
+		if err != nil {
+			return err
+		}
+		switch c {
+		case '>':
+			s.depth++
+			return s.h.StartElement(name, s.attrs)
+		case '/':
+			if c, err = s.br.ReadByte(); err != nil || c != '>' {
+				return errUnterminated
+			}
+			s.depth++
+			if err := s.h.StartElement(name, s.attrs); err != nil {
+				return err
+			}
+			s.depth--
+			return s.h.EndElement(name)
+		default:
+			s.br.UnreadByte()
+			if err := s.scanAttr(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// scanAttr parses one name="value" pair, dropping namespace declarations.
+func (s *attrScanner) scanAttr() error {
+	nameB, err := s.readName()
+	if err != nil {
+		return err
+	}
+	// The name slice aliases s.dec, which readName and decodeEntities
+	// reuse; resolve drop/keep before touching the value.
+	drop := false
+	if i := bytes.LastIndexByte(nameB, ':'); i >= 0 {
+		drop = string(nameB[:i]) == "xmlns"
+		nameB = nameB[i+1:]
+	} else if string(nameB) == "xmlns" {
+		drop = true
+	}
+	var name string
+	if !drop {
+		name = s.intern(nameB)
+	}
+	c, err := s.skipSpace()
+	if err != nil {
+		return err
+	}
+	if c != '=' {
+		return fmt.Errorf("xmltree: scan: attribute %q without value", name)
+	}
+	quote, err := s.skipSpace()
+	if err != nil {
+		return err
+	}
+	if quote != '"' && quote != '\'' {
+		return fmt.Errorf("xmltree: scan: unquoted attribute value")
+	}
+	s.text = s.text[:0]
+	for {
+		chunk, err := s.br.ReadSlice(quote)
+		if err == nil {
+			s.text = append(s.text, chunk[:len(chunk)-1]...)
+			break
+		}
+		s.text = append(s.text, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return errUnterminated
+	}
+	if drop {
+		return nil
+	}
+	var value string
+	if bytes.IndexByte(s.text, '&') < 0 && bytes.IndexByte(s.text, '\r') < 0 {
+		if err := checkChars(s.text); err != nil {
+			return err
+		}
+		value = string(s.text)
+	} else {
+		dec, err := decodeEntities(s.dec[:0], s.text)
+		s.dec = dec[:0]
+		if err != nil {
+			return err
+		}
+		if err := checkChars(dec); err != nil {
+			return err
+		}
+		value = string(dec)
+	}
+	s.attrs = append(s.attrs, Attr{Name: name, Value: value})
+	return nil
+}
+
+// scanEndTag parses a close tag; "</" is already consumed.
+func (s *attrScanner) scanEndTag() error {
+	nameB, err := s.readName()
+	if err != nil {
+		return err
+	}
+	name := s.intern(localPart(nameB))
+	c, err := s.skipSpace()
+	if err != nil {
+		return err
+	}
+	if c != '>' {
+		return fmt.Errorf("xmltree: scan: malformed end tag </%s>", name)
+	}
+	s.depth--
+	if s.depth < 0 {
+		return fmt.Errorf("xmltree: scan: unexpected end tag </%s>", name)
+	}
+	return s.h.EndElement(name)
+}
+
+// scanBang handles "<!" constructs: comments, CDATA sections, and DOCTYPE
+// declarations (the latter skipped wholesale).
+func (s *attrScanner) scanBang() error {
+	c, err := s.br.ReadByte()
+	if err != nil {
+		return errUnterminated
+	}
+	switch c {
+	case '-':
+		if c, err = s.br.ReadByte(); err != nil || c != '-' {
+			return fmt.Errorf("xmltree: scan: malformed comment")
+		}
+		return s.skipUntil("-->")
+	case '[':
+		for _, want := range []byte("CDATA[") {
+			if c, err = s.br.ReadByte(); err != nil || c != want {
+				return fmt.Errorf("xmltree: scan: malformed CDATA section")
+			}
+		}
+		return s.scanCDATA()
+	default:
+		// DOCTYPE or similar: skip to the matching '>', tolerating an
+		// internal subset in brackets.
+		bracket := 0
+		for {
+			if c == '[' {
+				bracket++
+			} else if c == ']' {
+				bracket--
+			} else if c == '>' && bracket <= 0 {
+				return nil
+			}
+			if c, err = s.br.ReadByte(); err != nil {
+				return errUnterminated
+			}
+		}
+	}
+}
+
+// scanCDATA reads raw character data up to "]]>" and emits it trimmed.
+func (s *attrScanner) scanCDATA() error {
+	s.text = s.text[:0]
+	match := 0
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return errUnterminated
+		}
+		switch {
+		case c == ']':
+			if match == 2 {
+				s.text = append(s.text, ']') // "]]]" keeps one literal ']'
+			} else {
+				match++
+			}
+			continue
+		case c == '>' && match == 2:
+			if s.depth > 0 {
+				if err := checkChars(s.text); err != nil {
+					return err
+				}
+				if t := bytes.TrimSpace(s.text); len(t) > 0 {
+					return s.h.Text(string(t))
+				}
+			}
+			return nil
+		default:
+			for ; match > 0; match-- {
+				s.text = append(s.text, ']')
+			}
+			s.text = append(s.text, c)
+		}
+	}
+}
+
+// skipUntil discards input through the first occurrence of pat.
+func (s *attrScanner) skipUntil(pat string) error {
+	match := 0
+	for {
+		c, err := s.br.ReadByte()
+		if err != nil {
+			return errUnterminated
+		}
+		if c == pat[match] {
+			match++
+			if match == len(pat) {
+				return nil
+			}
+		} else if c == pat[0] {
+			match = 1
+		} else {
+			match = 0
+		}
+	}
+}

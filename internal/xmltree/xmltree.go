@@ -195,8 +195,28 @@ func writeNode(w *bufio.Writer, n *Node, opts WriteOptions, depth int, isRoot bo
 	return nil
 }
 
+// escapeIndex returns the index of the first byte of s that XML content
+// must escape, or -1. Each candidate is located with strings.IndexByte so
+// runs with nothing to escape — the overwhelmingly common case for keys and
+// element text — are found by vectorized scans instead of a byte loop.
+func escapeIndex(s string) int {
+	first := -1
+	for _, c := range [...]byte{'<', '>', '&', '"'} {
+		if i := strings.IndexByte(s, c); i >= 0 && (first < 0 || i < first) {
+			first = i
+		}
+	}
+	return first
+}
+
 func escapeTo(w *bufio.Writer, s string) {
-	for i := 0; i < len(s); i++ {
+	for len(s) > 0 {
+		i := escapeIndex(s)
+		if i < 0 {
+			w.WriteString(s)
+			return
+		}
+		w.WriteString(s[:i])
 		switch s[i] {
 		case '<':
 			w.WriteString("&lt;")
@@ -206,11 +226,16 @@ func escapeTo(w *bufio.Writer, s string) {
 			w.WriteString("&amp;")
 		case '"':
 			w.WriteString("&quot;")
-		default:
-			w.WriteByte(s[i])
 		}
+		s = s[i+1:]
 	}
 }
+
+// Escape writes s with XML content escaping ('<', '>', '&', '"'), bulk
+// writing runs with no escapable bytes. It is the serializer's escaper,
+// exported for codecs (the wire layer) that produce XML without building a
+// Node tree first.
+func Escape(w *bufio.Writer, s string) { escapeTo(w, s) }
 
 // Marshal serializes the subtree to a string, for tests and small payloads.
 func Marshal(n *Node, opts WriteOptions) string {

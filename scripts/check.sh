@@ -10,3 +10,7 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Benchmark smoke: 100 fixed iterations so broken benchmarks fail the gate
+# without turning it into a performance run.
+make bench-smoke
