@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-smoke experiments experiments-quick examples clean
+.PHONY: all build test vet check soak bench bench-smoke experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ test:
 # (the streaming executor is concurrency-heavy). CI runs the same script.
 check:
 	./scripts/check.sh
+
+# Fault-injection soak: the reliable-exchange e2e under the race detector,
+# repeated over a widened fixed seed matrix (deterministic — FaultyLink
+# derives every fault from the seed). Part of the merge gate.
+SOAK_SEEDS ?= 1,7,12,17,18,25
+soak:
+	XDX_FAULT_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 \
+		-run 'TestReliableExchange' ./internal/registry/
 
 # One testing.B benchmark per table and figure, plus ablations.
 bench:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	xdxd -listen :8080 [-bandwidth 160000]
+//	xdxd -listen :8080 [-bandwidth 160000] [-reliable [-chunk 64]]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"xdx/internal/netsim"
 	"xdx/internal/registry"
+	"xdx/internal/reliable"
 )
 
 func main() {
@@ -24,6 +25,15 @@ func main() {
 	bandwidth := flag.Float64("bandwidth", 0, "modeled source->target bandwidth in bytes/sec (0 = unlimited)")
 	latency := flag.Duration("latency", 0, "modeled link latency")
 	state := flag.String("state", "", "directory for persisted registrations (survives restarts)")
+	streamed := flag.Bool("streamed", false, "drive exchanges over the zero-materialization wire path")
+	reliab := flag.Bool("reliable", false, "retry, resume, and circuit-break exchanges (implies the streamed wire path)")
+	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per call (0 = default 4)")
+	retryBudget := flag.Int("retry-budget", 0, "total retries allowed per exchange (0 = default 16)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt SOAP call timeout (0 = client default)")
+	chunkSize := flag.Int("chunk", 0, "records per resumable shipment chunk (0 = default 64)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures before an endpoint's circuit opens (0 = default 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit fails fast (0 = default 1s)")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for backoff jitter and session IDs (reproducible runs)")
 	flag.Parse()
 
 	link := netsim.Link{BytesPerSecond: *bandwidth, Latency: *latency}
@@ -38,6 +48,27 @@ func main() {
 		log.Printf("xdxd: restored %d services from %s", len(agency.Services()), *state)
 	}
 	svc := registry.NewService(agency, link)
+	svc.Streamed = *streamed
+	if *reliab {
+		cfg := &reliable.Config{
+			Policy: reliable.Policy{
+				MaxAttempts:    *retryAttempts,
+				Budget:         *retryBudget,
+				AttemptTimeout: *attemptTimeout,
+			},
+			Breaker: reliable.BreakerConfig{
+				FailureThreshold: *breakerFailures,
+				Cooldown:         *breakerCooldown,
+			},
+			ChunkSize: *chunkSize,
+			Seed:      *retrySeed,
+		}
+		// One breaker set for the daemon's lifetime, so endpoint health
+		// carries across exchanges instead of resetting per request.
+		cfg.Breakers = reliable.NewBreakerSet(cfg.Breaker)
+		svc.Reliability = cfg
+		log.Printf("xdxd: reliable exchanges on (chunk=%d)", cfg.ChunkSize)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/soap", svc.Handler())

@@ -19,6 +19,7 @@ import (
 
 	"xdx/internal/core"
 	"xdx/internal/endpoint"
+	"xdx/internal/netsim"
 	"xdx/internal/relstore"
 	"xdx/internal/wsdlx"
 	"xdx/internal/xmark"
@@ -32,6 +33,12 @@ func main() {
 	name := flag.String("name", "endpoint", "endpoint name")
 	speed := flag.Float64("speed", 1, "relative processing speed reported to cost probes")
 	dumb := flag.Bool("dumb", false, "refuse to run Combine (dumb client)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for injected faults (reproducible chaos runs)")
+	faultDrop := flag.Float64("fault-drop", 0, "probability a request is aborted before any response")
+	faultTruncate := flag.Float64("fault-truncate", 0, "probability a response is cut mid-stream")
+	faultStall := flag.Float64("fault-stall", 0, "probability a response stalls once before continuing")
+	fault5xx := flag.Float64("fault-5xx", 0, "probability a request is answered with a plain 503")
+	faultMaxTruncate := flag.Int("fault-max-truncate", 0, "max bytes before a truncation cut (0 = default 4096)")
 	flag.Parse()
 
 	sch := xmark.Schema()
@@ -75,8 +82,23 @@ func main() {
 	}
 	ep := endpoint.New(*name, &endpoint.RelBackend{Store: store, Speed: *speed, CanCombine: !*dumb}, defs)
 
+	soapH := http.Handler(ep.Handler())
+	faults := netsim.Faults{
+		Seed:         *faultSeed,
+		DropProb:     *faultDrop,
+		TruncateProb: *faultTruncate,
+		StallProb:    *faultStall,
+		HTTP5xxProb:  *fault5xx,
+		MaxTruncate:  *faultMaxTruncate,
+	}
+	if faults.DropProb > 0 || faults.TruncateProb > 0 || faults.StallProb > 0 || faults.HTTP5xxProb > 0 {
+		fl := netsim.NewFaultyLink(netsim.Loopback(), faults)
+		soapH = fl.Middleware(soapH)
+		log.Printf("xdxendpoint: injecting %s", faults)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/soap", ep.Handler())
+	mux.Handle("/soap", soapH)
 	mux.HandleFunc("/wsdl", func(w http.ResponseWriter, r *http.Request) {
 		data, err := defs.Marshal()
 		if err != nil {

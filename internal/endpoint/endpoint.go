@@ -14,6 +14,7 @@ import (
 
 	"xdx/internal/core"
 	"xdx/internal/ldapstore"
+	"xdx/internal/reliable"
 	"xdx/internal/relstore"
 	"xdx/internal/schema"
 	"xdx/internal/soap"
@@ -170,16 +171,19 @@ type Endpoint struct {
 	// the endpoint publishes.
 	WSDL *wsdlx.Definitions
 
-	backend Backend
-	srv     *soap.Server
+	backend  Backend
+	srv      *soap.Server
+	sessions *reliable.SessionStore
 }
 
 // New wires a backend into a SOAP endpoint.
 func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
-	e := &Endpoint{Name: name, WSDL: defs, backend: be, srv: soap.NewServer()}
+	e := &Endpoint{Name: name, WSDL: defs, backend: be, srv: soap.NewServer(),
+		sessions: reliable.NewSessionStore()}
 	e.srv.Handle("GetWSDL", e.getWSDL)
 	e.srv.Handle("ProbeStats", e.probeStats)
 	e.srv.Handle("ProbeCost", e.probeCost)
+	e.srv.Handle("SessionStatus", e.sessionStatus)
 	e.srv.HandleStream("ExecuteSource", e.executeSourceStream)
 	e.srv.HandleStream("ExecuteTarget", e.executeTargetStream)
 	return e

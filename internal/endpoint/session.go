@@ -1,0 +1,135 @@
+package endpoint
+
+// Resumable ExecuteTarget sessions (the reliable-exchange subsystem's
+// endpoint side). A caller that tags ExecuteTarget with session="id" opts
+// into at-most-once delivery semantics across reconnects:
+//
+//   - the shipment decoder commits chunks into a per-session instance map,
+//     guarded by the session's idempotency ledger, so chunks that survived
+//     a torn connection are kept and replays are dropped;
+//   - the target slice executes once; if the response was lost on the way
+//     back, a retried request replays the stored response instead of
+//     loading the backend twice;
+//   - SessionStatus reports the chunk checkpoint — the ack a reconnecting
+//     source resumes emission from.
+
+import (
+	"io"
+	"strconv"
+	"sync"
+
+	"xdx/internal/core"
+	"xdx/internal/reliable"
+	"xdx/internal/schema"
+	"xdx/internal/soap"
+	"xdx/internal/wire"
+	"xdx/internal/xmltree"
+)
+
+// targetSession is the endpoint's protocol state for one resumable
+// ExecuteTarget transfer: the instance map delivery attempts accumulate
+// into, the execute-once latch, and the stored response replayed when a
+// completed execution's reply was lost in transit.
+type targetSession struct {
+	mu      sync.Mutex
+	ledger  *reliable.Ledger
+	inbound map[string]*core.Instance
+	done    bool
+	resp    *xmltree.Node
+}
+
+// targetSessionFor returns the session's endpoint state, attaching it on
+// first sight.
+func (e *Endpoint) targetSessionFor(id string) *targetSession {
+	s := e.sessions.GetOrCreate(id)
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	ts, ok := s.Data.(*targetSession)
+	if !ok {
+		ts = &targetSession{ledger: s.Ledger, inbound: map[string]*core.Instance{}}
+		s.Data = ts
+	}
+	return ts
+}
+
+// decoder builds this delivery attempt's shipment decoder over the
+// session's accumulating instance map, with the ledger plugged into the
+// chunk-admission, record-dedup, and checkpoint hooks.
+func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *core.Fragment) *wire.ShipmentDecoder {
+	d := wire.NewShipmentDecoderInto(sch, lookup, ts.inbound)
+	d.OnChunk = ts.ledger.AdmitChunk
+	d.KeepRecord = ts.ledger.KeepRecord
+	d.ChunkDone = ts.ledger.ChunkDone
+	return d
+}
+
+// respondSession is the session-mode responder: execute once, stamp the
+// ledger's checkpoint and dedup count onto the response, and replay the
+// stored response on retries of a completed execution.
+func (t *targetScan) respondSession(w io.Writer) error {
+	ts := t.ts
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.done {
+		ts.resp.SetAttr("replayed", "1")
+		return xmltree.Write(w, ts.resp, xmltree.WriteOptions{EmitAllIDs: true})
+	}
+	if t.g == nil {
+		return &soap.Fault{Code: "soap:Client", String: "missing program"}
+	}
+	if !t.sawShipment {
+		return &soap.Fault{Code: "soap:Client", String: "missing shipment"}
+	}
+	if _, err := t.dec.Result(); err != nil {
+		return err
+	}
+	resp, err := t.e.runTarget(t.g, t.a, ts.inbound, t.pipelined)
+	if err != nil {
+		return err
+	}
+	resp.SetAttr("checkpoint", strconv.FormatInt(ts.ledger.Checkpoint(), 10))
+	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
+	ts.done = true
+	ts.resp = resp
+	return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+}
+
+// sessionStatus answers a SessionStatus probe: the chunk checkpoint a
+// resuming source should skip to, whether the target already executed, and
+// how many replayed records were deduped. Unknown sessions answer
+// known="0" with a zero checkpoint — a source that never reached the
+// target resumes from the start.
+func (e *Endpoint) sessionStatus(req *xmltree.Node) (*xmltree.Node, error) {
+	id, _ := req.Attr("session")
+	if id == "" {
+		return nil, &soap.Fault{Code: "soap:Client", String: "SessionStatus without session id"}
+	}
+	resp := &xmltree.Node{Name: "SessionStatusResponse"}
+	resp.SetAttr("session", id)
+	s := e.sessions.Get(id)
+	if s == nil {
+		resp.SetAttr("known", "0")
+		resp.SetAttr("next", "0")
+		resp.SetAttr("done", "0")
+		return resp, nil
+	}
+	s.Mu.Lock()
+	ts, _ := s.Data.(*targetSession)
+	s.Mu.Unlock()
+	resp.SetAttr("known", "1")
+	if ts == nil {
+		resp.SetAttr("next", "0")
+		resp.SetAttr("done", "0")
+		return resp, nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	resp.SetAttr("next", strconv.FormatInt(ts.ledger.Checkpoint(), 10))
+	done := "0"
+	if ts.done {
+		done = "1"
+	}
+	resp.SetAttr("done", done)
+	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
+	return resp, nil
+}

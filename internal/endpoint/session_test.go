@@ -1,0 +1,235 @@
+package endpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/reliable"
+	"xdx/internal/relstore"
+	"xdx/internal/schema"
+	"xdx/internal/wire"
+	"xdx/internal/xmltree"
+)
+
+// scanWriteProgram builds the identical-fragmentation Scan->Write program
+// used by the exchange tests, with scans at the source and writes at the
+// target.
+func scanWriteProgram(t *testing.T, fr *core.Fragmentation) (*core.Graph, core.Assignment, *xmltree.Node) {
+	t.Helper()
+	m, err := core.NewMapping(fr, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.CanonicalProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAssignment(g)
+	for _, op := range g.Ops {
+		if op.Kind == core.OpWrite {
+			a[op.ID] = core.LocTarget
+		} else {
+			a[op.ID] = core.LocSource
+		}
+	}
+	progXML, err := wire.EncodeProgram(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a, progXML
+}
+
+// fragDict returns the program's fragment dictionary, as the target's
+// shipment decoder resolves it.
+func fragDict(g *core.Graph) func(name string) *core.Fragment {
+	frags := map[string]*core.Fragment{}
+	for _, op := range g.Ops {
+		frags[op.Out.Name] = op.Out
+		for _, p := range op.Parts {
+			frags[p.Name] = p
+		}
+	}
+	for _, ed := range g.Edges {
+		frags[ed.Frag.Name] = ed.Frag
+	}
+	return func(name string) *core.Fragment { return frags[name] }
+}
+
+// TestExecuteTargetSessionResume drives the endpoint's resumable-session
+// protocol end to end: a delivery torn mid-chunk leaves only whole chunks
+// committed, SessionStatus reports the checkpoint, a full retry commits
+// exactly the missing chunks, and a third delivery replays the stored
+// response without executing twice.
+func TestExecuteTargetSessionResume(t *testing.T) {
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	srcStore := loadedStore(t, fr)
+	srcClient, srcDone := startEndpoint(t, &RelBackend{Store: srcStore, Speed: 1, CanCombine: true})
+	defer srcDone()
+	tgtStore, err := relstore.NewStore(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtClient, tgtDone := startEndpoint(t, &RelBackend{Store: tgtStore, Speed: 1, CanCombine: true})
+	defer tgtDone()
+
+	g, _, progXML := scanWriteProgram(t, fr)
+
+	// Produce the outbound shipment and rechunk it one record per chunk.
+	reqS := &xmltree.Node{Name: "ExecuteSource"}
+	reqS.AddKid(progXML)
+	respS, err := srcClient.Call("ExecuteSource", reqS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipment *xmltree.Node
+	for _, k := range respS.Kids {
+		if k.Name == "shipment" {
+			shipment = k
+		}
+	}
+	if shipment == nil {
+		t.Fatal("source returned no shipment")
+	}
+	outbound, err := wire.ReadShipment(
+		strings.NewReader(xmltree.Marshal(shipment, xmltree.WriteOptions{EmitAllIDs: true})),
+		sch, fragDict(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := reliable.ChunkShipment(outbound, 1)
+	if len(chunks) < 3 {
+		t.Fatalf("fixture too small: %d chunks", len(chunks))
+	}
+	var ship bytes.Buffer
+	sw := wire.NewShipmentWriter(&ship, sch, false)
+	for _, c := range chunks {
+		if err := sw.EmitChunk(c.Key, c.Frag, c.Recs, c.Seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wireBytes := ship.Bytes()
+
+	const head = `<ExecuteTarget session="sess-resume-1">`
+	prog := xmltree.Marshal(progXML, xmltree.WriteOptions{EmitAllIDs: true})
+
+	// Attempt 1: the connection dies partway into chunk 1.
+	cut := bytes.Index(wireBytes, []byte("</instance>")) + len("</instance>") + 10
+	err = tgtClient.CallStream("ExecuteTarget", func(w io.Writer) error {
+		io.WriteString(w, head)
+		io.WriteString(w, prog)
+		w.Write(wireBytes[:cut])
+		return errors.New("injected drop")
+	}, nil)
+	if err == nil {
+		t.Fatal("torn delivery reported success")
+	}
+	if tgtStore.Rows() != 0 {
+		t.Fatalf("target loaded %d rows from a torn delivery", tgtStore.Rows())
+	}
+
+	// The target acked exactly the chunks that arrived whole.
+	status := &xmltree.Node{Name: "SessionStatus"}
+	status.SetAttr("session", "sess-resume-1")
+	st, err := tgtClient.Call("SessionStatus", status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Attr("known"); v != "1" {
+		t.Fatalf("session unknown after torn delivery: %s", xmltree.Marshal(st, xmltree.WriteOptions{}))
+	}
+	if v, _ := st.Attr("next"); v != "1" {
+		t.Fatalf("checkpoint = %q after torn delivery, want 1", v)
+	}
+	if v, _ := st.Attr("done"); v != "0" {
+		t.Fatal("session done before any complete delivery")
+	}
+
+	// Attempt 2: full redelivery; the ledger skips chunk 0, commits the
+	// rest, and the target executes.
+	tb := &xmltree.TreeBuilder{}
+	err = tgtClient.CallStream("ExecuteTarget", func(w io.Writer) error {
+		io.WriteString(w, head)
+		io.WriteString(w, prog)
+		_, werr := w.Write(wireBytes)
+		io.WriteString(w, "</ExecuteTarget>")
+		return werr
+	}, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := tb.Root()
+	if resp == nil || resp.Name != "ExecuteTargetResponse" {
+		t.Fatalf("unexpected response %s", xmltree.Marshal(resp, xmltree.WriteOptions{}))
+	}
+	if v, _ := resp.Attr("checkpoint"); v != strconv.Itoa(len(chunks)) {
+		t.Errorf("checkpoint = %q after redelivery, want %d", v, len(chunks))
+	}
+	if v, _ := resp.Attr("replayed"); v != "" {
+		t.Error("first complete delivery marked as replay")
+	}
+	if tgtStore.Rows() != srcStore.Rows() {
+		t.Fatalf("target rows = %d, want %d", tgtStore.Rows(), srcStore.Rows())
+	}
+
+	// Attempt 3: a retry of the completed session replays the stored
+	// response instead of loading the backend twice.
+	tb = &xmltree.TreeBuilder{}
+	err = tgtClient.CallStream("ExecuteTarget", func(w io.Writer) error {
+		io.WriteString(w, head)
+		io.WriteString(w, prog)
+		_, werr := w.Write(wireBytes)
+		io.WriteString(w, "</ExecuteTarget>")
+		return werr
+	}, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tb.Root().Attr("replayed"); v != "1" {
+		t.Error("completed session did not replay its response")
+	}
+	if tgtStore.Rows() != srcStore.Rows() {
+		t.Errorf("replay changed the target store: %d rows", tgtStore.Rows())
+	}
+
+	// The status probe agrees the session is finished.
+	st, err = tgtClient.Call("SessionStatus", status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Attr("done"); v != "1" {
+		t.Error("status probe does not report done")
+	}
+}
+
+// TestSessionStatusUnknown checks the probe's answer for a session the
+// target never saw: resume from the start.
+func TestSessionStatusUnknown(t *testing.T) {
+	sch := schema.CustomerInfo()
+	st := loadedStore(t, tFrag(t, sch))
+	c, done := startEndpoint(t, &RelBackend{Store: st, Speed: 1, CanCombine: true})
+	defer done()
+	req := &xmltree.Node{Name: "SessionStatus"}
+	req.SetAttr("session", "never-seen")
+	resp, err := c.Call("SessionStatus", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := resp.Attr("known"); v != "0" {
+		t.Error("unknown session reported known")
+	}
+	if v, _ := resp.Attr("next"); v != "0" {
+		t.Errorf("unknown session checkpoint = %q, want 0", v)
+	}
+	if _, err := c.Call("SessionStatus", &xmltree.Node{Name: "SessionStatus"}); err == nil {
+		t.Error("probe without session id must fault")
+	}
+}

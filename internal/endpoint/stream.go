@@ -130,6 +130,7 @@ type targetScan struct {
 	subProg  bool
 
 	pipelined   bool
+	ts          *targetSession
 	tb          *xmltree.TreeBuilder
 	dec         *wire.ShipmentDecoder
 	g           *core.Graph
@@ -151,6 +152,9 @@ func (t *targetScan) StartElement(name string, attrs []xmltree.Attr) error {
 	switch t.depth {
 	case 1:
 		t.pipelined = attrTrue(findAttr(attrs, "pipelined"))
+		if id := findAttr(attrs, "session"); id != "" {
+			t.ts = t.e.targetSessionFor(id)
+		}
 	case 2:
 		switch name {
 		case "program":
@@ -222,12 +226,22 @@ func (t *targetScan) programDone() error {
 	for _, ed := range g.Edges {
 		frags[ed.Frag.Name] = ed.Frag
 	}
-	t.dec = wire.NewShipmentDecoder(t.e.backend.Layout().Schema, func(name string) *core.Fragment { return frags[name] })
+	lookup := func(name string) *core.Fragment { return frags[name] }
+	if t.ts != nil {
+		// Session mode: decode into the session's accumulating map, with
+		// the ledger guarding chunk admission and record dedup.
+		t.dec = t.ts.decoder(t.e.backend.Layout().Schema, lookup)
+	} else {
+		t.dec = wire.NewShipmentDecoder(t.e.backend.Layout().Schema, lookup)
+	}
 	return nil
 }
 
 // respond runs the target slice once the request is fully consumed.
 func (t *targetScan) respond(w io.Writer) error {
+	if t.ts != nil {
+		return t.respondSession(w)
+	}
 	if t.g == nil {
 		return &soap.Fault{Code: "soap:Client", String: "missing program"}
 	}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -85,4 +86,101 @@ func TestLinkString(t *testing.T) {
 	if got := PaperInternet().String(); !strings.Contains(got, "160000") {
 		t.Errorf("String = %q", got)
 	}
+}
+
+func TestTransferTimeTable(t *testing.T) {
+	// Edge cases of the analytic link model: zero bandwidth means an
+	// unlimited pipe (latency only), zero latency means pure serialization
+	// time, and huge byte counts must not overflow the duration math.
+	cases := []struct {
+		name string
+		link Link
+		n    int64
+		want time.Duration
+	}{
+		{"unlimited free", Link{}, 1 << 40, 0},
+		{"unlimited latency only", Link{Latency: 30 * time.Millisecond}, 1 << 40, 30 * time.Millisecond},
+		{"zero bytes pay latency", Link{BytesPerSecond: 1000, Latency: time.Second}, 0, time.Second},
+		{"zero bytes zero latency", Link{BytesPerSecond: 1000}, 0, 0},
+		{"one byte", Link{BytesPerSecond: 1000}, 1, time.Millisecond},
+		{"proportional", Link{BytesPerSecond: 1000}, 2000, 2 * time.Second},
+		{"latency adds", Link{BytesPerSecond: 1000, Latency: 500 * time.Millisecond}, 1000, 1500 * time.Millisecond},
+		{"huge transfer", Link{BytesPerSecond: 1e9}, 1 << 40, time.Duration(float64(int64(1)<<40) / 1e9 * float64(time.Second))},
+		{"negative bandwidth is unlimited", Link{BytesPerSecond: -5, Latency: time.Millisecond}, 1 << 20, time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.link.TransferTime(tc.n); got != tc.want {
+				t.Errorf("TransferTime(%d) = %v, want %v", tc.n, got, tc.want)
+			}
+			if got := tc.link.TransferTime(tc.n); got < 0 {
+				t.Errorf("TransferTime(%d) went negative: %v", tc.n, got)
+			}
+		})
+	}
+}
+
+func TestThrottledWriterManySmallWrites(t *testing.T) {
+	// The debt accounting must hold across many small writes: 20 x 500B at
+	// 100KB/s is 10KB => ~100ms total, not per write.
+	var buf bytes.Buffer
+	l := Link{BytesPerSecond: 100_000}
+	w := l.Throttle(&buf)
+	start := time.Now()
+	chunk := []byte(strings.Repeat("x", 500))
+	for i := 0; i < 20; i++ {
+		if _, err := w.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("20x500B at 100KB/s took only %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("throttle overslept: %v", elapsed)
+	}
+	if buf.Len() != 10_000 {
+		t.Errorf("payload truncated: %d", buf.Len())
+	}
+}
+
+func TestThrottledWriterZeroLengthWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := Link{BytesPerSecond: 10}.Throttle(&buf)
+	start := time.Now()
+	n, err := w.Write(nil)
+	if n != 0 || err != nil {
+		t.Fatalf("Write(nil) = %d, %v", n, err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("zero-length write slept")
+	}
+}
+
+func TestThrottledWriterPropagatesError(t *testing.T) {
+	// An error from the underlying writer must come back, with the byte
+	// count the sink accepted.
+	l := Link{BytesPerSecond: 1e12} // effectively no sleeping
+	w := l.Throttle(&shortWriter{limit: 3})
+	n, err := w.Write([]byte("hello"))
+	if err == nil {
+		t.Fatal("short write error swallowed")
+	}
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+}
+
+// shortWriter accepts limit bytes, then errors.
+type shortWriter struct{ limit int }
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if len(p) <= s.limit {
+		s.limit -= len(p)
+		return len(p), nil
+	}
+	n := s.limit
+	s.limit = 0
+	return n, errors.New("sink full")
 }

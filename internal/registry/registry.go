@@ -11,12 +11,14 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"xdx/internal/core"
 	"xdx/internal/netsim"
+	"xdx/internal/reliable"
 	"xdx/internal/soap"
 	"xdx/internal/wire"
 	"xdx/internal/wsdlx"
@@ -380,6 +382,15 @@ type Report struct {
 	WriteTime time.Duration
 	// IndexTime is step 5: updating target indexes.
 	IndexTime time.Duration
+	// Retries counts failed call attempts that were retried by the
+	// reliability engine (zero on the plain paths).
+	Retries int
+	// Resumes counts target deliveries that resumed from a positive chunk
+	// checkpoint instead of restarting the shipment.
+	Resumes int
+	// DedupedRecords is how many replayed records the target's idempotency
+	// ledger dropped across resumed deliveries.
+	DedupedRecords int64
 }
 
 // Total sums all steps.
@@ -411,6 +422,24 @@ type ExecOptions struct {
 	// ShipBytes reports actual wire bytes of the shipment (framing
 	// included), where the tree path counts serialized records only.
 	Streamed bool
+	// Reliability, when set, drives the exchange through the reliable
+	// subsystem: retried source execution with backoff and circuit
+	// breaking, and a resumable chunked session for the target delivery.
+	// It implies the streaming wire path; see executeReliable.
+	Reliability *reliable.Config
+	// Transport, when set, is installed into the SOAP clients driving the
+	// exchange — the hook a fault-injecting netsim.FaultyLink plugs into.
+	// With Reliability set it is used unless the config carries its own.
+	Transport http.RoundTripper
+}
+
+// client builds a SOAP client for url honoring the configured transport.
+func (o ExecOptions) client(url string) *soap.Client {
+	c := &soap.Client{URL: url}
+	if o.Transport != nil {
+		c.HTTPClient = &http.Client{Transport: o.Transport}
+	}
+	return c
 }
 
 // Execute drives an exchange end-to-end (step 4 of Figure 2) with default
@@ -424,6 +453,14 @@ func (a *Agency) Execute(service string, plan *Plan, link netsim.Link) (*Report,
 // target together with the target slice. Communication time is modeled
 // over the link from the actual shipment size.
 func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Report, error) {
+	if opts.Reliability != nil {
+		if opts.Reliability.Transport == nil && opts.Transport != nil {
+			cfg := *opts.Reliability
+			cfg.Transport = opts.Transport
+			opts.Reliability = &cfg
+		}
+		return a.executeReliable(service, plan, opts)
+	}
 	if opts.Streamed {
 		return a.executeStreamed(service, plan, opts)
 	}
@@ -451,7 +488,7 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 		reqS.SetAttr("pipelined", "1")
 	}
 	reqS.AddKid(progXML)
-	cs := &soap.Client{URL: src.URL}
+	cs := opts.client(src.URL)
 	respS, err := cs.Call("ExecuteSource", reqS)
 	if err != nil {
 		return nil, fmt.Errorf("registry: source execution: %w", err)
@@ -490,7 +527,7 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 	}
 	reqT.AddKid(progXML2)
 	reqT.AddKid(shipment)
-	ct := &soap.Client{URL: tgt.URL}
+	ct := opts.client(tgt.URL)
 	respT, err := ct.Call("ExecuteTarget", reqT)
 	if err != nil {
 		return nil, fmt.Errorf("registry: target execution: %w", err)

@@ -1,0 +1,193 @@
+package registry
+
+// Reliable exchange driving. The plain drivers treat every SOAP call as
+// fire-once: a dropped connection, a stalled stream, or an injected 5xx
+// aborts the whole exchange. With ExecOptions.Reliability set, the agency
+// drives the exchange through internal/reliable instead:
+//
+//   - the source call is retried wholesale under backoff — it is idempotent
+//     (the source recomputes its slice), so each attempt decodes into a
+//     fresh map;
+//   - the target delivery becomes a resumable session: the shipment travels
+//     as seq-numbered chunks, a torn delivery is resumed from the chunk
+//     checkpoint the target acked via SessionStatus, and the target's
+//     ledger dedups any overlap, so the loaded instances are byte-identical
+//     to a fault-free run;
+//   - every attempt passes the endpoint's circuit breaker, and the whole
+//     exchange shares one retry budget and deadline.
+//
+// Reliability implies the streaming wire path: resume granularity is the
+// chunk, and chunks ride on the streaming shipment serialization.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"xdx/internal/core"
+	"xdx/internal/netsim"
+	"xdx/internal/reliable"
+	"xdx/internal/wire"
+	"xdx/internal/xmltree"
+)
+
+// executeReliable drives an exchange end-to-end under the reliability
+// config: retried source execution, resumable chunked target delivery.
+func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (*Report, error) {
+	src := a.Party(service, RoleSource)
+	tgt := a.Party(service, RoleTarget)
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("registry: service %q not fully registered", service)
+	}
+	sch := src.Fragmentation.Schema
+	progXML, err := wire.EncodeProgram(plan.Program, plan.Assign)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Plan: plan}
+	ex := reliable.NewExchange(opts.Reliability)
+
+	frags := map[string]*core.Fragment{}
+	for _, op := range plan.Program.Ops {
+		frags[op.Out.Name] = op.Out
+		for _, p := range op.Parts {
+			frags[p.Name] = p
+		}
+	}
+	for _, ed := range plan.Program.Edges {
+		frags[ed.Frag.Name] = ed.Frag
+	}
+	lookup := func(name string) *core.Fragment { return frags[name] }
+
+	reqS := &xmltree.Node{Name: "ExecuteSource"}
+	reqS.SetAttr("stream", "1")
+	if opts.Format != "" {
+		reqS.SetAttr("format", opts.Format)
+	}
+	if opts.FilterElem != "" {
+		reqS.SetAttr("filterElem", opts.FilterElem)
+		reqS.SetAttr("filterValue", opts.FilterValue)
+	}
+	if opts.Pipelined {
+		reqS.SetAttr("pipelined", "1")
+	}
+	reqS.AddKid(progXML)
+
+	// Phase 1: source execution, retried wholesale. The source recomputes
+	// its slice on every attempt, so a fresh decoder per try keeps torn
+	// partial shipments out of the result.
+	var inbound map[string]*core.Instance
+	var sourceMillis string
+	cs := ex.Client(src.URL)
+	err = ex.Do("ExecuteSource", src.URL, func(int) error {
+		dec := wire.NewShipmentDecoder(sch, lookup)
+		scanS := &sourceRespScan{dec: dec}
+		if err := cs.CallStream("ExecuteSource", func(w io.Writer) error {
+			return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
+		}, scanS); err != nil {
+			return err
+		}
+		if !scanS.sawShipment {
+			return fmt.Errorf("registry: source returned no shipment")
+		}
+		m, err := dec.Result()
+		if err != nil {
+			return err
+		}
+		inbound, sourceMillis = m, scanS.queryMillis
+		return nil
+	})
+	if err != nil {
+		report.Retries = ex.Retries()
+		return report, fmt.Errorf("registry: source execution: %w", err)
+	}
+	report.SourceTime = parseMillis(sourceMillis)
+
+	// Phase 2: resumable target delivery. The shipment is rechunked at the
+	// configured granularity; each redelivery first asks the target which
+	// chunk it acked last and resumes emission there. ShipBytes counts the
+	// actual wire bytes across all attempts — retransmission is a real
+	// communication cost.
+	chunks := reliable.ChunkShipment(inbound, ex.ChunkSize())
+	sessionID := ex.SessionID()
+	open := `<ExecuteTarget session="` + sessionID + `"`
+	if opts.Pipelined {
+		open += ` pipelined="1"`
+	}
+	open += `>`
+	ct := ex.Client(tgt.URL)
+	var respT *xmltree.Node
+	next := int64(0)
+	err = ex.Do("ExecuteTarget", tgt.URL, func(try int) error {
+		if try > 0 {
+			if st, serr := ct.Call("SessionStatus", sessionStatusReq(sessionID)); serr == nil {
+				if v, _ := st.Attr("next"); v != "" {
+					if n, perr := strconv.ParseInt(v, 10, 64); perr == nil && n > next {
+						next = n
+					}
+				}
+			}
+			if next > 0 {
+				report.Resumes++
+			}
+		}
+		tb := &xmltree.TreeBuilder{}
+		if err := ct.CallStream("ExecuteTarget", func(w io.Writer) error {
+			if _, err := io.WriteString(w, open); err != nil {
+				return err
+			}
+			if err := xmltree.Write(w, progXML, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+				return err
+			}
+			m := netsim.NewMeter(w)
+			sw := wire.NewShipmentWriter(m, sch, opts.Format == "feed")
+			for _, c := range chunks {
+				if c.Seq < next {
+					continue // acked on a prior attempt
+				}
+				if err := sw.EmitChunk(c.Key, c.Frag, c.Recs, c.Seq); err != nil {
+					sw.Close()
+					return err
+				}
+			}
+			if err := sw.Close(); err != nil {
+				return err
+			}
+			report.ShipBytes += m.Bytes()
+			_, err := io.WriteString(w, `</ExecuteTarget>`)
+			return err
+		}, tb); err != nil {
+			return err
+		}
+		if tb.Root() == nil || tb.Root().Name != "ExecuteTargetResponse" {
+			return fmt.Errorf("registry: target returned no response")
+		}
+		respT = tb.Root()
+		return nil
+	})
+	report.Retries = ex.Retries()
+	if err != nil {
+		return report, fmt.Errorf("registry: target execution: %w", err)
+	}
+	report.ShipTime = opts.Link.TransferTime(report.ShipBytes)
+	if v, ok := respT.Attr("execMillis"); ok {
+		report.TargetTime = parseMillis(v)
+	}
+	if v, ok := respT.Attr("writeMillis"); ok {
+		report.WriteTime = parseMillis(v)
+	}
+	if v, ok := respT.Attr("indexMillis"); ok {
+		report.IndexTime = parseMillis(v)
+	}
+	if v, ok := respT.Attr("deduped"); ok {
+		report.DedupedRecords, _ = strconv.ParseInt(v, 10, 64)
+	}
+	return report, nil
+}
+
+// sessionStatusReq builds a SessionStatus probe for a session.
+func sessionStatusReq(id string) *xmltree.Node {
+	req := &xmltree.Node{Name: "SessionStatus"}
+	req.SetAttr("session", id)
+	return req
+}

@@ -1,0 +1,274 @@
+package registry
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"xdx/internal/core"
+	"xdx/internal/endpoint"
+	"xdx/internal/netsim"
+	"xdx/internal/reliable"
+	"xdx/internal/relstore"
+	"xdx/internal/xmark"
+	"xdx/internal/xmltree"
+)
+
+// faultSeeds is the fixed seed matrix the fault-injection e2e runs over
+// (make soak widens it via XDX_FAULT_SEEDS). Every seed here injects at
+// least one fault into the unreliable run, so the with/without comparison
+// is meaningful for each.
+var faultSeeds = []int64{1, 7, 12}
+
+// soakSeeds resolves the seed matrix, honoring the XDX_FAULT_SEEDS
+// override (comma-separated integers).
+func soakSeeds(t testing.TB) []int64 {
+	env := os.Getenv("XDX_FAULT_SEEDS")
+	if env == "" {
+		return faultSeeds
+	}
+	var out []int64
+	for _, s := range strings.Split(env, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			t.Fatalf("bad XDX_FAULT_SEEDS entry %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// startAuctionExchange wires the auction workload (the paper's §5 data,
+// generated XMark-style) into a most-fragmented source and a
+// least-fragmented target, registers both, and plans the exchange.
+func startAuctionExchange(t testing.TB) (*Agency, *Plan, *relstore.Store, func()) {
+	t.Helper()
+	sch := xmark.Schema()
+	doc := xmark.Generate(xmark.Config{TargetBytes: 60_000, Seed: 42})
+	sFr := core.MostFragmented(sch)
+	tFr := core.LeastFragmented(sch)
+
+	srcStore, err := relstore.NewStore(sFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcStore.LoadDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	tgtStore, err := relstore.NewStore(tFr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srcEP := endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil)
+	tgtEP := endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil)
+	srcSrv := httptest.NewServer(srcEP.Handler())
+	tgtSrv := httptest.NewServer(tgtEP.Handler())
+
+	ag := New()
+	if err := ag.Register("Auction", RoleSource, wsdlFor(t, sch, sFr, srcSrv.URL), srcSrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("Auction", RoleTarget, wsdlFor(t, sch, tFr, tgtSrv.URL), tgtSrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ag.Plan("Auction", PlanOptions{Algorithm: AlgGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag, plan, tgtStore, func() { srcSrv.Close(); tgtSrv.Close() }
+}
+
+// assembleTarget reassembles the document a target store holds.
+func assembleTarget(t testing.TB, st *relstore.Store) *xmltree.Node {
+	t.Helper()
+	insts := map[string]*core.Instance{}
+	for _, f := range st.Layout.Fragments {
+		in, err := st.ScanFragment(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[f.Name] = in
+	}
+	back, err := core.Document(st.Layout, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+// soakFaults is the fault mix of the e2e: a fifth of the connections drop,
+// streams tear mid-flight, and the occasional plain-text 503 appears.
+func soakFaults(seed int64) netsim.Faults {
+	return netsim.Faults{
+		Seed:         seed,
+		DropProb:     0.2,
+		TruncateProb: 0.3,
+		HTTP5xxProb:  0.1,
+		MaxTruncate:  48 << 10,
+	}
+}
+
+// soakConfig is the reliability config of the e2e: fast backoff so the
+// test stays quick, generous attempts/budget so the fixed seeds converge,
+// and a breaker tuned not to give up on a deliberately lossy link.
+func soakConfig(seed int64) *reliable.Config {
+	return &reliable.Config{
+		Seed:      seed,
+		ChunkSize: 8,
+		Policy: reliable.Policy{
+			MaxAttempts: 12,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    4 * time.Millisecond,
+			Budget:      64,
+		},
+		Breaker: reliable.BreakerConfig{FailureThreshold: 50, Cooldown: time.Millisecond},
+	}
+}
+
+// TestReliableExchangeUnderInjectedFaults is the subsystem's acceptance
+// check: over a link that drops 20% of connections and tears streams
+// mid-flight (fixed seeds), a streamed auction exchange with reliability
+// completes with target contents byte-identical to a fault-free run and
+// reports retries; the same seeds without reliability kill the exchange.
+func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
+	// Fault-free baseline: what the target must hold afterwards.
+	agA, planA, tgtA, doneA := startAuctionExchange(t)
+	if _, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := assembleTarget(t, tgtA)
+	doneA()
+
+	totalResumes := 0
+	for _, seed := range soakSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Without reliability the same fault seed is fatal.
+			agC, planC, _, doneC := startAuctionExchange(t)
+			defer doneC()
+			flC := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
+			if _, err := agC.ExecuteOpts("Auction", planC, ExecOptions{
+				Link: netsim.Loopback(), Streamed: true, Transport: flC.RoundTripper(nil),
+			}); err == nil {
+				t.Fatal("unreliable exchange survived the fault seed")
+			}
+			if c := flC.Counts(); c.Drops+c.Truncates+c.HTTP5xx == 0 {
+				t.Fatal("exchange failed but no fault was injected")
+			}
+
+			// With reliability it completes, and the report shows the work.
+			agB, planB, tgtB, doneB := startAuctionExchange(t)
+			defer doneB()
+			flB := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
+			rep, err := agB.ExecuteOpts("Auction", planB, ExecOptions{
+				Link:        netsim.Loopback(),
+				Transport:   flB.RoundTripper(nil),
+				Reliability: soakConfig(seed),
+			})
+			if err != nil {
+				t.Fatalf("reliable exchange failed: %v (injected %+v)", err, flB.Counts())
+			}
+			if rep.Retries == 0 {
+				t.Errorf("report shows no retries (injected %+v)", flB.Counts())
+			}
+			totalResumes += rep.Resumes
+			got := assembleTarget(t, tgtB)
+			if !xmltree.Equal(want, got) {
+				t.Error("faulted run's target differs from the fault-free run")
+			}
+		})
+	}
+	if totalResumes == 0 {
+		t.Error("no delivery across the seed matrix resumed from a checkpoint")
+	}
+}
+
+// TestReliableExchangeFaultFree checks the reliable driver is a no-op
+// overlay on a clean link: no retries, no resumes, same target contents.
+func TestReliableExchangeFaultFree(t *testing.T) {
+	agA, planA, tgtA, doneA := startAuctionExchange(t)
+	defer doneA()
+	if _, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := assembleTarget(t, tgtA)
+
+	agB, planB, tgtB, doneB := startAuctionExchange(t)
+	defer doneB()
+	rep, err := agB.ExecuteOpts("Auction", planB, ExecOptions{
+		Link:        netsim.Loopback(),
+		Reliability: soakConfig(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 0 || rep.Resumes != 0 || rep.DedupedRecords != 0 {
+		t.Errorf("clean link produced retries=%d resumes=%d deduped=%d",
+			rep.Retries, rep.Resumes, rep.DedupedRecords)
+	}
+	if rep.ShipBytes <= 0 {
+		t.Error("no bytes metered")
+	}
+	got := assembleTarget(t, tgtB)
+	if !xmltree.Equal(want, got) {
+		t.Error("reliable driver changed the exchanged document")
+	}
+}
+
+// TestFaultSweepExperiment is the EXPERIMENTS.md fault-injection sweep:
+// completion rate, retries, wall time, and retransmission overhead of a
+// reliable auction exchange as the per-connection drop probability grows.
+// It only prints (the e2e above is the pass/fail gate); run it with
+//
+//	XDX_FAULT_SWEEP=1 go test ./internal/registry/ -run TestFaultSweepExperiment -v
+func TestFaultSweepExperiment(t *testing.T) {
+	if os.Getenv("XDX_FAULT_SWEEP") == "" {
+		t.Skip("set XDX_FAULT_SWEEP=1 to run the sweep")
+	}
+
+	agA, planA, _, doneA := startAuctionExchange(t)
+	repA, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBytes := repA.ShipBytes
+	doneA()
+
+	const runs = 20
+	for _, p := range []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40} {
+		var ok, retries, resumes int
+		var bytes int64
+		var wall time.Duration
+		for seed := int64(1); seed <= runs; seed++ {
+			ag, plan, _, done := startAuctionExchange(t)
+			fl := netsim.NewFaultyLink(netsim.Loopback(), netsim.Faults{Seed: seed, DropProb: p})
+			start := time.Now()
+			rep, err := ag.ExecuteOpts("Auction", plan, ExecOptions{
+				Link:        netsim.Loopback(),
+				Transport:   fl.RoundTripper(nil),
+				Reliability: soakConfig(seed),
+			})
+			wall += time.Since(start)
+			done()
+			if err != nil {
+				continue
+			}
+			ok++
+			retries += rep.Retries
+			resumes += rep.Resumes
+			bytes += rep.ShipBytes
+		}
+		inflation := 0.0
+		if ok > 0 {
+			inflation = float64(bytes)/float64(int64(ok)*baseBytes) - 1
+		}
+		t.Logf("drop=%.2f completed=%d/%d retries=%.2f resumes=%.2f wall=%.1fms ship-overhead=%+.1f%%",
+			p, ok, runs, float64(retries)/runs, float64(resumes)/runs,
+			wall.Seconds()*1000/runs, inflation*100)
+	}
+}

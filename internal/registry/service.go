@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"xdx/internal/netsim"
+	"xdx/internal/reliable"
 	"xdx/internal/soap"
 	"xdx/internal/wire"
 	"xdx/internal/xmltree"
@@ -19,6 +20,12 @@ type Service struct {
 	Agency *Agency
 	// Link models the source→target connection used when executing.
 	Link netsim.Link
+	// Streamed selects the zero-materialization wire path for exchanges.
+	Streamed bool
+	// Reliability, when set, drives every exchange through the reliable
+	// path (retries, resumable sessions, circuit breaking). Set
+	// Reliability.Breakers to share breaker state across exchanges.
+	Reliability *reliable.Config
 
 	srv *soap.Server
 }
@@ -124,16 +131,40 @@ func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 	if algStr == string(AlgOptimal) {
 		alg = AlgOptimal
 	}
-	plan, err := s.Agency.Plan(service, PlanOptions{Algorithm: alg})
+	// Planning probes the live endpoints for statistics; under a
+	// reliability config those probes deserve the same retry policy as the
+	// exchange itself (planning is idempotent, so retry it wholesale).
+	var plan *Plan
+	planOnce := func() error {
+		var perr error
+		plan, perr = s.Agency.Plan(service, PlanOptions{Algorithm: alg})
+		return perr
+	}
+	var err error
+	if s.Reliability != nil {
+		r := reliable.NewRetrier(s.Reliability.Policy, s.Reliability.Seed)
+		err = r.Do("Plan", nil, func(int) error { return planOnce() })
+	} else {
+		err = planOnce()
+	}
 	if err != nil {
 		return nil, err
 	}
-	report, err := s.Agency.Execute(service, plan, s.Link)
+	report, err := s.Agency.ExecuteOpts(service, plan, ExecOptions{
+		Link:        s.Link,
+		Streamed:    s.Streamed,
+		Reliability: s.Reliability,
+	})
 	if err != nil {
 		return nil, err
 	}
 	resp := &xmltree.Node{Name: "ExchangeResponse"}
 	resp.SetAttr("service", service)
+	if s.Reliability != nil {
+		resp.SetAttr("retries", strconv.Itoa(report.Retries))
+		resp.SetAttr("resumes", strconv.Itoa(report.Resumes))
+		resp.SetAttr("deduped", strconv.FormatInt(report.DedupedRecords, 10))
+	}
 	resp.SetAttr("shipBytes", strconv.FormatInt(report.ShipBytes, 10))
 	resp.SetAttr("sourceMillis", fmt.Sprintf("%.3f", report.SourceTime.Seconds()*1000))
 	resp.SetAttr("shipMillis", fmt.Sprintf("%.3f", report.ShipTime.Seconds()*1000))

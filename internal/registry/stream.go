@@ -15,7 +15,6 @@ import (
 
 	"xdx/internal/core"
 	"xdx/internal/netsim"
-	"xdx/internal/soap"
 	"xdx/internal/wire"
 	"xdx/internal/xmltree"
 )
@@ -156,7 +155,7 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	dec := wire.NewShipmentDecoder(sch, func(name string) *core.Fragment { return frags[name] })
 	scanS := &sourceRespScan{dec: dec}
 
-	cs := &soap.Client{URL: src.URL}
+	cs := opts.client(src.URL)
 	err = cs.CallStream("ExecuteSource", func(w io.Writer) error {
 		return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
 	}, scanS)
@@ -178,7 +177,7 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	}
 	open += `>`
 	tb := &xmltree.TreeBuilder{}
-	ct := &soap.Client{URL: tgt.URL}
+	ct := opts.client(tgt.URL)
 	err = ct.CallStream("ExecuteTarget", func(w io.Writer) error {
 		if _, err := io.WriteString(w, open); err != nil {
 			return err

@@ -1,0 +1,164 @@
+package reliable
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open (or while
+// the single half-open probe is in flight). It is not retryable: the
+// caller should fail fast rather than queue on a known-bad endpoint.
+var ErrOpen = errors.New("reliable: circuit open")
+
+// BreakerState is the classic three-state circuit-breaker lifecycle.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed lets traffic through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome closes
+	// or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. Zero fields take defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive transient failures open the
+	// circuit. Default 5.
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe. Default 1s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// Breaker is a per-endpoint circuit breaker. Only transient
+// (Retryable) failures count toward opening it: a well-formed application
+// fault proves the endpoint is alive, so it resets the failure streak just
+// like a success.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	now      func() time.Time
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// State reports the current state (advancing open→half-open if the
+// cooldown elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow asks permission for one call. In the open state it returns ErrOpen
+// until the cooldown elapses, then admits exactly one half-open probe;
+// concurrent callers during the probe get ErrOpen.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an allowed call. nil or a non-transient
+// error closes the circuit (the endpoint answered); a transient error
+// increments the failure streak and opens the circuit at the threshold —
+// immediately when it strikes the half-open probe.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	transient := err != nil && Retryable(err)
+	if !transient {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.fails = 0
+		b.probing = false
+	}
+}
+
+// BreakerSet hands out one breaker per endpoint URL, so breaker state is
+// shared across the exchanges of one agency but isolated between
+// endpoints.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set minting breakers with cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// For returns the endpoint's breaker, minting it on first sight.
+func (s *BreakerSet) For(url string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[url]
+	if b == nil {
+		b = NewBreaker(s.cfg)
+		s.m[url] = b
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package reliable
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"xdx/internal/soap"
+)
+
+// tickBreaker returns a breaker on a manual clock.
+func tickBreaker(cfg BreakerConfig) (*Breaker, *time.Time) {
+	b := NewBreaker(cfg)
+	clock := time.Unix(0, 0)
+	b.now = func() time.Time { return clock }
+	return b, &clock
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := tickBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(io.ErrUnexpectedEOF)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v before threshold", b.State())
+	}
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock := tickBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF) // opens
+	*clock = clock.Add(2 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused the probe: %v", err)
+	}
+	// A second caller during the probe is rejected.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+	b.Record(nil) // probe succeeded
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clock := tickBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF)
+	*clock = clock.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(io.ErrUnexpectedEOF) // probe failed: reopen immediately
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("reopened breaker admitted a call")
+	}
+}
+
+func TestBreakerApplicationFaultResetsStreak(t *testing.T) {
+	// A well-formed application fault proves the endpoint is alive: it must
+	// reset the failure streak, not extend it.
+	b, _ := tickBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Second})
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF)
+	b.Allow()
+	b.Record(&soap.Fault{Code: "soap:Server", String: "missing program", HTTPStatus: 500})
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v; streak should have reset", b.State())
+	}
+}
+
+func TestBreakerSetPerEndpoint(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	a := s.For("http://a/soap")
+	if a != s.For("http://a/soap") {
+		t.Fatal("same URL minted two breakers")
+	}
+	a.Allow()
+	a.Record(io.ErrUnexpectedEOF)
+	if err := s.For("http://a/soap").Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("breaker state not shared per URL")
+	}
+	if err := s.For("http://b/soap").Allow(); err != nil {
+		t.Fatalf("endpoint b affected by a's failures: %v", err)
+	}
+}
+
+func TestRetrierRespectsOpenBreaker(t *testing.T) {
+	b, _ := tickBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF)
+	r, _ := testRetrier(Policy{}, 1)
+	calls := 0
+	err := r.Do("op", b, func(int) error { calls++; return nil })
+	if !errors.Is(err, ErrOpen) || calls != 0 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Error("state strings wrong")
+	}
+}

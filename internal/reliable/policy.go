@@ -1,0 +1,195 @@
+// Package reliable is the fault-tolerance subsystem of the exchange path.
+// The paper ships large XML volumes over a wide-area link (its 25 MB
+// publish&map transfer ran at ~160 KB/s for 158.65 s); at that scale a
+// transfer that aborts on any mid-stream error and restarts from byte zero
+// is unusable. This package supplies the three pieces the exchange layers
+// plug together:
+//
+//   - a retry policy engine (Policy/Retrier): exponential backoff with
+//     full jitter, per-attempt timeouts, a whole-exchange deadline, and a
+//     retry budget;
+//   - per-endpoint circuit breakers (Breaker/BreakerSet) with the classic
+//     closed/open/half-open lifecycle;
+//   - resumable shipment sessions (Session/SessionStore/Ledger): the
+//     target acks per-chunk checkpoints and keeps an idempotency ledger
+//     keyed by (session, edge, record ID), so a reconnecting source
+//     resumes from the last acked chunk and replayed records dedup.
+//
+// The soap, wire, endpoint, and registry layers wire these together; see
+// registry.ExecOptions.Reliability.
+package reliable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"xdx/internal/soap"
+)
+
+// Policy tunes the retry engine. The zero value of each field selects the
+// documented default, so Policy{} is a usable production policy.
+type Policy struct {
+	// MaxAttempts bounds tries per call (first attempt included).
+	// Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt n waits a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay*2^n)] —
+	// exponential backoff with full jitter. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window. Default 2s.
+	MaxDelay time.Duration
+	// AttemptTimeout bounds one SOAP call, body included (it becomes
+	// soap.Client.Timeout). Zero keeps soap.DefaultTimeout.
+	AttemptTimeout time.Duration
+	// Deadline bounds the whole exchange: once exceeded, no further retry
+	// is scheduled (the in-flight attempt still finishes). Zero = none.
+	Deadline time.Duration
+	// Budget caps total retries across all calls of one exchange, so a
+	// flapping link cannot multiply MaxAttempts across every hop.
+	// Default 16.
+	Budget int
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 16
+	}
+	return p
+}
+
+// ErrBudgetExhausted reports that an exchange spent its whole retry
+// budget; the last attempt's error is wrapped alongside it.
+var ErrBudgetExhausted = errors.New("reliable: retry budget exhausted")
+
+// ErrDeadline reports that the exchange deadline passed while a retry was
+// still warranted.
+var ErrDeadline = errors.New("reliable: exchange deadline exceeded")
+
+// Retrier runs attempts under one exchange's policy, sharing the retry
+// budget and deadline across every call it drives. It is safe for
+// concurrent use.
+type Retrier struct {
+	p Policy
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	start   time.Time
+	retries int
+
+	// sleep and now are swappable for tests.
+	sleep func(time.Duration)
+	now   func() time.Time
+}
+
+// NewRetrier starts an exchange clock with the given policy. The seed
+// drives jitter; equal seeds give equal backoff sequences.
+func NewRetrier(p Policy, seed int64) *Retrier {
+	r := &Retrier{
+		p:     p.withDefaults(),
+		rng:   rand.New(rand.NewSource(seed)),
+		sleep: time.Sleep,
+		now:   time.Now,
+	}
+	r.start = r.now()
+	return r
+}
+
+// Retries returns how many retries (attempts beyond each first) ran so
+// far across all calls.
+func (r *Retrier) Retries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// backoff draws the full-jitter delay before retry number n (0-based).
+func (r *Retrier) backoff(n int) time.Duration {
+	ceil := r.p.BaseDelay << uint(n)
+	if ceil > r.p.MaxDelay || ceil <= 0 {
+		ceil = r.p.MaxDelay
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(ceil) + 1))
+}
+
+// Do runs attempt until it succeeds, returns a non-retryable error, or the
+// policy (attempts, budget, deadline) or breaker cuts it off. The breaker
+// may be nil. attempt receives the 0-based try number.
+func (r *Retrier) Do(op string, br *Breaker, attempt func(try int) error) error {
+	for try := 0; ; try++ {
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				return fmt.Errorf("reliable: %s: %w", op, err)
+			}
+		}
+		err := attempt(try)
+		if br != nil {
+			br.Record(err)
+		}
+		if err == nil {
+			return nil
+		}
+		if !Retryable(err) {
+			return err
+		}
+		if try+1 >= r.p.MaxAttempts {
+			return fmt.Errorf("reliable: %s failed after %d attempts: %w", op, try+1, err)
+		}
+		r.mu.Lock()
+		budgetLeft := r.retries < r.p.Budget
+		if budgetLeft {
+			r.retries++
+		}
+		deadlineOK := r.p.Deadline <= 0 || r.now().Sub(r.start) < r.p.Deadline
+		r.mu.Unlock()
+		if !budgetLeft {
+			return fmt.Errorf("%w: %s: %w", ErrBudgetExhausted, op, err)
+		}
+		if !deadlineOK {
+			return fmt.Errorf("%w: %s: %w", ErrDeadline, op, err)
+		}
+		r.sleep(r.backoff(try))
+	}
+}
+
+// Retryable classifies an error as transient. Transport-level failures
+// (connection drops, truncated streams, timeouts — anything that is not a
+// SOAP fault) are retryable; SOAP faults are retryable only when they are
+// really HTTP-level outages: 502/503/504, or any 5xx that did not come
+// with a well-formed fault body (soap:HTTP — e.g. a proxy error page). A
+// 5xx carrying a proper soap:Server fault is an application error and
+// retrying would just repeat it.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		switch f.HTTPStatus {
+		case 502, 503, 504:
+			return true
+		}
+		if f.Code == "soap:HTTP" && f.HTTPStatus >= 500 {
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, ErrOpen) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package reliable
+
+// Resumable shipment sessions. A cross-edge shipment travels as a sequence
+// of <instance> chunks (chunk boundaries ride on the batches
+// core.SliceIO.Emit already produces, or on ChunkShipment's re-batching of
+// a materialized map). Each exchange transfer gets a session ID; the
+// target keeps a Ledger per session that (a) checkpoints the highest
+// contiguously received chunk — the ack a reconnecting source resumes
+// from — and (b) remembers every (edge, record ID) pair it committed, so
+// records replayed by an overlapping resume dedup instead of doubling.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdx/internal/core"
+	"xdx/internal/xmltree"
+)
+
+// Ledger is the target-side idempotency state of one shipment session.
+// Its methods match the wire.ShipmentDecoder hooks (AdmitChunk/KeepRecord/
+// ChunkDone), so an endpoint plugs a ledger straight into the decoder.
+type Ledger struct {
+	mu      sync.Mutex
+	next    int64           // lowest chunk seq not yet fully received
+	seen    map[string]bool // edge\x00recordID pairs committed
+	deduped int64
+}
+
+// NewLedger returns an empty ledger expecting chunk 0.
+func NewLedger() *Ledger {
+	return &Ledger{seen: make(map[string]bool)}
+}
+
+// AdmitChunk reports whether a chunk with this seq should be consumed:
+// chunks below the checkpoint were already committed and are skipped
+// wholesale. Chunks without a seq (-1) are always admitted — they carry
+// their own record-level dedup.
+func (l *Ledger) AdmitChunk(seq int64) bool {
+	if seq < 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return seq >= l.next
+}
+
+// ChunkDone advances the checkpoint past a fully received chunk.
+func (l *Ledger) ChunkDone(seq int64) {
+	if seq < 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= l.next {
+		l.next = seq + 1
+	}
+}
+
+// KeepRecord implements record-level idempotency: the first time an
+// (edge, ID) pair is committed it is remembered and kept; replays are
+// dropped and counted. Records without IDs pass through — the chunk
+// checkpoint already covers them.
+func (l *Ledger) KeepRecord(edge string, rec *xmltree.Node) bool {
+	if rec.ID == "" {
+		return true
+	}
+	key := edge + "\x00" + rec.ID
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seen[key] {
+		l.deduped++
+		return false
+	}
+	l.seen[key] = true
+	return true
+}
+
+// Checkpoint returns the next chunk seq the session expects — the ack a
+// resuming source skips to.
+func (l *Ledger) Checkpoint() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Deduped returns how many replayed records the ledger dropped.
+func (l *Ledger) Deduped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deduped
+}
+
+// Session is one resumable transfer tracked by a SessionStore. Owners
+// (the endpoint) attach their protocol state to Data under Mu.
+type Session struct {
+	// ID names the session on the wire.
+	ID string
+	// Ledger is the session's idempotency state.
+	Ledger *Ledger
+	// Created is when the session first appeared, for sweeping.
+	Created time.Time
+
+	// Mu guards Data against a status probe racing a late request.
+	Mu sync.Mutex
+	// Data is owner-attached state (the endpoint keeps its decoded
+	// program, accumulating instances, and the execute-once response
+	// here).
+	Data any
+}
+
+// SessionStore tracks the live sessions of one endpoint.
+type SessionStore struct {
+	// MaxAge is how long an idle session survives before Sweep collects
+	// it. Default 10 minutes.
+	MaxAge time.Duration
+
+	mu  sync.Mutex
+	m   map[string]*Session
+	now func() time.Time
+}
+
+// NewSessionStore returns an empty store.
+func NewSessionStore() *SessionStore {
+	return &SessionStore{MaxAge: 10 * time.Minute, m: make(map[string]*Session), now: time.Now}
+}
+
+// Get returns the session, or nil when unknown.
+func (s *SessionStore) Get(id string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[id]
+}
+
+// GetOrCreate returns the session, minting (and sweeping expired peers)
+// on first sight.
+func (s *SessionStore) GetOrCreate(id string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess := s.m[id]; sess != nil {
+		return sess
+	}
+	now := s.now()
+	for k, v := range s.m {
+		if now.Sub(v.Created) > s.MaxAge {
+			delete(s.m, k)
+		}
+	}
+	sess := &Session{ID: id, Ledger: NewLedger(), Created: now}
+	s.m[id] = sess
+	return sess
+}
+
+// Delete drops a session.
+func (s *SessionStore) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
+}
+
+// Len reports the live session count.
+func (s *SessionStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// sessionCounter disambiguates session IDs minted in the same process.
+var sessionCounter atomic.Int64
+
+// NewSessionID mints a wire-safe session identifier. The seed folds in the
+// exchange's reliability seed so ID sequences are reproducible per config;
+// the process-wide counter keeps concurrent exchanges distinct.
+func NewSessionID(seed int64) string {
+	return fmt.Sprintf("x%x-%d", uint64(seed)&0xffffff, sessionCounter.Add(1))
+}
+
+// Chunk is one resumable unit of a shipment: a batch of records of one
+// cross-edge instance, with its global sequence number.
+type Chunk struct {
+	Seq  int64
+	Key  string
+	Frag *core.Fragment
+	Recs []*xmltree.Node
+}
+
+// ChunkShipment slices a materialized shipment into resumable chunks of at
+// most size records, in deterministic (sorted edge key) order. Every edge
+// key yields at least one chunk — an empty instance still has to announce
+// itself to the target.
+func ChunkShipment(out map[string]*core.Instance, size int) []Chunk {
+	if size <= 0 {
+		size = 64
+	}
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var chunks []Chunk
+	var seq int64
+	for _, key := range keys {
+		in := out[key]
+		recs := in.Records
+		if len(recs) == 0 {
+			chunks = append(chunks, Chunk{Seq: seq, Key: key, Frag: in.Frag})
+			seq++
+			continue
+		}
+		for start := 0; start < len(recs); start += size {
+			end := start + size
+			if end > len(recs) {
+				end = len(recs)
+			}
+			chunks = append(chunks, Chunk{Seq: seq, Key: key, Frag: in.Frag, Recs: recs[start:end]})
+			seq++
+		}
+	}
+	return chunks
+}

@@ -168,16 +168,47 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain (bounded) before close so the keep-alive connection stays
+		// reusable even when the body was not consumed to EOF.
+		drainBody(resp.Body)
+		resp.Body.Close()
+	}()
 	env, err := xmltree.Parse(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("soap: parse response (HTTP %d): %w", resp.StatusCode, err)
+		return nil, httpStatusError(resp.StatusCode, err)
 	}
 	payload, err = OpenEnvelope(env)
 	if f, ok := err.(*Fault); ok {
 		f.HTTPStatus = resp.StatusCode
 	}
 	return payload, err
+}
+
+// maxDrain bounds how much of an unconsumed response body Call reads
+// before closing, trading connection reuse against unbounded garbage.
+const maxDrain = 256 << 10
+
+// drainBody consumes at most maxDrain leftover bytes of a response body.
+func drainBody(r io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(r, maxDrain))
+}
+
+// httpStatusError converts a response that failed envelope parsing into
+// the most useful error: on a non-2xx status the failure is the HTTP
+// outage itself (a proxy error page, an injected 503 — bodies that were
+// never SOAP), surfaced as a *Fault carrying the status so retry policies
+// can classify it; on a 2xx it is a genuine malformed envelope.
+func httpStatusError(status int, err error) error {
+	if status < 200 || status >= 300 {
+		return &Fault{
+			Code:       "soap:HTTP",
+			String:     fmt.Sprintf("HTTP %s with unparsable body", http.StatusText(status)),
+			Detail:     err.Error(),
+			HTTPStatus: status,
+		}
+	}
+	return fmt.Errorf("soap: parse response (HTTP %d): %w", status, err)
 }
 
 // HandlerFunc processes one request payload and returns the response

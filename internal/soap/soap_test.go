@@ -2,7 +2,9 @@ package soap
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -170,5 +172,91 @@ func TestWritePayload(t *testing.T) {
 	}
 	if payload.Name != "Data" || payload.Text != "42" {
 		t.Errorf("payload = %+v", payload)
+	}
+}
+
+func TestCallSurfacesHTTPStatusOnUnparsableBody(t *testing.T) {
+	// A 503 with a plain-text body (proxy error page, injected outage) is
+	// not a SOAP fault, but the client must still surface the status so
+	// retry policies can classify the failure.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "service melting", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL}
+	_, err := c.Call("Op", &xmltree.Node{Name: "Op"})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %T: %v", err, err)
+	}
+	if f.HTTPStatus != http.StatusServiceUnavailable || f.Code != "soap:HTTP" {
+		t.Fatalf("fault = %+v", f)
+	}
+	if !strings.Contains(f.Detail, "") { // detail carries the parse error
+		t.Fatalf("fault detail empty: %+v", f)
+	}
+}
+
+func TestCallStreamSurfacesHTTPStatusOnUnparsableBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL}
+	err := c.CallStream("Op", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Op/>")
+		return err
+	}, nil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %T: %v", err, err)
+	}
+	if f.HTTPStatus != http.StatusBadGateway || f.Code != "soap:HTTP" {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestCallParseErrorOn200StaysPlainError(t *testing.T) {
+	// Malformed XML on a 200 is a protocol bug, not an HTTP outage: it must
+	// not come back as a Fault (which retry policies could misread).
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "<not-an-envelope")
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL}
+	_, err := c.Call("Op", &xmltree.Node{Name: "Op"})
+	if err == nil {
+		t.Fatal("malformed body accepted")
+	}
+	var f *Fault
+	if errors.As(err, &f) {
+		t.Fatalf("parse error on 200 misreported as fault: %+v", f)
+	}
+}
+
+func TestCallDrainsBodyForConnectionReuse(t *testing.T) {
+	// After an envelope parse error the client must drain (bounded) the
+	// rest of the body before closing, so the keep-alive connection is
+	// reusable: both calls here should arrive over the same connection.
+	var remotes []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remotes = append(remotes, r.RemoteAddr)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, "garbage after the point the parser gives up <<<<")
+		io.WriteString(w, strings.Repeat("x", 8192))
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Call("Op", &xmltree.Node{Name: "Op"}); err == nil {
+			t.Fatal("garbage body accepted")
+		}
+	}
+	if len(remotes) != 2 {
+		t.Fatalf("served %d requests", len(remotes))
+	}
+	if remotes[0] != remotes[1] {
+		t.Errorf("connection not reused: %s then %s", remotes[0], remotes[1])
 	}
 }

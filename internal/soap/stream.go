@@ -83,7 +83,10 @@ func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xm
 		}
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		drainBody(resp.Body)
+		resp.Body.Close()
+	}()
 	fault, scanErr := ScanEnvelope(resp.Body, h)
 	pr.CloseWithError(io.ErrClosedPipe)
 	werr := <-errc
@@ -92,7 +95,7 @@ func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xm
 		return fault
 	}
 	if scanErr != nil {
-		return fmt.Errorf("soap: parse response (HTTP %d): %w", resp.StatusCode, scanErr)
+		return httpStatusError(resp.StatusCode, scanErr)
 	}
 	if werr != nil && !errors.Is(werr, io.ErrClosedPipe) {
 		return fmt.Errorf("soap: write request: %w", werr)
@@ -109,6 +112,11 @@ func ScanEnvelope(r io.Reader, h xmltree.AttrHandler) (*Fault, error) {
 	if err := xmltree.ScanAttrs(r, v); err != nil {
 		return v.fault, err
 	}
+	if !v.sawEnvelope {
+		// Plain-text bodies (proxy error pages) scan to EOF without ever
+		// opening an element; that is not a SOAP response.
+		return v.fault, fmt.Errorf("soap: response carried no envelope")
+	}
 	return v.fault, nil
 }
 
@@ -120,6 +128,7 @@ type envelopeScanner struct {
 	skip        int
 	inPayload   int
 	payloadSeen bool
+	sawEnvelope bool
 
 	fault      *Fault
 	inFault    int
@@ -149,6 +158,7 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 		if name != "Envelope" {
 			return fmt.Errorf("soap: not an envelope: %s", name)
 		}
+		v.sawEnvelope = true
 	case 2:
 		if name != "Body" {
 			// Header entries (and foreign siblings) are not the payload.

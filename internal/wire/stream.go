@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -65,6 +66,17 @@ func NewShipmentWriter(w io.Writer, sch *schema.Schema, preferFeed bool) *Shipme
 // is the sink ExecuteSlicePipelined's SliceIO.Emit plugs into, so records
 // flow onto the wire as stages produce them.
 func (sw *ShipmentWriter) Emit(key string, frag *core.Fragment, recs []*xmltree.Node) error {
+	return sw.emit(key, frag, recs, -1)
+}
+
+// EmitChunk writes one sequenced instance chunk — the resumable unit of a
+// shipment session. The seq attribute rides on the chunk so the target's
+// idempotency ledger can checkpoint and skip replays (internal/reliable).
+func (sw *ShipmentWriter) EmitChunk(key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
+	return sw.emit(key, frag, recs, seq)
+}
+
+func (sw *ShipmentWriter) emit(key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	if sw.closed {
@@ -75,12 +87,13 @@ func (sw *ShipmentWriter) Emit(key string, frag *core.Fragment, recs []*xmltree.
 		sw.bw.WriteString("<shipment>")
 	}
 	if sw.preferFeed && checkFlat(sw.sch, frag) == nil {
-		return sw.emitFeed(key, frag, recs)
+		return sw.emitFeed(key, frag, recs, seq)
 	}
 	sw.bw.WriteString(`<instance edge="`)
 	xmltree.Escape(sw.bw, key)
 	sw.bw.WriteString(`" frag="`)
 	xmltree.Escape(sw.bw, frag.Name)
+	sw.writeSeq(seq)
 	if len(recs) == 0 {
 		sw.bw.WriteString(`"/>`)
 		return nil
@@ -93,13 +106,24 @@ func (sw *ShipmentWriter) Emit(key string, frag *core.Fragment, recs []*xmltree.
 	return nil
 }
 
+// writeSeq appends the seq attribute (continuing an open attribute
+// position: the caller has written up to a value's closing point).
+func (sw *ShipmentWriter) writeSeq(seq int64) {
+	if seq < 0 {
+		return
+	}
+	sw.bw.WriteString(`" seq="`)
+	sw.bw.WriteString(strconv.FormatInt(seq, 10))
+}
+
 // emitFeed writes one feed-format instance chunk. Feed text escapes the
 // XML-special characters itself, so the rows embed verbatim.
-func (sw *ShipmentWriter) emitFeed(key string, frag *core.Fragment, recs []*xmltree.Node) error {
+func (sw *ShipmentWriter) emitFeed(key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
 	sw.bw.WriteString(`<instance edge="`)
 	xmltree.Escape(sw.bw, key)
 	sw.bw.WriteString(`" frag="`)
 	xmltree.Escape(sw.bw, frag.Name)
+	sw.writeSeq(seq)
 	sw.bw.WriteString(`" format="feed`)
 	if len(recs) == 0 {
 		sw.bw.WriteString(`"/>`)
@@ -225,13 +249,33 @@ type ShipmentDecoder struct {
 	sch    *schema.Schema
 	lookup func(name string) *core.Fragment
 
+	// OnChunk, when set, is consulted as each <instance> chunk opens with
+	// the chunk's seq attribute (-1 when unsequenced). Returning false skips
+	// the whole chunk — the resume path of a shipment session declines
+	// chunks below the target's checkpoint without parsing their records.
+	OnChunk func(seq int64) bool
+	// KeepRecord, when set, filters each staged record at commit time; the
+	// reliable ledger plugs in here to drop replayed records by (edge, ID).
+	KeepRecord func(edge string, rec *xmltree.Node) bool
+	// ChunkDone, when set, fires after a chunk commits — the moment it is
+	// safe to checkpoint its seq.
+	ChunkDone func(seq int64)
+
 	out     map[string]*core.Instance
 	started bool
 	done    bool
 	depth   int
 	skip    int
 
-	cur      *core.Instance
+	// Chunk staging: records of the open <instance> accumulate here and
+	// commit to the shared map only at its close tag, so a connection torn
+	// mid-chunk never leaves a half-parsed record behind — the unit of
+	// atomicity the resumable sessions replay on.
+	stageKey  string
+	stageFrag *core.Fragment
+	stageSeq  int64
+	stageRecs []*xmltree.Node
+
 	feed     *strings.Builder
 	feedFrag *core.Fragment
 	stack    []*xmltree.Node
@@ -240,7 +284,18 @@ type ShipmentDecoder struct {
 // NewShipmentDecoder prepares a decoder resolving fragments via lookup
 // (typically the decoded program's dictionary).
 func NewShipmentDecoder(sch *schema.Schema, lookup func(name string) *core.Fragment) *ShipmentDecoder {
-	return &ShipmentDecoder{sch: sch, lookup: lookup, out: map[string]*core.Instance{}}
+	return NewShipmentDecoderInto(sch, lookup, nil)
+}
+
+// NewShipmentDecoderInto prepares a decoder that accumulates into an
+// existing instance map (nil mints a fresh one). Resumed shipment sessions
+// decode each delivery attempt with a fresh decoder over the same map, so
+// chunks that survived a torn connection are kept across attempts.
+func NewShipmentDecoderInto(sch *schema.Schema, lookup func(name string) *core.Fragment, out map[string]*core.Instance) *ShipmentDecoder {
+	if out == nil {
+		out = map[string]*core.Instance{}
+	}
+	return &ShipmentDecoder{sch: sch, lookup: lookup, out: out, stageSeq: -1}
 }
 
 // StartElement implements xmltree.AttrHandler.
@@ -266,6 +321,7 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 			return nil
 		}
 		var key, fragName, format string
+		seq := int64(-1)
 		for _, a := range attrs {
 			switch a.Name {
 			case "edge":
@@ -274,19 +330,28 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 				fragName = a.Value
 			case "format":
 				format = a.Value
+			case "seq":
+				if v, err := strconv.ParseInt(a.Value, 10, 64); err == nil {
+					seq = v
+				}
 			}
+		}
+		if d.OnChunk != nil && !d.OnChunk(seq) {
+			// Chunk declined (already checkpointed on a prior attempt):
+			// skip its whole subtree without parsing records.
+			d.depth--
+			d.skip = 1
+			return nil
 		}
 		f := d.lookup(fragName)
 		if f == nil {
 			return fmt.Errorf("wire: shipment references unknown fragment %q", fragName)
 		}
+		d.stageKey, d.stageFrag, d.stageSeq = key, f, seq
 		if format == "feed" {
 			d.feed = &strings.Builder{}
 			d.feedFrag = f
-			d.cur = d.instanceFor(key, f)
-			return nil
 		}
-		d.cur = d.instanceFor(key, f)
 		return nil
 	}
 	if d.feed != nil {
@@ -313,7 +378,7 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 		n.Parent = d.stack[len(d.stack)-1].ID
 	}
 	if len(d.stack) == 0 {
-		d.cur.Records = append(d.cur.Records, n)
+		d.stageRecs = append(d.stageRecs, n)
 	} else {
 		d.stack[len(d.stack)-1].AddKid(n)
 	}
@@ -354,19 +419,41 @@ func (d *ShipmentDecoder) EndElement(string) error {
 	switch {
 	case len(d.stack) > 0:
 		d.stack = d.stack[:len(d.stack)-1]
-	case d.depth == 2 && d.feed != nil:
-		in, err := ReadFeed(strings.NewReader(d.feed.String()), d.feedFrag, d.sch)
-		if err != nil {
+	case d.depth == 2:
+		if err := d.commitChunk(); err != nil {
 			return err
 		}
-		d.cur.Records = append(d.cur.Records, in.Records...)
-		d.feed, d.feedFrag, d.cur = nil, nil, nil
-	case d.depth == 2:
-		d.cur = nil
 	case d.depth == 1:
 		d.done = true
 	}
 	d.depth--
+	return nil
+}
+
+// commitChunk moves the staged chunk into the shared instance map as its
+// </instance> closes. Feed rows are parsed here, so even feed chunks are
+// all-or-nothing; KeepRecord filters replays, and ChunkDone marks the seq
+// checkpointable.
+func (d *ShipmentDecoder) commitChunk() error {
+	recs := d.stageRecs
+	if d.feed != nil {
+		in, err := ReadFeed(strings.NewReader(d.feed.String()), d.feedFrag, d.sch)
+		if err != nil {
+			return err
+		}
+		recs = in.Records
+	}
+	in := d.instanceFor(d.stageKey, d.stageFrag)
+	for _, rec := range recs {
+		if d.KeepRecord == nil || d.KeepRecord(d.stageKey, rec) {
+			in.Records = append(in.Records, rec)
+		}
+	}
+	if d.ChunkDone != nil {
+		d.ChunkDone(d.stageSeq)
+	}
+	d.feed, d.feedFrag = nil, nil
+	d.stageKey, d.stageFrag, d.stageSeq, d.stageRecs = "", nil, -1, nil
 	return nil
 }
 

@@ -340,3 +340,220 @@ func FuzzStreamShipment(f *testing.F) {
 		}
 	})
 }
+
+// chunkFixture returns a flat fragment plus a record factory shared by the
+// sequenced-chunk tests.
+func chunkFixture(t *testing.T) (*schema.Schema, *core.Fragment, func(id, fid, txt string) *xmltree.Node) {
+	t.Helper()
+	sch := schema.CustomerInfo()
+	f, err := core.NewFragment(sch, "feat", []string{"Feature", "FeatureID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(id, fid, txt string) *xmltree.Node {
+		return &xmltree.Node{Name: "Feature", ID: id, Parent: "l1", Kids: []*xmltree.Node{
+			{Name: "FeatureID", ID: fid, Parent: id, Text: txt},
+		}}
+	}
+	return sch, f, rec
+}
+
+// TestEmitChunkSeqRoundTrip checks the resumable-session wire extension:
+// EmitChunk stamps each chunk with a seq attribute, the decoder surfaces it
+// through ChunkDone in order, and seq -1 stays byte-identical to Emit so
+// unsequenced peers interoperate unchanged.
+func TestEmitChunkSeqRoundTrip(t *testing.T) {
+	sch, f, rec := chunkFixture(t)
+	for _, preferFeed := range []bool{false, true} {
+		var buf, plain bytes.Buffer
+		sw := NewShipmentWriter(&buf, sch, preferFeed)
+		if err := sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f2", "i2", "voicemail")}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.EmitChunk("1:feat", f, nil, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), ` seq="1"`) {
+			t.Fatalf("preferFeed=%v: seq attribute missing:\n%s", preferFeed, buf.String())
+		}
+
+		d := NewShipmentDecoder(sch, func(string) *core.Fragment { return f })
+		var seqs []int64
+		d.ChunkDone = func(s int64) { seqs = append(seqs, s) }
+		if err := xmltree.ScanAttrs(bytes.NewReader(buf.Bytes()), d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+			t.Fatalf("preferFeed=%v: ChunkDone seqs = %v", preferFeed, seqs)
+		}
+		if in := got["0:feat"]; in == nil || len(in.Records) != 2 {
+			t.Fatalf("preferFeed=%v: sequenced chunks not merged: %+v", preferFeed, got)
+		}
+		if in := got["1:feat"]; in == nil || len(in.Records) != 0 {
+			t.Fatalf("preferFeed=%v: empty sequenced chunk lost", preferFeed)
+		}
+
+		// seq -1 must leave the wire bytes untouched.
+		sw2 := NewShipmentWriter(&plain, sch, preferFeed)
+		var viaEmit bytes.Buffer
+		sw3 := NewShipmentWriter(&viaEmit, sch, preferFeed)
+		if err := sw2.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}, -1); err != nil {
+			t.Fatal(err)
+		}
+		sw2.Close()
+		if err := sw3.Emit("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}); err != nil {
+			t.Fatal(err)
+		}
+		sw3.Close()
+		if plain.String() != viaEmit.String() {
+			t.Fatalf("preferFeed=%v: EmitChunk(-1) diverged from Emit:\n%s\nvs\n%s", preferFeed, plain.String(), viaEmit.String())
+		}
+	}
+}
+
+// TestDecoderOnChunkSkips checks the resume path: chunks the target already
+// checkpointed are declined by OnChunk and skipped wholesale — no records,
+// no ChunkDone.
+func TestDecoderOnChunkSkips(t *testing.T) {
+	sch, f, rec := chunkFixture(t)
+	var buf bytes.Buffer
+	sw := NewShipmentWriter(&buf, sch, false)
+	sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}, 0)
+	sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f2", "i2", "voicemail")}, 1)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewShipmentDecoder(sch, func(string) *core.Fragment { return f })
+	d.OnChunk = func(seq int64) bool { return seq >= 1 }
+	var seqs []int64
+	d.ChunkDone = func(s int64) { seqs = append(seqs, s) }
+	if err := xmltree.ScanAttrs(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := got["0:feat"]
+	if in == nil || len(in.Records) != 1 || in.Records[0].ID != "f2" {
+		t.Fatalf("declined chunk leaked records: %+v", got)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("ChunkDone fired for a skipped chunk: %v", seqs)
+	}
+}
+
+// TestDecoderKeepRecordDedup checks record-level idempotency: decoding the
+// same delivery twice into one shared map keeps each record once when
+// KeepRecord filters by (edge, ID), the ledger's key.
+func TestDecoderKeepRecordDedup(t *testing.T) {
+	sch, f, rec := chunkFixture(t)
+	var buf bytes.Buffer
+	sw := NewShipmentWriter(&buf, sch, false)
+	sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID"), rec("f2", "i2", "voicemail")}, 0)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wireBytes := buf.Bytes()
+
+	out := map[string]*core.Instance{}
+	seen := map[string]bool{}
+	keep := func(edge string, r *xmltree.Node) bool {
+		k := edge + "\x00" + r.ID
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		d := NewShipmentDecoderInto(sch, func(string) *core.Fragment { return f }, out)
+		d.KeepRecord = keep
+		if err := xmltree.ScanAttrs(bytes.NewReader(wireBytes), d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in := out["0:feat"]; in == nil || len(in.Records) != 2 {
+		t.Fatalf("replayed delivery duplicated records: %+v", out["0:feat"])
+	}
+}
+
+// TestDecoderTornChunkIsAtomic checks chunk-level atomicity — the property
+// resumable sessions replay on: a connection torn mid-chunk leaves the
+// shared map holding only fully committed chunks, and a resumed decode over
+// the same map (skipping committed seqs) reconstructs the exact fault-free
+// shipment.
+func TestDecoderTornChunkIsAtomic(t *testing.T) {
+	sch, f, rec := chunkFixture(t)
+	var buf bytes.Buffer
+	sw := NewShipmentWriter(&buf, sch, false)
+	sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}, 0)
+	sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f2", "i2", "voicemail")}, 1)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wireBytes := buf.Bytes()
+
+	// Tear the stream in the middle of chunk 1's record.
+	cut := bytes.LastIndex(wireBytes, []byte("voicemail"))
+	if cut < 0 {
+		t.Fatal("fixture bytes missing record text")
+	}
+	torn := wireBytes[:cut+3]
+
+	out := map[string]*core.Instance{}
+	next := int64(0)
+	hooks := func(d *ShipmentDecoder) {
+		d.OnChunk = func(seq int64) bool { return seq < 0 || seq >= next }
+		d.ChunkDone = func(seq int64) {
+			if seq >= next {
+				next = seq + 1
+			}
+		}
+	}
+	d1 := NewShipmentDecoderInto(sch, func(string) *core.Fragment { return f }, out)
+	hooks(d1)
+	if err := xmltree.ScanAttrs(bytes.NewReader(torn), d1); err == nil {
+		t.Fatal("torn stream scanned clean")
+	}
+	if in := out["0:feat"]; in == nil || len(in.Records) != 1 || in.Records[0].ID != "f1" {
+		t.Fatalf("torn chunk leaked partial state: %+v", out["0:feat"])
+	}
+	if next != 1 {
+		t.Fatalf("checkpoint = %d after torn attempt, want 1", next)
+	}
+
+	// Retry the full delivery; chunk 0 must be skipped, chunk 1 committed.
+	d2 := NewShipmentDecoderInto(sch, func(string) *core.Fragment { return f }, out)
+	hooks(d2)
+	if err := xmltree.ScanAttrs(bytes.NewReader(wireBytes), d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Result(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := ReadShipment(bytes.NewReader(wireBytes), sch, func(string) *core.Fragment { return f })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shipmentsEqual(out, want); err != nil {
+		t.Fatalf("resumed shipment differs from fault-free decode: %v", err)
+	}
+	if next != 2 {
+		t.Fatalf("checkpoint = %d after resume, want 2", next)
+	}
+}

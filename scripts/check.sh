@@ -14,3 +14,8 @@ go test -race ./...
 # Benchmark smoke: 100 fixed iterations so broken benchmarks fail the gate
 # without turning it into a performance run.
 make bench-smoke
+
+# Fault-injection soak: the reliable-exchange e2e over the widened seed
+# matrix, under the race detector. Deterministic, so a failure here is a
+# reliability regression, not flake.
+make soak
