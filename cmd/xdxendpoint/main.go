@@ -81,6 +81,11 @@ func main() {
 		Fragmentations:  []*core.Fragmentation{layout},
 	}
 	ep := endpoint.New(*name, &endpoint.RelBackend{Store: store, Speed: *speed, CanCombine: !*dumb}, defs)
+	// Collect abandoned resumable sessions in the background; the
+	// opportunistic sweep only runs when new sessions arrive, which a
+	// quiet endpoint may never see again.
+	stopSweep := ep.Sessions().StartSweeper(0)
+	defer stopSweep()
 
 	soapH := http.Handler(ep.Handler())
 	faults := netsim.Faults{

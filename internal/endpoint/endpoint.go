@@ -184,6 +184,7 @@ func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
 	e.srv.Handle("ProbeStats", e.probeStats)
 	e.srv.Handle("ProbeCost", e.probeCost)
 	e.srv.Handle("SessionStatus", e.sessionStatus)
+	e.srv.Handle("EndSession", e.endSession)
 	e.srv.HandleStream("ExecuteSource", e.executeSourceStream)
 	e.srv.HandleStream("ExecuteTarget", e.executeTargetStream)
 	return e
@@ -191,6 +192,10 @@ func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
 
 // Handler returns the endpoint's HTTP handler.
 func (e *Endpoint) Handler() http.Handler { return e.srv }
+
+// Sessions exposes the endpoint's resumable-session store, so daemons can
+// run its background sweeper and tests can observe session lifecycle.
+func (e *Endpoint) Sessions() *reliable.SessionStore { return e.sessions }
 
 func (e *Endpoint) getWSDL(req *xmltree.Node) (*xmltree.Node, error) {
 	data, err := e.WSDL.Marshal()

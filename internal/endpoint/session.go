@@ -54,9 +54,17 @@ func (e *Endpoint) targetSessionFor(id string) *targetSession {
 
 // decoder builds this delivery attempt's shipment decoder over the
 // session's accumulating instance map, with the ledger plugged into the
-// chunk-admission, record-dedup, and checkpoint hooks.
+// chunk-admission, record-dedup, and checkpoint hooks. Delivery attempts
+// for one session can overlap (a client that timed out retries while the
+// server is still draining the torn request), so the decoder commits
+// chunks under the session mutex and re-checks admission there; without
+// the lock a straggler's map writes would race the retry's.
 func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *core.Fragment) *wire.ShipmentDecoder {
-	d := wire.NewShipmentDecoderInto(sch, lookup, ts.inbound)
+	ts.mu.Lock()
+	inbound := ts.inbound
+	ts.mu.Unlock()
+	d := wire.NewShipmentDecoderInto(sch, lookup, inbound)
+	d.CommitLock = &ts.mu
 	d.OnChunk = ts.ledger.AdmitChunk
 	d.KeepRecord = ts.ledger.KeepRecord
 	d.ChunkDone = ts.ledger.ChunkDone
@@ -91,6 +99,12 @@ func (t *targetScan) respondSession(w io.Writer) error {
 	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
 	ts.done = true
 	ts.resp = resp
+	// The instances are loaded; replays only need the stored response, so
+	// release the decoded map instead of holding shipment-sized state for
+	// the rest of the session's lifetime. A late retry's decoder finds nil
+	// and decodes into a throwaway map — its chunks are all checkpointed
+	// anyway.
+	ts.inbound = nil
 	return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
 }
 
@@ -131,5 +145,20 @@ func (e *Endpoint) sessionStatus(req *xmltree.Node) (*xmltree.Node, error) {
 	}
 	resp.SetAttr("done", done)
 	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
+	return resp, nil
+}
+
+// endSession releases a session's state once the source has the response
+// it needs — without it, a completed session (ledger, stored response)
+// would sit in memory for the store's full MaxAge. Ending an unknown
+// session is fine: it may already have been swept.
+func (e *Endpoint) endSession(req *xmltree.Node) (*xmltree.Node, error) {
+	id, _ := req.Attr("session")
+	if id == "" {
+		return nil, &soap.Fault{Code: "soap:Client", String: "EndSession without session id"}
+	}
+	e.sessions.Delete(id)
+	resp := &xmltree.Node{Name: "EndSessionResponse"}
+	resp.SetAttr("session", id)
 	return resp, nil
 }

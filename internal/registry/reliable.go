@@ -88,11 +88,13 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 			return err
 		}
 		if !scanS.sawShipment {
-			return fmt.Errorf("registry: source returned no shipment")
+			return reliable.Permanent(fmt.Errorf("registry: source returned no shipment"))
 		}
 		m, err := dec.Result()
 		if err != nil {
-			return err
+			// The response scan completed, so this is a protocol defect,
+			// not a torn stream; retrying would repeat it.
+			return reliable.Permanent(err)
 		}
 		inbound, sourceMillis = m, scanS.queryMillis
 		return nil
@@ -120,13 +122,7 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	next := int64(0)
 	err = ex.Do("ExecuteTarget", tgt.URL, func(try int) error {
 		if try > 0 {
-			if st, serr := ct.Call("SessionStatus", sessionStatusReq(sessionID)); serr == nil {
-				if v, _ := st.Attr("next"); v != "" {
-					if n, perr := strconv.ParseInt(v, 10, 64); perr == nil && n > next {
-						next = n
-					}
-				}
-			}
+			next = resumePoint(ct.Call("SessionStatus", sessionStatusReq(sessionID)))
 			if next > 0 {
 				report.Resumes++
 			}
@@ -140,6 +136,10 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 				return err
 			}
 			m := netsim.NewMeter(w)
+			// Accumulated on every exit path: an attempt torn mid-chunk
+			// still spent its bytes on the wire, and ShipBytes counts the
+			// retransmission cost across all attempts.
+			defer func() { report.ShipBytes += m.Bytes() }()
 			sw := wire.NewShipmentWriter(m, sch, opts.Format == "feed")
 			for _, c := range chunks {
 				if c.Seq < next {
@@ -153,14 +153,13 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 			if err := sw.Close(); err != nil {
 				return err
 			}
-			report.ShipBytes += m.Bytes()
 			_, err := io.WriteString(w, `</ExecuteTarget>`)
 			return err
 		}, tb); err != nil {
 			return err
 		}
 		if tb.Root() == nil || tb.Root().Name != "ExecuteTargetResponse" {
-			return fmt.Errorf("registry: target returned no response")
+			return reliable.Permanent(fmt.Errorf("registry: target returned no response"))
 		}
 		respT = tb.Root()
 		return nil
@@ -169,6 +168,11 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	if err != nil {
 		return report, fmt.Errorf("registry: target execution: %w", err)
 	}
+	// The response is in hand, so the target's session state (ledger,
+	// stored replay response) has served its purpose; release it now
+	// rather than holding it for the store's full idle window. Best
+	// effort — the target's sweeper collects it if this call is lost.
+	ct.Call("EndSession", endSessionReq(sessionID))
 	report.ShipTime = opts.Link.TransferTime(report.ShipBytes)
 	if v, ok := respT.Attr("execMillis"); ok {
 		report.TargetTime = parseMillis(v)
@@ -190,4 +194,35 @@ func sessionStatusReq(id string) *xmltree.Node {
 	req := &xmltree.Node{Name: "SessionStatus"}
 	req.SetAttr("session", id)
 	return req
+}
+
+// endSessionReq builds the EndSession release for a session.
+func endSessionReq(id string) *xmltree.Node {
+	req := &xmltree.Node{Name: "EndSession"}
+	req.SetAttr("session", id)
+	return req
+}
+
+// resumePoint interprets a SessionStatus reply as the chunk to resume
+// emission from. The reported checkpoint is adopted unconditionally —
+// even when it is lower than what a previous attempt acked: a target
+// that lost the session in between (idle sweep, endpoint restart)
+// answers known="0" with a zero checkpoint, and resending chunks it
+// already committed is safe (AdmitChunk and the record ledger dedup),
+// whereas skipping chunks a reset ledger never saw would silently drop
+// records while the exchange reports success. A failed or unparsable
+// probe resumes from zero for the same reason.
+func resumePoint(st *xmltree.Node, err error) int64 {
+	if err != nil || st == nil {
+		return 0
+	}
+	if v, _ := st.Attr("known"); v == "0" {
+		return 0
+	}
+	v, _ := st.Attr("next")
+	n, perr := strconv.ParseInt(v, 10, 64)
+	if perr != nil || n < 0 {
+		return 0
+	}
+	return n
 }

@@ -44,8 +44,9 @@ func soakSeeds(t testing.TB) []int64 {
 
 // startAuctionExchange wires the auction workload (the paper's §5 data,
 // generated XMark-style) into a most-fragmented source and a
-// least-fragmented target, registers both, and plans the exchange.
-func startAuctionExchange(t testing.TB) (*Agency, *Plan, *relstore.Store, func()) {
+// least-fragmented target, registers both, and plans the exchange. The
+// target's endpoint rides along so tests can inspect its session store.
+func startAuctionExchange(t testing.TB) (*Agency, *Plan, *relstore.Store, *endpoint.Endpoint, func()) {
 	t.Helper()
 	sch := xmark.Schema()
 	doc := xmark.Generate(xmark.Config{TargetBytes: 60_000, Seed: 42})
@@ -80,7 +81,7 @@ func startAuctionExchange(t testing.TB) (*Agency, *Plan, *relstore.Store, func()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ag, plan, tgtStore, func() { srcSrv.Close(); tgtSrv.Close() }
+	return ag, plan, tgtStore, tgtEP, func() { srcSrv.Close(); tgtSrv.Close() }
 }
 
 // assembleTarget reassembles the document a target store holds.
@@ -137,19 +138,32 @@ func soakConfig(seed int64) *reliable.Config {
 // reports retries; the same seeds without reliability kill the exchange.
 func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 	// Fault-free baseline: what the target must hold afterwards.
-	agA, planA, tgtA, doneA := startAuctionExchange(t)
+	agA, planA, tgtA, _, doneA := startAuctionExchange(t)
 	if _, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true}); err != nil {
 		t.Fatal(err)
 	}
 	want := assembleTarget(t, tgtA)
 	doneA()
 
+	// Clean reliable run: the ShipBytes floor. The faulted runs below use
+	// the same chunked framing, so retransmission can only add bytes — a
+	// report below this floor means torn attempts went unmetered.
+	agR, planR, _, _, doneR := startAuctionExchange(t)
+	repR, err := agR.ExecuteOpts("Auction", planR, ExecOptions{
+		Link: netsim.Loopback(), Reliability: soakConfig(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseShipBytes := repR.ShipBytes
+	doneR()
+
 	totalResumes := 0
 	for _, seed := range soakSeeds(t) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			// Without reliability the same fault seed is fatal.
-			agC, planC, _, doneC := startAuctionExchange(t)
+			agC, planC, _, _, doneC := startAuctionExchange(t)
 			defer doneC()
 			flC := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
 			if _, err := agC.ExecuteOpts("Auction", planC, ExecOptions{
@@ -162,7 +176,7 @@ func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 			}
 
 			// With reliability it completes, and the report shows the work.
-			agB, planB, tgtB, doneB := startAuctionExchange(t)
+			agB, planB, tgtB, _, doneB := startAuctionExchange(t)
 			defer doneB()
 			flB := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
 			rep, err := agB.ExecuteOpts("Auction", planB, ExecOptions{
@@ -175,6 +189,10 @@ func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 			}
 			if rep.Retries == 0 {
 				t.Errorf("report shows no retries (injected %+v)", flB.Counts())
+			}
+			if rep.ShipBytes < baseShipBytes {
+				t.Errorf("ShipBytes = %d under faults, below the clean floor %d — torn attempts went unmetered",
+					rep.ShipBytes, baseShipBytes)
 			}
 			totalResumes += rep.Resumes
 			got := assembleTarget(t, tgtB)
@@ -191,14 +209,14 @@ func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 // TestReliableExchangeFaultFree checks the reliable driver is a no-op
 // overlay on a clean link: no retries, no resumes, same target contents.
 func TestReliableExchangeFaultFree(t *testing.T) {
-	agA, planA, tgtA, doneA := startAuctionExchange(t)
+	agA, planA, tgtA, _, doneA := startAuctionExchange(t)
 	defer doneA()
 	if _, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true}); err != nil {
 		t.Fatal(err)
 	}
 	want := assembleTarget(t, tgtA)
 
-	agB, planB, tgtB, doneB := startAuctionExchange(t)
+	agB, planB, tgtB, tgtEP, doneB := startAuctionExchange(t)
 	defer doneB()
 	rep, err := agB.ExecuteOpts("Auction", planB, ExecOptions{
 		Link:        netsim.Loopback(),
@@ -213,6 +231,11 @@ func TestReliableExchangeFaultFree(t *testing.T) {
 	}
 	if rep.ShipBytes <= 0 {
 		t.Error("no bytes metered")
+	}
+	// The driver releases its session via EndSession before returning, so
+	// the target holds no session state once the exchange is done.
+	if n := tgtEP.Sessions().Len(); n != 0 {
+		t.Errorf("target still holds %d sessions after the exchange", n)
 	}
 	got := assembleTarget(t, tgtB)
 	if !xmltree.Equal(want, got) {
@@ -231,7 +254,7 @@ func TestFaultSweepExperiment(t *testing.T) {
 		t.Skip("set XDX_FAULT_SWEEP=1 to run the sweep")
 	}
 
-	agA, planA, _, doneA := startAuctionExchange(t)
+	agA, planA, _, _, doneA := startAuctionExchange(t)
 	repA, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true})
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +268,7 @@ func TestFaultSweepExperiment(t *testing.T) {
 		var bytes int64
 		var wall time.Duration
 		for seed := int64(1); seed <= runs; seed++ {
-			ag, plan, _, done := startAuctionExchange(t)
+			ag, plan, _, _, done := startAuctionExchange(t)
 			fl := netsim.NewFaultyLink(netsim.Loopback(), netsim.Faults{Seed: seed, DropProb: p})
 			start := time.Now()
 			rep, err := ag.ExecuteOpts("Auction", plan, ExecOptions{
@@ -270,5 +293,44 @@ func TestFaultSweepExperiment(t *testing.T) {
 		t.Logf("drop=%.2f completed=%d/%d retries=%.2f resumes=%.2f wall=%.1fms ship-overhead=%+.1f%%",
 			p, ok, runs, float64(retries)/runs, float64(resumes)/runs,
 			wall.Seconds()*1000/runs, inflation*100)
+	}
+}
+
+// TestResumePoint pins the checkpoint-adoption rules: the target's answer
+// is adopted unconditionally — in particular known="0" resets to zero even
+// if a prior attempt acked further, because a target that lost the session
+// (sweep, restart) has a reset ledger and skipping chunks it never saw
+// would silently drop records. Probe failures and garbage also resume
+// from zero; resending is always safe, skipping never is.
+func TestResumePoint(t *testing.T) {
+	status := func(known, next string) *xmltree.Node {
+		st := &xmltree.Node{Name: "SessionStatusResponse"}
+		if known != "" {
+			st.SetAttr("known", known)
+		}
+		if next != "" {
+			st.SetAttr("next", next)
+		}
+		return st
+	}
+	cases := []struct {
+		name string
+		st   *xmltree.Node
+		err  error
+		want int64
+	}{
+		{"probe failed", nil, fmt.Errorf("boom"), 0},
+		{"nil response", nil, nil, 0},
+		{"session lost", status("0", "5"), nil, 0},
+		{"acked five", status("1", "5"), nil, 5},
+		{"fresh session", status("1", "0"), nil, 0},
+		{"garbage next", status("1", "many"), nil, 0},
+		{"negative next", status("1", "-3"), nil, 0},
+		{"missing next", status("1", ""), nil, 0},
+	}
+	for _, c := range cases {
+		if got := resumePoint(c.st, c.err); got != c.want {
+			t.Errorf("%s: resumePoint = %d, want %d", c.name, got, c.want)
+		}
 	}
 }

@@ -20,6 +20,7 @@
 package reliable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -166,15 +167,52 @@ func (r *Retrier) Do(op string, br *Breaker, attempt func(try int) error) error 
 	}
 }
 
+// Permanent wraps err so Retryable classifies it as non-retryable.
+// Protocol and decode failures from this codebase repeat identically on
+// every attempt; marking them permanent fails the exchange fast instead
+// of burning the backoff budget and tripping the endpoint's breaker on
+// an error no retry can fix. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// permanentError is the marker Permanent attaches; errors.As unwraps
+// through fmt.Errorf chains to find it.
+type permanentError struct{ err error }
+
+// Error implements error.
+func (e *permanentError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *permanentError) Unwrap() error { return e.err }
+
 // Retryable classifies an error as transient. Transport-level failures
-// (connection drops, truncated streams, timeouts — anything that is not a
-// SOAP fault) are retryable; SOAP faults are retryable only when they are
-// really HTTP-level outages: 502/503/504, or any 5xx that did not come
-// with a well-formed fault body (soap:HTTP — e.g. a proxy error page). A
-// 5xx carrying a proper soap:Server fault is an application error and
-// retrying would just repeat it.
+// (connection drops, truncated streams, attempt timeouts — anything that
+// is not a SOAP fault) are retryable; SOAP faults are retryable only when
+// they are really HTTP-level outages: 502/503/504, or any 5xx that did
+// not come with a well-formed fault body (soap:HTTP — e.g. a proxy error
+// page). A 5xx carrying a proper soap:Server fault is an application
+// error and retrying would just repeat it. Likewise non-retryable:
+// errors marked Permanent, payload decode rejections (soap.PayloadError —
+// the response arrived intact and was refused), and context.Canceled (the
+// caller gave up; context.DeadlineExceeded stays retryable, it is how a
+// stalled attempt's timeout surfaces).
 func Retryable(err error) bool {
 	if err == nil {
+		return false
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var de *soap.PayloadError
+	if errors.As(err, &de) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
 		return false
 	}
 	var f *soap.Fault

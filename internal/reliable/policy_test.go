@@ -1,6 +1,7 @@
 package reliable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -161,6 +162,13 @@ func TestRetryableClassification(t *testing.T) {
 		{"client fault", &soap.Fault{Code: "soap:Client", HTTPStatus: 400}, false},
 		{"server-side fault unsent", &soap.Fault{Code: "soap:Server"}, false},
 		{"open circuit", ErrOpen, false},
+		{"permanent transport", Permanent(io.ErrUnexpectedEOF), false},
+		{"wrapped permanent", fmt.Errorf("call: %w", Permanent(io.ErrUnexpectedEOF)), false},
+		{"payload rejection", &soap.PayloadError{Err: fmt.Errorf("unknown fragment")}, false},
+		{"wrapped payload rejection", fmt.Errorf("scan: %w", &soap.PayloadError{Err: io.EOF}), false},
+		{"caller canceled", context.Canceled, false},
+		{"wrapped canceled", fmt.Errorf("call: %w", context.Canceled), false},
+		{"attempt timeout", context.DeadlineExceeded, true},
 	}
 	for _, tc := range cases {
 		if got := Retryable(tc.err); got != tc.want {

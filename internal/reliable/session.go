@@ -101,8 +101,12 @@ type Session struct {
 	ID string
 	// Ledger is the session's idempotency state.
 	Ledger *Ledger
-	// Created is when the session first appeared, for sweeping.
+	// Created is when the session first appeared.
 	Created time.Time
+	// touched is the last store access — the idleness clock Sweep runs
+	// on, so a session in active use is never collected mid-transfer.
+	// Guarded by the store's mutex.
+	touched time.Time
 
 	// Mu guards Data against a status probe racing a late request.
 	Mu sync.Mutex
@@ -128,30 +132,76 @@ func NewSessionStore() *SessionStore {
 	return &SessionStore{MaxAge: 10 * time.Minute, m: make(map[string]*Session), now: time.Now}
 }
 
-// Get returns the session, or nil when unknown.
+// Get returns the session, or nil when unknown. Access refreshes the
+// session's idleness clock.
 func (s *SessionStore) Get(id string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.m[id]
+	if sess := s.m[id]; sess != nil {
+		sess.touched = s.now()
+		return sess
+	}
+	return nil
 }
 
-// GetOrCreate returns the session, minting (and sweeping expired peers)
-// on first sight.
+// GetOrCreate returns the session, minting (and sweeping idle peers) on
+// first sight.
 func (s *SessionStore) GetOrCreate(id string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.now()
 	if sess := s.m[id]; sess != nil {
+		sess.touched = now
 		return sess
 	}
-	now := s.now()
-	for k, v := range s.m {
-		if now.Sub(v.Created) > s.MaxAge {
-			delete(s.m, k)
-		}
-	}
-	sess := &Session{ID: id, Ledger: NewLedger(), Created: now}
+	s.sweepLocked(now)
+	sess := &Session{ID: id, Ledger: NewLedger(), Created: now, touched: now}
 	s.m[id] = sess
 	return sess
+}
+
+// Sweep collects sessions idle past MaxAge and reports how many went.
+// GetOrCreate sweeps opportunistically as new sessions arrive; an endpoint
+// that stops receiving sessions should also run Sweep in the background
+// (StartSweeper) so completed state is not held indefinitely.
+func (s *SessionStore) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepLocked(s.now())
+}
+
+func (s *SessionStore) sweepLocked(now time.Time) int {
+	n := 0
+	for k, v := range s.m {
+		if now.Sub(v.touched) > s.MaxAge {
+			delete(s.m, k)
+			n++
+		}
+	}
+	return n
+}
+
+// StartSweeper sweeps the store every interval (MaxAge/2 when zero) until
+// the returned stop function is called.
+func (s *SessionStore) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = s.MaxAge / 2
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Sweep()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Delete drops a session.

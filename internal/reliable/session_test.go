@@ -1,6 +1,8 @@
 package reliable
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -154,5 +156,74 @@ func TestChunkShipmentDefaultSize(t *testing.T) {
 	chunks := ChunkShipment(map[string]*core.Instance{"k": {Frag: frag, Records: recs}}, 0)
 	if len(chunks) != 3 { // 64+64+2
 		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+}
+
+// TestSessionStoreSweep pins the idle-collection rules: Sweep collects
+// sessions idle past MaxAge, any store access (Get or GetOrCreate)
+// refreshes a session's idleness clock so an active transfer is never
+// collected mid-flight, and GetOrCreate sweeps opportunistically as new
+// sessions arrive.
+func TestSessionStoreSweep(t *testing.T) {
+	s := NewSessionStore()
+	s.MaxAge = 10 * time.Minute
+	clock := time.Unix(0, 0)
+	s.now = func() time.Time { return clock }
+
+	s.GetOrCreate("idle")
+	s.GetOrCreate("active")
+	clock = clock.Add(6 * time.Minute)
+	s.Get("active") // refreshes the idleness clock
+	clock = clock.Add(6 * time.Minute)
+
+	// "idle" is 12 minutes untouched, "active" only 6.
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("Sweep collected %d sessions, want 1", n)
+	}
+	if s.Get("idle") != nil {
+		t.Fatal("idle session survived the sweep")
+	}
+	if s.Get("active") == nil {
+		t.Fatal("recently touched session was collected")
+	}
+
+	// Minting a new session sweeps opportunistically.
+	clock = clock.Add(11 * time.Minute)
+	s.GetOrCreate("fresh")
+	if s.Len() != 1 {
+		t.Fatalf("GetOrCreate did not sweep: %d sessions live", s.Len())
+	}
+	if s.Get("fresh") == nil {
+		t.Fatal("freshly minted session missing")
+	}
+}
+
+// TestSessionStoreSweeper checks the background sweeper: completed state is
+// collected without any further store traffic, and stop is idempotent.
+func TestSessionStoreSweeper(t *testing.T) {
+	s := NewSessionStore()
+	s.MaxAge = time.Millisecond
+	s.GetOrCreate("done")
+	stop := s.StartSweeper(time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper never collected the idle session (%d live)", s.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // stopping twice must not panic
+}
+
+// TestPermanentNil checks the wrapper's degenerate case.
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	base := fmt.Errorf("boom")
+	p := Permanent(base)
+	if p.Error() != "boom" || !errors.Is(p, base) {
+		t.Fatalf("Permanent wrapper mangled the cause: %v", p)
 	}
 }

@@ -103,10 +103,26 @@ func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xm
 	return nil
 }
 
+// PayloadError marks an error raised by the caller's payload handler
+// while a response envelope was being scanned: the envelope itself
+// arrived and parsed, so the failure is an application-level decode
+// rejecting the payload's contents — a permanent condition, unlike the
+// tokenizer errors a truncated stream raises. Retry policies use the
+// distinction to fail fast instead of re-requesting a payload that will
+// be rejected identically every time.
+type PayloadError struct{ Err error }
+
+// Error implements error.
+func (e *PayloadError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the handler's error to errors.Is/As.
+func (e *PayloadError) Unwrap() error { return e.Err }
+
 // ScanEnvelope consumes a serialized envelope from r in one SAX pass,
 // delegating the payload element's events (including its own start/end) to
 // h. A soap:Fault payload is collected and returned instead of being
-// delegated. h may be nil to discard a non-fault payload.
+// delegated. h may be nil to discard a non-fault payload. Errors raised by
+// h come back wrapped in *PayloadError; parse errors come back as-is.
 func ScanEnvelope(r io.Reader, h xmltree.AttrHandler) (*Fault, error) {
 	v := &envelopeScanner{h: h}
 	if err := xmltree.ScanAttrs(r, v); err != nil {
@@ -118,6 +134,14 @@ func ScanEnvelope(r io.Reader, h xmltree.AttrHandler) (*Fault, error) {
 		return v.fault, fmt.Errorf("soap: response carried no envelope")
 	}
 	return v.fault, nil
+}
+
+// payloadErr wraps a delegated handler's error in *PayloadError.
+func payloadErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PayloadError{Err: err}
 }
 
 // envelopeScanner walks Envelope/Body framing around a delegated payload.
@@ -150,7 +174,7 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 	}
 	if v.inPayload > 0 {
 		v.inPayload++
-		return v.h.StartElement(name, attrs)
+		return payloadErr(v.h.StartElement(name, attrs))
 	}
 	v.depth++
 	switch v.depth {
@@ -184,7 +208,7 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 			return nil
 		}
 		v.inPayload = 1
-		return v.h.StartElement(name, attrs)
+		return payloadErr(v.h.StartElement(name, attrs))
 	}
 	return nil
 }
@@ -203,7 +227,7 @@ func (v *envelopeScanner) Text(data string) error {
 			v.fault.Detail += data
 		}
 	case v.inPayload > 0:
-		return v.h.Text(data)
+		return payloadErr(v.h.Text(data))
 	}
 	return nil
 }
@@ -221,7 +245,7 @@ func (v *envelopeScanner) EndElement(name string) error {
 	case v.inPayload > 0:
 		v.inPayload--
 		if err := v.h.EndElement(name); err != nil {
-			return err
+			return payloadErr(err)
 		}
 		if v.inPayload == 0 {
 			v.depth--

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -193,5 +194,54 @@ func TestScanEnvelopeFault(t *testing.T) {
 
 	if _, err := ScanEnvelope(strings.NewReader("<NotAnEnvelope/>"), nil); err == nil {
 		t.Error("wrong root must fail")
+	}
+}
+
+// rejectHandler refuses the first payload event — the shape of an
+// application-level decode rejection (e.g. a shipment referencing an
+// unknown fragment).
+type rejectHandler struct{ err error }
+
+func (r rejectHandler) StartElement(string, []xmltree.Attr) error { return r.err }
+func (r rejectHandler) Text(string) error                         { return nil }
+func (r rejectHandler) EndElement(string) error                   { return nil }
+
+// TestCallStreamPayloadError checks the transient/permanent seam the retry
+// policy classifies on: an error raised by the caller's payload handler
+// (the response arrived, decoding refused it) surfaces as *PayloadError,
+// while a response torn mid-envelope stays a bare parse error — only the
+// latter is worth retrying.
+func TestCallStreamPayloadError(t *testing.T) {
+	hs := httptest.NewServer(streamServer())
+	defer hs.Close()
+	c := &Client{URL: hs.URL}
+
+	reject := errors.New("shipment references unknown fragment")
+	err := c.CallStream("echo", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Echo>xyzzy</Echo>")
+		return err
+	}, rejectHandler{reject})
+	var pe *PayloadError
+	if !errors.As(err, &pe) || !errors.Is(err, reject) {
+		t.Fatalf("handler rejection = %v, want *PayloadError wrapping the cause", err)
+	}
+
+	// Same call against a response cut mid-envelope: a tokenizer error,
+	// not a payload rejection.
+	cut := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, `<soap:Envelope xmlns:soap="`+EnvelopeNS+`"><soap:Body><EchoResp`)
+	}))
+	defer cut.Close()
+	c2 := &Client{URL: cut.URL}
+	err = c2.CallStream("echo", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Echo>x</Echo>")
+		return err
+	}, &xmltree.TreeBuilder{})
+	if err == nil {
+		t.Fatal("truncated response scanned clean")
+	}
+	if errors.As(err, &pe) {
+		t.Fatalf("truncation misclassified as a payload rejection: %v", err)
 	}
 }

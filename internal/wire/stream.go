@@ -260,6 +260,16 @@ type ShipmentDecoder struct {
 	// ChunkDone, when set, fires after a chunk commits — the moment it is
 	// safe to checkpoint its seq.
 	ChunkDone func(seq int64)
+	// CommitLock, when set, is held across each chunk commit. A resumable
+	// session decodes concurrent delivery attempts into one shared
+	// instance map — a retried delivery can race a straggler whose torn
+	// connection is still draining — so the endpoint passes the session
+	// mutex here, serializing map writes and record appends against each
+	// other and against the executing target. Under the lock the chunk's
+	// admission is re-checked via OnChunk: a chunk another attempt
+	// committed while this one was parsing it is dropped wholesale, which
+	// keeps records exactly-once even when they carry no IDs.
+	CommitLock sync.Locker
 
 	out     map[string]*core.Instance
 	started bool
@@ -443,6 +453,16 @@ func (d *ShipmentDecoder) commitChunk() error {
 		}
 		recs = in.Records
 	}
+	if d.CommitLock != nil {
+		d.CommitLock.Lock()
+		defer d.CommitLock.Unlock()
+	}
+	if d.stageSeq >= 0 && d.OnChunk != nil && !d.OnChunk(d.stageSeq) {
+		// Admission lapsed between the chunk's open tag and its close: a
+		// concurrent delivery attempt committed it first.
+		d.resetStage()
+		return nil
+	}
 	in := d.instanceFor(d.stageKey, d.stageFrag)
 	for _, rec := range recs {
 		if d.KeepRecord == nil || d.KeepRecord(d.stageKey, rec) {
@@ -452,9 +472,14 @@ func (d *ShipmentDecoder) commitChunk() error {
 	if d.ChunkDone != nil {
 		d.ChunkDone(d.stageSeq)
 	}
+	d.resetStage()
+	return nil
+}
+
+// resetStage clears the per-chunk staging state after a commit or drop.
+func (d *ShipmentDecoder) resetStage() {
 	d.feed, d.feedFrag = nil, nil
 	d.stageKey, d.stageFrag, d.stageSeq, d.stageRecs = "", nil, -1, nil
-	return nil
 }
 
 // Result returns the decoded instance map once the shipment element has

@@ -3,11 +3,15 @@ package wire
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"xdx/internal/core"
+	"xdx/internal/reliable"
 	"xdx/internal/schema"
 	"xdx/internal/xmltree"
 )
@@ -555,5 +559,102 @@ func TestDecoderTornChunkIsAtomic(t *testing.T) {
 	}
 	if next != 2 {
 		t.Fatalf("checkpoint = %d after resume, want 2", next)
+	}
+}
+
+// yieldReader hands one byte per read and yields the scheduler first, so
+// concurrent scans interleave deterministically even on GOMAXPROCS=1 —
+// pure scheduling never preempts a tight scan loop there.
+type yieldReader struct{ r io.Reader }
+
+func (y yieldReader) Read(p []byte) (int, error) {
+	runtime.Gosched()
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return y.r.Read(p)
+}
+
+// TestDecoderConcurrentAttemptsExactlyOnce drives many overlapping delivery
+// attempts of one shipment into a shared instance map — the shape of a
+// client retry racing a straggler whose torn connection is still draining.
+// CommitLock serializes the commits (this test is the -race coverage for
+// that), and the commit-time admission re-check keeps every chunk exactly
+// once. The records here carry no IDs on purpose: KeepRecord passes ID-less
+// records through, so the re-check under the lock is the only thing
+// standing between an overlapping attempt and duplicated records.
+func TestDecoderConcurrentAttemptsExactlyOnce(t *testing.T) {
+	sch, f, _ := chunkFixture(t)
+	const chunks = 64
+	rec := func(txt string) *xmltree.Node {
+		return &xmltree.Node{Name: "Feature", Parent: "l1", Kids: []*xmltree.Node{
+			{Name: "FeatureID", Text: txt},
+		}}
+	}
+	var buf bytes.Buffer
+	sw := NewShipmentWriter(&buf, sch, false)
+	for i := 0; i < chunks; i++ {
+		key := fmt.Sprintf("%d:feat", i%4)
+		if err := sw.EmitChunk(key, f, []*xmltree.Node{rec(fmt.Sprintf("feat-%d", i))}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wireBytes := buf.Bytes()
+
+	out := map[string]*core.Instance{}
+	led := reliable.NewLedger()
+	var commit sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, 8)
+	for a := 0; a < 8; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := NewShipmentDecoderInto(sch, func(string) *core.Fragment { return f }, out)
+			d.CommitLock = &commit
+			d.OnChunk = led.AdmitChunk
+			d.KeepRecord = led.KeepRecord
+			d.ChunkDone = led.ChunkDone
+			// The start gate plus yield-per-byte reads keep all eight
+			// attempts mid-shipment at once; a plain reader (on a small
+			// machine, even a merely slow one) lets each goroutine finish
+			// its whole scan before the next is scheduled.
+			<-start
+			if err := xmltree.ScanAttrs(yieldReader{bytes.NewReader(wireBytes)}, d); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := led.Checkpoint(); got != chunks {
+		t.Fatalf("checkpoint = %d, want %d", got, chunks)
+	}
+	seen := map[string]bool{}
+	total := 0
+	for key, in := range out {
+		for _, r := range in.Records {
+			if len(r.Kids) != 1 {
+				t.Fatalf("edge %s: malformed record %+v", key, r)
+			}
+			txt := r.Kids[0].Text
+			if seen[txt] {
+				t.Fatalf("record %s committed by more than one attempt", txt)
+			}
+			seen[txt] = true
+			total++
+		}
+	}
+	if total != chunks {
+		t.Fatalf("records = %d, want exactly %d", total, chunks)
 	}
 }
