@@ -17,7 +17,6 @@ import (
 	"xdx/internal/sim"
 	"xdx/internal/wire"
 	"xdx/internal/xmark"
-	"xdx/internal/xmltree"
 )
 
 func ablationSetup(b *testing.B) (*core.Mapping, map[string]*core.Instance) {
@@ -102,32 +101,57 @@ func BenchmarkAblation_OrderingGreedy(b *testing.B) {
 	}
 }
 
-func BenchmarkAblation_ShipFormatXML(b *testing.B) {
-	_, sources := ablationSetup(b)
+// benchShipCodec serializes the same auction shipment under one codec and
+// layout, reporting the wire size alongside throughput so the four codecs
+// can be read as one size/speed table (EXPERIMENTS.md "wire formats").
+func benchShipCodec(b *testing.B, layout *core.Fragmentation, codec wire.Codec) {
+	b.Helper()
+	sch := layout.Schema
+	doc := xmark.Generate(xmark.Config{TargetBytes: 200_000, Seed: 3})
+	sources, err := core.FromDocument(layout, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
 	out := map[string]*core.Instance{}
 	for name, in := range sources {
 		out["0:"+name] = in
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		x := wire.EncodeShipment(out)
-		b.SetBytes(xmltree.SizeWith(x, xmltree.WriteOptions{EmitAllIDs: true}))
-	}
-}
-
-func BenchmarkAblation_ShipFormatFeed(b *testing.B) {
-	m, sources := ablationSetup(b)
-	sch := m.Source.Schema
+	var wireBytes int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var sink netsim.Discard
-		for _, in := range sources {
-			if err := wire.WriteFeed(&sink, in, sch); err != nil {
-				b.Fatal(err)
-			}
+		if err := wire.StreamShipmentCodec(&sink, out, sch, codec); err != nil {
+			b.Fatal(err)
 		}
-		b.SetBytes(sink.N)
+		wireBytes = sink.N
+		b.SetBytes(wireBytes)
 	}
+	b.ReportMetric(float64(wireBytes), "wire-bytes/op")
+}
+
+// benchShipLayouts runs one codec over both reference layouts: MF (many
+// small flat fragments — the feed codec's home turf) and LF (few deep
+// fragments, where feeds fall back to XML and only bin keeps winning).
+func benchShipLayouts(b *testing.B, codec wire.Codec) {
+	sch := xmark.Schema()
+	b.Run("MF", func(b *testing.B) { benchShipCodec(b, core.MostFragmented(sch), codec) })
+	b.Run("LF", func(b *testing.B) { benchShipCodec(b, core.LeastFragmented(sch), codec) })
+}
+
+func BenchmarkAblation_ShipFormatXML(b *testing.B) {
+	benchShipLayouts(b, wire.Codec{Kind: wire.CodecXML})
+}
+
+func BenchmarkAblation_ShipFormatFeed(b *testing.B) {
+	benchShipLayouts(b, wire.Codec{Kind: wire.CodecFeed})
+}
+
+func BenchmarkAblation_ShipFormatBin(b *testing.B) {
+	benchShipLayouts(b, wire.Codec{Kind: wire.CodecBin})
+}
+
+func BenchmarkAblation_ShipFormatBinFlate(b *testing.B) {
+	benchShipLayouts(b, wire.Codec{Kind: wire.CodecBin, Flate: true})
 }
 
 func benchPlacement(b *testing.B, frags int, exhaustive bool) {

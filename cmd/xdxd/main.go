@@ -18,6 +18,7 @@ import (
 	"xdx/internal/netsim"
 	"xdx/internal/registry"
 	"xdx/internal/reliable"
+	"xdx/internal/wire"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	latency := flag.Duration("latency", 0, "modeled link latency")
 	state := flag.String("state", "", "directory for persisted registrations (survives restarts)")
 	streamed := flag.Bool("streamed", false, "drive exchanges over the zero-materialization wire path")
+	codec := flag.String("codec", "", "default shipment codec: xml, feed, bin, or bin+flate")
 	reliab := flag.Bool("reliable", false, "retry, resume, and circuit-break exchanges (implies the streamed wire path)")
 	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per call (0 = default 4)")
 	retryBudget := flag.Int("retry-budget", 0, "total retries allowed per exchange (0 = default 16)")
@@ -49,6 +51,13 @@ func main() {
 	}
 	svc := registry.NewService(agency, link)
 	svc.Streamed = *streamed
+	if *codec != "" {
+		if _, err := wire.ParseCodec(*codec); err != nil {
+			log.Fatal("xdxd: ", err)
+		}
+		svc.Codec = *codec
+		log.Printf("xdxd: default shipment codec %s", *codec)
+	}
 	if *reliab {
 		cfg := &reliable.Config{
 			Policy: reliable.Policy{

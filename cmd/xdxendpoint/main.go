@@ -15,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"xdx/internal/core"
@@ -33,6 +34,7 @@ func main() {
 	name := flag.String("name", "endpoint", "endpoint name")
 	speed := flag.Float64("speed", 1, "relative processing speed reported to cost probes")
 	dumb := flag.Bool("dumb", false, "refuse to run Combine (dumb client)")
+	codecs := flag.String("codecs", "", "comma-separated shipment codecs this endpoint answers in (empty = all: bin+flate,bin,feed,xml)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for injected faults (reproducible chaos runs)")
 	faultDrop := flag.Float64("fault-drop", 0, "probability a request is aborted before any response")
 	faultTruncate := flag.Float64("fault-truncate", 0, "probability a response is cut mid-stream")
@@ -81,6 +83,16 @@ func main() {
 		Fragmentations:  []*core.Fragmentation{layout},
 	}
 	ep := endpoint.New(*name, &endpoint.RelBackend{Store: store, Speed: *speed, CanCombine: !*dumb}, defs)
+	if *codecs != "" {
+		names := strings.Split(*codecs, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		if err := ep.SetSupportedCodecs(names...); err != nil {
+			log.Fatal("xdxendpoint: ", err)
+		}
+		log.Printf("xdxendpoint: answering in codecs %v", names)
+	}
 	// Collect abandoned resumable sessions in the background; the
 	// opportunistic sweep only runs when new sessions arrive, which a
 	// quiet endpoint may never see again.

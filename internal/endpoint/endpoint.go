@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"xdx/internal/core"
@@ -174,12 +175,32 @@ type Endpoint struct {
 	backend  Backend
 	srv      *soap.Server
 	sessions *reliable.SessionStore
+
+	// codecs is the shipment codecs this endpoint will answer in, in the
+	// order it prefers them; negotiation picks the client's first advertised
+	// codec that appears here. Defaults to everything the wire package
+	// speaks.
+	codecs []string
+
+	calMu    sync.Mutex
+	calCache map[string]*shipCalibration
+}
+
+// shipCalibration holds measured wire/tree size ratios for one codec:
+// per layout fragment, plus the size-weighted mean used for fragments the
+// optimizer derives (combine outputs, split parts) that calibration never
+// saw.
+type shipCalibration struct {
+	ratios map[string]float64
+	def    float64
 }
 
 // New wires a backend into a SOAP endpoint.
 func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
 	e := &Endpoint{Name: name, WSDL: defs, backend: be, srv: soap.NewServer(),
-		sessions: reliable.NewSessionStore()}
+		sessions: reliable.NewSessionStore(),
+		codecs:   wire.Codecs(),
+		calCache: map[string]*shipCalibration{}}
 	e.srv.Handle("GetWSDL", e.getWSDL)
 	e.srv.Handle("ProbeStats", e.probeStats)
 	e.srv.Handle("ProbeCost", e.probeCost)
@@ -197,6 +218,65 @@ func (e *Endpoint) Handler() http.Handler { return e.srv }
 // run its background sweeper and tests can observe session lifecycle.
 func (e *Endpoint) Sessions() *reliable.SessionStore { return e.sessions }
 
+// SetSupportedCodecs restricts (and orders) the shipment codecs this
+// endpoint answers in. Unknown names are rejected. An empty call is a
+// no-op, leaving the default of everything the wire package speaks.
+func (e *Endpoint) SetSupportedCodecs(names ...string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	for _, n := range names {
+		if _, err := wire.ParseCodec(n); err != nil {
+			return err
+		}
+	}
+	e.codecs = append([]string(nil), names...)
+	return nil
+}
+
+// supportsCodec reports whether the endpoint will answer in codec name.
+func (e *Endpoint) supportsCodec(name string) bool {
+	for _, c := range e.codecs {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pickCodec resolves the shipment codec for an ExecuteSource reply. The
+// envelope's advertised codecs win — the server picks the first it
+// supports, the Content-Encoding-style half of negotiation — with the
+// universal tagged-XML format as the answer when nothing advertised is
+// spoken here. Requests that did not negotiate fall back to the payload's
+// explicit codec attribute, then the legacy format attribute. The second
+// return reports whether negotiation happened (and so whether the choice
+// should be stamped on the response envelope).
+func (e *Endpoint) pickCodec(env soap.Header, req *xmltree.Node) (wire.Codec, bool, error) {
+	if len(env.Codecs) > 0 {
+		for _, name := range env.Codecs {
+			if e.supportsCodec(name) {
+				c, err := wire.ParseCodec(name)
+				if err == nil {
+					return c, true, nil
+				}
+			}
+		}
+		return wire.Codec{}, true, nil
+	}
+	if v, ok := req.Attr("codec"); ok && v != "" {
+		c, err := wire.ParseCodec(v)
+		if err != nil {
+			return wire.Codec{}, false, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		return c, false, nil
+	}
+	if v, _ := req.Attr("format"); v == "feed" {
+		return wire.Codec{Kind: wire.CodecFeed}, false, nil
+	}
+	return wire.Codec{}, false, nil
+}
+
 func (e *Endpoint) getWSDL(req *xmltree.Node) (*xmltree.Node, error) {
 	data, err := e.WSDL.Marshal()
 	if err != nil {
@@ -207,9 +287,72 @@ func (e *Endpoint) getWSDL(req *xmltree.Node) (*xmltree.Node, error) {
 }
 
 func (e *Endpoint) probeStats(req *xmltree.Node) (*xmltree.Node, error) {
+	p := e.backend.Provider()
+	if name, ok := req.Attr("codec"); ok && name != "" {
+		codec, err := wire.ParseCodec(name)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		cal, err := e.calibrate(codec)
+		if err != nil {
+			return nil, err
+		}
+		p.ShipCodec = codec.String()
+		p.ShipRatio = cal.ratios
+		p.ShipRatioDefault = cal.def
+	}
 	resp := &xmltree.Node{Name: "ProbeStatsResponse"}
-	resp.AddKid(wire.EncodeStats(e.backend.Provider()))
+	resp.AddKid(wire.EncodeStats(p))
 	return resp, nil
+}
+
+// calSampleRecords bounds how many records of each layout fragment the
+// calibration pass encodes; compression ratios stabilize well before this.
+const calSampleRecords = 64
+
+// calibrate measures, per layout fragment, what fraction of the tree-codec
+// size the given codec actually puts on the wire, by encoding a bounded
+// sample of real records both ways. Results are cached per codec — the
+// data does not change under the endpoint, and probes repeat.
+func (e *Endpoint) calibrate(codec wire.Codec) (*shipCalibration, error) {
+	key := codec.String()
+	e.calMu.Lock()
+	defer e.calMu.Unlock()
+	if cal, ok := e.calCache[key]; ok {
+		return cal, nil
+	}
+	sch := e.backend.Layout().Schema
+	cal := &shipCalibration{ratios: map[string]float64{}}
+	var wireSum, treeSum float64
+	for _, f := range e.backend.Layout().Fragments {
+		in, err := e.backend.Scan(f)
+		if err != nil {
+			return nil, err
+		}
+		recs := in.Records
+		if len(recs) > calSampleRecords {
+			recs = recs[:calSampleRecords]
+		}
+		wb, err := wire.InstanceWireBytes(recs, f, sch, codec)
+		if err != nil {
+			return nil, err
+		}
+		tb := wire.RecordBytes(recs)
+		if tb > 0 {
+			cal.ratios[f.Name] = float64(wb) / float64(tb)
+			wireSum += float64(wb)
+			treeSum += float64(tb)
+		}
+	}
+	// Derived fragments (combine outputs, split parts) were never scanned;
+	// they default to the size-weighted mean of what was.
+	if treeSum > 0 {
+		cal.def = wireSum / treeSum
+	} else {
+		cal.def = core.DefaultShipRatio(key)
+	}
+	e.calCache[key] = cal
+	return cal, nil
 }
 
 // probeCost answers a single comp_cost(OP, location) query (§4.1): the
@@ -270,7 +413,7 @@ func (e *Endpoint) probeCost(req *xmltree.Node) (*xmltree.Node, error) {
 // A service argument (§3.2) arrives as filterElem/filterValue attributes
 // and is applied before execution: the system "filters the data
 // accordingly and provides the relevant pieces".
-func (e *Endpoint) executeSource(req *xmltree.Node) (*xmltree.Node, error) {
+func (e *Endpoint) executeSource(req *xmltree.Node, codec wire.Codec) (*xmltree.Node, error) {
 	g, a, err := decodeProgramChild(req, e.backend.Layout())
 	if err != nil {
 		return nil, err
@@ -293,8 +436,7 @@ func (e *Endpoint) executeSource(req *xmltree.Node) (*xmltree.Node, error) {
 	elapsed := time.Since(start)
 	resp := &xmltree.Node{Name: "ExecuteSourceResponse"}
 	resp.SetAttr("queryMillis", formatMillis(elapsed))
-	format, _ := req.Attr("format")
-	shipment, err := wire.EncodeShipmentAuto(outbound, e.backend.Layout().Schema, format == "feed")
+	shipment, err := wire.EncodeShipmentCodec(outbound, e.backend.Layout().Schema, codec)
 	if err != nil {
 		return nil, err
 	}

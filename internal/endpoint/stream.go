@@ -40,30 +40,55 @@ func findAttr(attrs []xmltree.Attr, name string) string {
 
 // executeSourceStream is the stream dispatch for ExecuteSource. Requests
 // without stream="1" take the legacy tree path (materialize request,
-// build response tree); with it, the response shipment streams.
-func (e *Endpoint) executeSourceStream(attrs []xmltree.Attr) (xmltree.AttrHandler, soap.RespondFunc, error) {
+// build response tree); with it, the response shipment streams. Either
+// way the reply's shipment codec is resolved the same: envelope
+// negotiation first, payload attributes as the fallback.
+func (e *Endpoint) executeSourceStream(env soap.Header, attrs []xmltree.Attr) (xmltree.AttrHandler, soap.RespondFunc, error) {
 	streamed := attrTrue(findAttr(attrs, "stream"))
 	tb := &xmltree.TreeBuilder{}
 	if !streamed {
 		return tb, func(w io.Writer) error {
-			resp, err := e.executeSource(tb.Root())
+			codec, negotiated, err := e.pickCodec(env, tb.Root())
+			if err != nil {
+				return err
+			}
+			if negotiated {
+				stampCodec(w, codec)
+			}
+			resp, err := e.executeSource(tb.Root(), codec)
 			if err != nil {
 				return err
 			}
 			return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
 		}, nil
 	}
-	return tb, func(w io.Writer) error { return e.respondSourceStream(tb.Root(), w) }, nil
+	return tb, func(w io.Writer) error { return e.respondSourceStream(env, tb.Root(), w) }, nil
+}
+
+// stampCodec records the negotiated codec on the response envelope, when
+// the transport exposes one (the streaming SOAP server does; a bare
+// io.Writer in tests may not).
+func stampCodec(w io.Writer, c wire.Codec) {
+	if aw, ok := w.(soap.EnvelopeAttrWriter); ok {
+		aw.SetEnvelopeAttr("codec", c.String())
+	}
 }
 
 // respondSourceStream executes the source slice and streams the shipment
 // onto w as it is produced. Since serialization overlaps execution, the
 // query time cannot ride on the response root's attributes; it follows the
 // shipment as a trailing <timing> element.
-func (e *Endpoint) respondSourceStream(req *xmltree.Node, w io.Writer) error {
+func (e *Endpoint) respondSourceStream(env soap.Header, req *xmltree.Node, w io.Writer) error {
 	g, a, err := decodeProgramChild(req, e.backend.Layout())
 	if err != nil {
 		return err
+	}
+	codec, negotiated, err := e.pickCodec(env, req)
+	if err != nil {
+		return err
+	}
+	if negotiated {
+		stampCodec(w, codec)
 	}
 	scan := e.scanByElems
 	if filterElem, ok := req.Attr("filterElem"); ok && filterElem != "" {
@@ -74,12 +99,11 @@ func (e *Endpoint) respondSourceStream(req *xmltree.Node, w io.Writer) error {
 		}
 	}
 	sch := e.backend.Layout().Schema
-	format, _ := req.Attr("format")
 	start := time.Now()
 	if _, err := io.WriteString(w, "<ExecuteSourceResponse>"); err != nil {
 		return err
 	}
-	sw := wire.NewShipmentWriter(w, sch, format == "feed")
+	sw := wire.NewShipmentWriterCodec(w, sch, codec)
 	if v, ok := req.Attr("pipelined"); ok && attrTrue(v) {
 		// Producers emit straight onto the wire as they finish batches.
 		_, _, err = core.ExecuteSlicePipelined(g, sch, a, core.LocSource, core.SliceIO{
@@ -110,7 +134,7 @@ func (e *Endpoint) respondSourceStream(req *xmltree.Node, w io.Writer) error {
 // executeTargetStream is the stream dispatch for ExecuteTarget: one SAX
 // pass over the request, program tree materialized, shipment decoded
 // incrementally.
-func (e *Endpoint) executeTargetStream(attrs []xmltree.Attr) (xmltree.AttrHandler, soap.RespondFunc, error) {
+func (e *Endpoint) executeTargetStream(env soap.Header, attrs []xmltree.Attr) (xmltree.AttrHandler, soap.RespondFunc, error) {
 	h := &targetScan{e: e}
 	return h, h.respond, nil
 }

@@ -160,6 +160,11 @@ type PlanOptions struct {
 	WComp, WComm float64
 	// Gen bounds exhaustive enumeration.
 	Gen core.GenOptions
+	// Codec names the shipment encoding the exchange will travel under.
+	// When set, the stats probes ask the endpoints for compression-
+	// calibrated statistics, so the optimizer's comm term reflects true
+	// wire bytes — a lean codec can flip placements toward shipping.
+	Codec string
 }
 
 // Plan is the outcome of steps 2 and 3: a data-transfer program with its
@@ -242,11 +247,11 @@ func realign(fr, ref *core.Fragmentation) (*core.Fragmentation, error) {
 // probe queries both endpoints' ProbeStats interfaces and builds the
 // two-system cost model (step 3 of Figure 2).
 func (a *Agency) probe(src, tgt *Party, opts PlanOptions) (*core.Model, error) {
-	sp, err := probeStats(src.URL)
+	sp, err := probeStats(src.URL, opts.Codec)
 	if err != nil {
 		return nil, fmt.Errorf("registry: probing source: %w", err)
 	}
-	tp, err := probeStats(tgt.URL)
+	tp, err := probeStats(tgt.URL, opts.Codec)
 	if err != nil {
 		return nil, fmt.Errorf("registry: probing target: %w", err)
 	}
@@ -260,9 +265,13 @@ func (a *Agency) probe(src, tgt *Party, opts PlanOptions) (*core.Model, error) {
 	return model, nil
 }
 
-func probeStats(url string) (*core.StatsProvider, error) {
+func probeStats(url, codec string) (*core.StatsProvider, error) {
 	c := &soap.Client{URL: url}
-	resp, err := c.Call("ProbeStats", &xmltree.Node{Name: "ProbeStats"})
+	req := &xmltree.Node{Name: "ProbeStats"}
+	if codec != "" {
+		req.SetAttr("codec", codec)
+	}
+	resp, err := c.Call("ProbeStats", req)
 	if err != nil {
 		return nil, err
 	}
@@ -373,9 +382,23 @@ type Report struct {
 	// source.
 	SourceTime time.Duration
 	// ShipBytes is the size of the shipped fragments; ShipTime the modeled
-	// time over the configured link (step 2).
+	// time over the configured link (step 2). ShipBytes equals WireBytes
+	// and is kept for compatibility.
 	ShipBytes int64
 	ShipTime  time.Duration
+	// WireBytes is what actually crossed the link: shipment framing,
+	// codec encoding, compression and transfer text included — and, on
+	// the reliable path, retransmitted attempts. PayloadBytes is the same
+	// shipment measured in the universal tagged-XML tree codec, so the
+	// two diverge exactly by what the negotiated codec saved (or framing
+	// cost). PayloadBytes is zero on the buffered tree path, which
+	// forwards the shipment without decoding it.
+	WireBytes    int64
+	PayloadBytes int64
+	// Codec is the shipment codec the exchange actually traveled under —
+	// the server's negotiation answer when one arrived, the requested
+	// codec otherwise.
+	Codec string
 	// TargetTime is step 3: program parts executed at the target.
 	TargetTime time.Duration
 	// WriteTime is step 4: loading the target store.
@@ -404,8 +427,15 @@ type ExecOptions struct {
 	Link netsim.Link
 	// Format selects the shipment encoding: "" or "xml" for XML trees,
 	// "feed" for sorted feeds (flat fragments only; others fall back to
-	// XML per instance).
+	// XML per instance). Superseded by Codec, which wins when both are
+	// set.
 	Format string
+	// Codec names the shipment encoding for the exchange: "xml", "feed",
+	// "bin", or "bin+flate". On the streamed paths the agency advertises
+	// it (plus the universal "xml") on the request envelope and the
+	// source endpoint answers with its pick; the shipment itself stays
+	// self-describing either way.
+	Codec string
 	// FilterElem/FilterValue pass a service argument (§3.2) to the source:
 	// only root-fragment records whose FilterElem leaf equals FilterValue
 	// (and their descendants) are exchanged.
@@ -442,6 +472,28 @@ func (o ExecOptions) client(url string) *soap.Client {
 	return c
 }
 
+// effectiveCodec resolves the shipment codec the options ask for: Codec
+// wins, the legacy Format field maps onto its codec, and the default is
+// tagged XML.
+func (o ExecOptions) effectiveCodec() (wire.Codec, error) {
+	if o.Codec != "" {
+		return wire.ParseCodec(o.Codec)
+	}
+	if o.Format == "feed" {
+		return wire.Codec{Kind: wire.CodecFeed}, nil
+	}
+	return wire.Codec{}, nil
+}
+
+// advertise configures c to negotiate for codec: the client offers its
+// preference plus the universal tagged-XML fallback.
+func advertise(c *soap.Client, codec wire.Codec) {
+	if codec.String() == wire.CodecXML {
+		return
+	}
+	c.Codecs = []string{codec.String(), wire.CodecXML}
+}
+
 // Execute drives an exchange end-to-end (step 4 of Figure 2) with default
 // options; see ExecuteOpts.
 func (a *Agency) Execute(service string, plan *Plan, link netsim.Link) (*Report, error) {
@@ -474,9 +526,16 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Plan: plan}
+	codec, err := opts.effectiveCodec()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Plan: plan, Codec: codec.String()}
 
 	reqS := &xmltree.Node{Name: "ExecuteSource"}
+	if opts.Codec != "" {
+		reqS.SetAttr("codec", opts.Codec)
+	}
 	if opts.Format != "" {
 		reqS.SetAttr("format", opts.Format)
 	}
@@ -506,14 +565,16 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 		return nil, fmt.Errorf("registry: source returned no shipment")
 	}
 	for _, ix := range shipment.Kids {
-		if format, _ := ix.Attr("format"); format == "feed" {
-			report.ShipBytes += int64(len(ix.Text))
+		if format, _ := ix.Attr("format"); format != "" {
+			// Encoded instances (feed, bin) carry their payload as text.
+			report.WireBytes += int64(len(ix.Text))
 			continue
 		}
 		for _, rec := range ix.Kids {
-			report.ShipBytes += xmltree.SizeWith(rec, xmltree.WriteOptions{EmitAllIDs: true})
+			report.WireBytes += xmltree.SizeWith(rec, xmltree.WriteOptions{EmitAllIDs: true})
 		}
 	}
+	report.ShipBytes = report.WireBytes
 	report.ShipTime = link.TransferTime(report.ShipBytes)
 
 	reqT := &xmltree.Node{Name: "ExecuteTarget"}

@@ -44,7 +44,11 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Plan: plan}
+	codec, err := opts.effectiveCodec()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Plan: plan, Codec: codec.String()}
 	ex := reliable.NewExchange(opts.Reliability)
 
 	frags := map[string]*core.Fragment{}
@@ -61,6 +65,9 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 
 	reqS := &xmltree.Node{Name: "ExecuteSource"}
 	reqS.SetAttr("stream", "1")
+	if opts.Codec != "" {
+		reqS.SetAttr("codec", opts.Codec)
+	}
 	if opts.Format != "" {
 		reqS.SetAttr("format", opts.Format)
 	}
@@ -77,8 +84,9 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	// its slice on every attempt, so a fresh decoder per try keeps torn
 	// partial shipments out of the result.
 	var inbound map[string]*core.Instance
-	var sourceMillis string
+	var sourceMillis, answeredCodec string
 	cs := ex.Client(src.URL)
+	advertise(cs, codec)
 	err = ex.Do("ExecuteSource", src.URL, func(int) error {
 		dec := wire.NewShipmentDecoder(sch, lookup)
 		scanS := &sourceRespScan{dec: dec}
@@ -96,14 +104,18 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 			// not a torn stream; retrying would repeat it.
 			return reliable.Permanent(err)
 		}
-		inbound, sourceMillis = m, scanS.queryMillis
+		inbound, sourceMillis, answeredCodec = m, scanS.queryMillis, scanS.codec
 		return nil
 	})
 	if err != nil {
 		report.Retries = ex.Retries()
 		return report, fmt.Errorf("registry: source execution: %w", err)
 	}
+	if answeredCodec != "" {
+		report.Codec = answeredCodec
+	}
 	report.SourceTime = parseMillis(sourceMillis)
+	report.PayloadBytes = wire.ShipmentBytes(inbound)
 
 	// Phase 2: resumable target delivery. The shipment is rechunked at the
 	// configured granularity; each redelivery first asks the target which
@@ -137,10 +149,13 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 			}
 			m := netsim.NewMeter(w)
 			// Accumulated on every exit path: an attempt torn mid-chunk
-			// still spent its bytes on the wire, and ShipBytes counts the
+			// still spent its bytes on the wire, and WireBytes counts the
 			// retransmission cost across all attempts.
-			defer func() { report.ShipBytes += m.Bytes() }()
-			sw := wire.NewShipmentWriter(m, sch, opts.Format == "feed")
+			defer func() {
+				report.WireBytes += m.Bytes()
+				report.ShipBytes = report.WireBytes
+			}()
+			sw := wire.NewShipmentWriterCodec(m, sch, codec)
 			for _, c := range chunks {
 				if c.Seq < next {
 					continue // acked on a prior attempt

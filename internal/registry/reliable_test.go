@@ -136,6 +136,8 @@ func soakConfig(seed int64) *reliable.Config {
 // mid-flight (fixed seeds), a streamed auction exchange with reliability
 // completes with target contents byte-identical to a fault-free run and
 // reports retries; the same seeds without reliability kill the exchange.
+// The matrix runs over the shipment codecs so torn-chunk recovery is
+// exercised on the binary (and compressed) encodings too.
 func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 	// Fault-free baseline: what the target must hold afterwards.
 	agA, planA, tgtA, _, doneA := startAuctionExchange(t)
@@ -145,64 +147,77 @@ func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 	want := assembleTarget(t, tgtA)
 	doneA()
 
-	// Clean reliable run: the ShipBytes floor. The faulted runs below use
-	// the same chunked framing, so retransmission can only add bytes — a
-	// report below this floor means torn attempts went unmetered.
-	agR, planR, _, _, doneR := startAuctionExchange(t)
-	repR, err := agR.ExecuteOpts("Auction", planR, ExecOptions{
-		Link: netsim.Loopback(), Reliability: soakConfig(1),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	baseShipBytes := repR.ShipBytes
-	doneR()
-
-	totalResumes := 0
-	for _, seed := range soakSeeds(t) {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			// Without reliability the same fault seed is fatal.
-			agC, planC, _, _, doneC := startAuctionExchange(t)
-			defer doneC()
-			flC := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
-			if _, err := agC.ExecuteOpts("Auction", planC, ExecOptions{
-				Link: netsim.Loopback(), Streamed: true, Transport: flC.RoundTripper(nil),
-			}); err == nil {
-				t.Fatal("unreliable exchange survived the fault seed")
-			}
-			if c := flC.Counts(); c.Drops+c.Truncates+c.HTTP5xx == 0 {
-				t.Fatal("exchange failed but no fault was injected")
-			}
-
-			// With reliability it completes, and the report shows the work.
-			agB, planB, tgtB, _, doneB := startAuctionExchange(t)
-			defer doneB()
-			flB := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
-			rep, err := agB.ExecuteOpts("Auction", planB, ExecOptions{
-				Link:        netsim.Loopback(),
-				Transport:   flB.RoundTripper(nil),
-				Reliability: soakConfig(seed),
+	for _, codec := range []string{"xml", "bin", "bin+flate"} {
+		codec := codec
+		t.Run("codec="+codec, func(t *testing.T) {
+			// Clean reliable run: the ShipBytes floor. The faulted runs below
+			// use the same chunked framing, so retransmission can only add
+			// bytes — a report below this floor means torn attempts went
+			// unmetered.
+			agR, planR, _, _, doneR := startAuctionExchange(t)
+			repR, err := agR.ExecuteOpts("Auction", planR, ExecOptions{
+				Link: netsim.Loopback(), Reliability: soakConfig(1), Codec: codec,
 			})
 			if err != nil {
-				t.Fatalf("reliable exchange failed: %v (injected %+v)", err, flB.Counts())
+				t.Fatal(err)
 			}
-			if rep.Retries == 0 {
-				t.Errorf("report shows no retries (injected %+v)", flB.Counts())
+			baseShipBytes := repR.ShipBytes
+			doneR()
+
+			totalResumes := 0
+			for _, seed := range soakSeeds(t) {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					if codec == "xml" {
+						// Without reliability the same fault seed is fatal.
+						// (Checked on the XML arm only: where a fault cuts
+						// depends on stream length, so a leaner codec could
+						// dodge the exact tear the seed injects.)
+						agC, planC, _, _, doneC := startAuctionExchange(t)
+						defer doneC()
+						flC := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
+						if _, err := agC.ExecuteOpts("Auction", planC, ExecOptions{
+							Link: netsim.Loopback(), Streamed: true, Transport: flC.RoundTripper(nil),
+						}); err == nil {
+							t.Fatal("unreliable exchange survived the fault seed")
+						}
+						if c := flC.Counts(); c.Drops+c.Truncates+c.HTTP5xx == 0 {
+							t.Fatal("exchange failed but no fault was injected")
+						}
+					}
+
+					// With reliability it completes, and the report shows the
+					// work.
+					agB, planB, tgtB, _, doneB := startAuctionExchange(t)
+					defer doneB()
+					flB := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
+					rep, err := agB.ExecuteOpts("Auction", planB, ExecOptions{
+						Link:        netsim.Loopback(),
+						Transport:   flB.RoundTripper(nil),
+						Reliability: soakConfig(seed),
+						Codec:       codec,
+					})
+					if err != nil {
+						t.Fatalf("reliable exchange failed: %v (injected %+v)", err, flB.Counts())
+					}
+					if rep.Retries == 0 {
+						t.Errorf("report shows no retries (injected %+v)", flB.Counts())
+					}
+					if rep.ShipBytes < baseShipBytes {
+						t.Errorf("ShipBytes = %d under faults, below the clean floor %d — torn attempts went unmetered",
+							rep.ShipBytes, baseShipBytes)
+					}
+					totalResumes += rep.Resumes
+					got := assembleTarget(t, tgtB)
+					if !xmltree.Equal(want, got) {
+						t.Error("faulted run's target differs from the fault-free run")
+					}
+				})
 			}
-			if rep.ShipBytes < baseShipBytes {
-				t.Errorf("ShipBytes = %d under faults, below the clean floor %d — torn attempts went unmetered",
-					rep.ShipBytes, baseShipBytes)
-			}
-			totalResumes += rep.Resumes
-			got := assembleTarget(t, tgtB)
-			if !xmltree.Equal(want, got) {
-				t.Error("faulted run's target differs from the fault-free run")
+			if totalResumes == 0 {
+				t.Error("no delivery across the seed matrix resumed from a checkpoint")
 			}
 		})
-	}
-	if totalResumes == 0 {
-		t.Error("no delivery across the seed matrix resumed from a checkpoint")
 	}
 }
 

@@ -22,6 +22,10 @@ type Service struct {
 	Link netsim.Link
 	// Streamed selects the zero-materialization wire path for exchanges.
 	Streamed bool
+	// Codec is the default shipment codec for exchanges ("xml", "feed",
+	// "bin", "bin+flate"); a codec attribute on the Plan/Exchange request
+	// overrides it.
+	Codec string
 	// Reliability, when set, drives every exchange through the reliable
 	// path (retries, resumable sessions, circuit breaking). Set
 	// Reliability.Breakers to share breaker state across exchanges.
@@ -107,7 +111,8 @@ func (s *Service) plan(req *xmltree.Node) (*xmltree.Node, error) {
 	if algStr == string(AlgOptimal) {
 		alg = AlgOptimal
 	}
-	plan, err := s.Agency.Plan(service, PlanOptions{Algorithm: alg})
+	codec := s.reqCodec(req)
+	plan, err := s.Agency.Plan(service, PlanOptions{Algorithm: alg, Codec: codec})
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +128,17 @@ func (s *Service) plan(req *xmltree.Node) (*xmltree.Node, error) {
 	return resp, nil
 }
 
-// exchange handles <Exchange service=".." algorithm=".."/>: plan and run.
+// reqCodec resolves a request's shipment codec: its own codec attribute,
+// falling back to the service-wide default.
+func (s *Service) reqCodec(req *xmltree.Node) string {
+	if v, ok := req.Attr("codec"); ok && v != "" {
+		return v
+	}
+	return s.Codec
+}
+
+// exchange handles <Exchange service=".." algorithm=".." codec=".."/>:
+// plan and run.
 func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 	service, _ := req.Attr("service")
 	algStr, _ := req.Attr("algorithm")
@@ -131,13 +146,14 @@ func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 	if algStr == string(AlgOptimal) {
 		alg = AlgOptimal
 	}
+	codec := s.reqCodec(req)
 	// Planning probes the live endpoints for statistics; under a
 	// reliability config those probes deserve the same retry policy as the
 	// exchange itself (planning is idempotent, so retry it wholesale).
 	var plan *Plan
 	planOnce := func() error {
 		var perr error
-		plan, perr = s.Agency.Plan(service, PlanOptions{Algorithm: alg})
+		plan, perr = s.Agency.Plan(service, PlanOptions{Algorithm: alg, Codec: codec})
 		return perr
 	}
 	var err error
@@ -152,6 +168,7 @@ func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 	}
 	report, err := s.Agency.ExecuteOpts(service, plan, ExecOptions{
 		Link:        s.Link,
+		Codec:       codec,
 		Streamed:    s.Streamed,
 		Reliability: s.Reliability,
 	})
@@ -165,7 +182,10 @@ func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 		resp.SetAttr("resumes", strconv.Itoa(report.Resumes))
 		resp.SetAttr("deduped", strconv.FormatInt(report.DedupedRecords, 10))
 	}
+	resp.SetAttr("codec", report.Codec)
 	resp.SetAttr("shipBytes", strconv.FormatInt(report.ShipBytes, 10))
+	resp.SetAttr("wireBytes", strconv.FormatInt(report.WireBytes, 10))
+	resp.SetAttr("payloadBytes", strconv.FormatInt(report.PayloadBytes, 10))
 	resp.SetAttr("sourceMillis", fmt.Sprintf("%.3f", report.SourceTime.Seconds()*1000))
 	resp.SetAttr("shipMillis", fmt.Sprintf("%.3f", report.ShipTime.Seconds()*1000))
 	resp.SetAttr("targetMillis", fmt.Sprintf("%.3f", report.TargetTime.Seconds()*1000))

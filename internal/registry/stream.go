@@ -44,6 +44,13 @@ type sourceRespScan struct {
 
 	queryMillis string
 	sawShipment bool
+	codec       string
+}
+
+// ObserveEnvelope implements soap.EnvelopeObserver: the response
+// envelope's codec attribute is the server's negotiation answer.
+func (s *sourceRespScan) ObserveEnvelope(attrs []xmltree.Attr) {
+	s.codec = scanAttr(attrs, "codec")
 }
 
 // StartElement implements xmltree.AttrHandler.
@@ -126,10 +133,17 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Plan: plan}
+	codec, err := opts.effectiveCodec()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Plan: plan, Codec: codec.String()}
 
 	reqS := &xmltree.Node{Name: "ExecuteSource"}
 	reqS.SetAttr("stream", "1")
+	if opts.Codec != "" {
+		reqS.SetAttr("codec", opts.Codec)
+	}
 	if opts.Format != "" {
 		reqS.SetAttr("format", opts.Format)
 	}
@@ -156,6 +170,7 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	scanS := &sourceRespScan{dec: dec}
 
 	cs := opts.client(src.URL)
+	advertise(cs, codec)
 	err = cs.CallStream("ExecuteSource", func(w io.Writer) error {
 		return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
 	}, scanS)
@@ -165,11 +180,15 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	if !scanS.sawShipment {
 		return nil, fmt.Errorf("registry: source returned no shipment")
 	}
+	if scanS.codec != "" {
+		report.Codec = scanS.codec
+	}
 	report.SourceTime = parseMillis(scanS.queryMillis)
 	inbound, err := dec.Result()
 	if err != nil {
 		return nil, fmt.Errorf("registry: source shipment: %w", err)
 	}
+	report.PayloadBytes = wire.ShipmentBytes(inbound)
 
 	open := `<ExecuteTarget`
 	if opts.Pipelined {
@@ -186,10 +205,11 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 			return err
 		}
 		m := netsim.NewMeter(w)
-		if err := wire.StreamShipment(m, inbound, sch, opts.Format == "feed"); err != nil {
+		if err := wire.StreamShipmentCodec(m, inbound, sch, codec); err != nil {
 			return err
 		}
-		report.ShipBytes = m.Bytes()
+		report.WireBytes = m.Bytes()
+		report.ShipBytes = report.WireBytes
 		_, err := io.WriteString(w, `</ExecuteTarget>`)
 		return err
 	}, tb)

@@ -67,6 +67,45 @@ func TestEndToEndExchangeStreamedFeed(t *testing.T) {
 	}
 }
 
+func TestEndToEndExchangeNegotiatedBin(t *testing.T) {
+	// Streamed wire path with binary shipments negotiated per call: the
+	// agency advertises the codec on the request envelope, the source
+	// stamps its pick on the response envelope, and the report separates
+	// what crossed the link from the tree-codec payload size. Run on the
+	// auction workload — on a realistically sized shipment the dictionary
+	// and delta coding must beat the tree codec despite the base64
+	// transfer text.
+	agA, planA, tgtA, _, doneA := startAuctionExchange(t)
+	if _, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := assembleTarget(t, tgtA)
+	doneA()
+
+	for _, codec := range []string{"bin", "bin+flate"} {
+		ag, plan, tgtStore, _, done := startAuctionExchange(t)
+		report, err := ag.ExecuteOpts("Auction", plan, ExecOptions{Link: netsim.Loopback(), Streamed: true, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Codec != codec {
+			t.Errorf("negotiation answered %q, want %q", report.Codec, codec)
+		}
+		if report.WireBytes <= 0 || report.PayloadBytes <= 0 {
+			t.Fatalf("%s: wire=%d payload=%d; both must be metered", codec, report.WireBytes, report.PayloadBytes)
+		}
+		if report.WireBytes >= report.PayloadBytes {
+			t.Errorf("%s: wire bytes %d >= tree-codec payload %d; the codec should save",
+				codec, report.WireBytes, report.PayloadBytes)
+		}
+		got := assembleTarget(t, tgtStore)
+		if !xmltree.Equal(want, got) {
+			t.Errorf("%s: document changed in negotiated transit", codec)
+		}
+		done()
+	}
+}
+
 func TestStreamedMatchesBufferedReport(t *testing.T) {
 	// Timing fields must be populated the same way on both paths; the
 	// streamed ShipBytes includes shipment framing, so it is >= the tree

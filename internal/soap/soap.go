@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"xdx/internal/xmltree"
@@ -140,6 +141,13 @@ type Client struct {
 	// Timeout bounds one call, body included. Zero means DefaultTimeout;
 	// negative disables the bound.
 	Timeout time.Duration
+	// Codecs advertises the shipment codecs this caller accepts, in
+	// preference order, as a codecs attribute on the request envelope —
+	// the Content-Encoding-style half of content negotiation. The server
+	// picks the first it supports and stamps its choice on the response
+	// envelope. Empty means no negotiation (the peer answers in the
+	// universal tagged-XML format unless told otherwise in the payload).
+	Codecs []string
 }
 
 // Call posts the payload as a SOAP request with the given SOAPAction and
@@ -147,8 +155,12 @@ type Client struct {
 // with an explicit Content-Length. SOAP faults come back as *Fault errors
 // carrying the HTTP status.
 func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, error) {
+	env := Envelope(payload)
+	if len(c.Codecs) > 0 {
+		env.SetAttr("codecs", strings.Join(c.Codecs, " "))
+	}
 	var buf bytes.Buffer
-	if err := xmltree.Write(&buf, Envelope(payload), xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+	if err := xmltree.Write(&buf, env, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
 		return nil, fmt.Errorf("soap: marshal request: %w", err)
 	}
 	ctx, cancel := c.callContext()
@@ -174,7 +186,7 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 		drainBody(resp.Body)
 		resp.Body.Close()
 	}()
-	env, err := xmltree.Parse(resp.Body)
+	env, err = xmltree.Parse(resp.Body)
 	if err != nil {
 		return nil, httpStatusError(resp.StatusCode, err)
 	}

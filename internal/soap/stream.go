@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
+	"xdx/internal/bufpool"
 	"xdx/internal/xmltree"
 )
 
@@ -25,6 +27,53 @@ const (
 	envPrefix = `<soap:Envelope xmlns:soap="` + EnvelopeNS + `"><soap:Body>`
 	envSuffix = `</soap:Body></soap:Envelope>`
 )
+
+// attrEscaper covers the characters that must not appear raw in an
+// attribute value.
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+// envOpen renders an envelope open (through <soap:Body>) carrying extra
+// envelope attributes — the channel content negotiation rides on.
+func envOpen(attrs []xmltree.Attr) string {
+	if len(attrs) == 0 {
+		return envPrefix
+	}
+	var b strings.Builder
+	b.WriteString(`<soap:Envelope xmlns:soap="` + EnvelopeNS + `"`)
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		attrEscaper.WriteString(&b, a.Value)
+		b.WriteByte('"')
+	}
+	b.WriteString(`><soap:Body>`)
+	return b.String()
+}
+
+// Header is the envelope-level request context a stream handler may
+// consult — today the codec half of content negotiation.
+type Header struct {
+	// Codecs is the client's advertised shipment codecs, in preference
+	// order; empty when the request did not negotiate.
+	Codecs []string
+}
+
+// EnvelopeAttrWriter is implemented by the response writer handed to
+// stream responders: attributes set before the first body write travel on
+// the response envelope — the server's half of content negotiation.
+type EnvelopeAttrWriter interface {
+	// SetEnvelopeAttr stamps an attribute onto the response envelope. It
+	// fails once the envelope has started flowing.
+	SetEnvelopeAttr(name, value string) error
+}
+
+// EnvelopeObserver may additionally be implemented by a CallStream
+// response handler to see the response envelope's own attributes (the
+// server's negotiation answer) before any payload events arrive.
+type EnvelopeObserver interface {
+	ObserveEnvelope(attrs []xmltree.Attr)
+}
 
 // DefaultTimeout bounds a Client call when Client.Timeout is zero.
 const DefaultTimeout = 2 * time.Minute
@@ -51,15 +100,27 @@ func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xm
 	ctx, cancel := c.callContext()
 	defer cancel()
 	pr, pw := io.Pipe()
+	var envAttrs []xmltree.Attr
+	if len(c.Codecs) > 0 {
+		envAttrs = []xmltree.Attr{{Name: "codecs", Value: strings.Join(c.Codecs, " ")}}
+	}
 	errc := make(chan error, 1)
 	go func() {
-		_, err := io.WriteString(pw, envPrefix)
+		// The pooled buffer coalesces the body producer's small writes into
+		// pipe-sized chunks; without it every framing fragment crosses the
+		// pipe (and the chunked transfer encoding) on its own.
+		bw := bufpool.Writer(pw)
+		_, err := bw.WriteString(envOpen(envAttrs))
 		if err == nil {
-			err = writeBody(pw)
+			err = writeBody(bw)
 		}
 		if err == nil {
-			_, err = io.WriteString(pw, envSuffix)
+			_, err = bw.WriteString(envSuffix)
 		}
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		bufpool.PutWriter(bw)
 		pw.CloseWithError(err)
 		errc <- err
 	}()
@@ -183,6 +244,9 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 			return fmt.Errorf("soap: not an envelope: %s", name)
 		}
 		v.sawEnvelope = true
+		if o, ok := v.h.(EnvelopeObserver); ok {
+			o.ObserveEnvelope(attrs)
+		}
 	case 2:
 		if name != "Body" {
 			// Header entries (and foreign siblings) are not the payload.
@@ -261,11 +325,12 @@ func (v *envelopeScanner) EndElement(name string) error {
 type RespondFunc func(w io.Writer) error
 
 // StreamHandlerFunc accepts one request payload as a stream. It receives
-// the payload root's attributes and returns a handler for the payload's
-// parse events (the root's own start/end included) plus the responder that
-// runs once the request is fully consumed. Returning an error — here or
-// from the event handler — produces a SOAP fault.
-type StreamHandlerFunc func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error)
+// the envelope-level header (content negotiation) and the payload root's
+// attributes, and returns a handler for the payload's parse events (the
+// root's own start/end included) plus the responder that runs once the
+// request is fully consumed. Returning an error — here or from the event
+// handler — produces a SOAP fault.
+type StreamHandlerFunc func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error)
 
 // HandleStream registers a streaming handler for requests whose body root
 // is elem. Stream handlers take precedence over Handle handlers for the
@@ -297,6 +362,7 @@ type serverWalker struct {
 	depth int
 	skip  int
 
+	env         Header
 	sawBody     bool
 	payloadName string
 	notFound    bool
@@ -328,6 +394,11 @@ func (v *serverWalker) StartElement(name string, attrs []xmltree.Attr) error {
 			return &reqFault{status: http.StatusBadRequest,
 				f: &Fault{Code: "soap:Client", String: "soap: not an envelope: " + name}}
 		}
+		for _, a := range attrs {
+			if a.Name == "codecs" {
+				v.env.Codecs = strings.Fields(a.Value)
+			}
+		}
 	case 2:
 		if name == "Body" {
 			v.sawBody = true
@@ -344,7 +415,7 @@ func (v *serverWalker) StartElement(name string, attrs []xmltree.Attr) error {
 		v.payloadName = name
 		switch {
 		case v.s.streams[name] != nil:
-			h, respond, err := v.s.streams[name](attrs)
+			h, respond, err := v.s.streams[name](v.env, attrs)
 			if err != nil {
 				return &handlerError{err}
 			}
@@ -401,18 +472,39 @@ func (v *serverWalker) EndElement(name string) error {
 
 // envelopeWriter lazily opens the response envelope on first write, so a
 // responder that fails before producing output can still get a clean SOAP
-// fault instead of a half-written envelope.
+// fault instead of a half-written envelope — and so envelope attributes
+// (the negotiation answer) can still be stamped before anything flows.
 type envelopeWriter struct {
 	w       http.ResponseWriter
+	attrs   []xmltree.Attr
 	started bool
+}
+
+// SetEnvelopeAttr implements EnvelopeAttrWriter.
+func (e *envelopeWriter) SetEnvelopeAttr(name, value string) error {
+	if e.started {
+		return fmt.Errorf("soap: envelope already started, cannot set %s", name)
+	}
+	for i, a := range e.attrs {
+		if a.Name == name {
+			e.attrs[i].Value = value
+			return nil
+		}
+	}
+	e.attrs = append(e.attrs, xmltree.Attr{Name: name, Value: value})
+	return nil
+}
+
+func (e *envelopeWriter) open() {
+	e.started = true
+	e.w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	io.WriteString(e.w, envOpen(e.attrs))
 }
 
 // Write implements io.Writer.
 func (e *envelopeWriter) Write(p []byte) (int, error) {
 	if !e.started {
-		e.started = true
-		e.w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
-		io.WriteString(e.w, envPrefix)
+		e.open()
 	}
 	return e.w.Write(p)
 }
@@ -421,9 +513,7 @@ func (e *envelopeWriter) Write(p []byte) (int, error) {
 // written).
 func (e *envelopeWriter) finish() {
 	if !e.started {
-		e.started = true
-		e.w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
-		io.WriteString(e.w, envPrefix)
+		e.open()
 	}
 	io.WriteString(e.w, envSuffix)
 }

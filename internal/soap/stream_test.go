@@ -18,19 +18,19 @@ import (
 // failure modes the client must surface.
 func streamServer() *Server {
 	srv := NewServer()
-	srv.HandleStream("Echo", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+	srv.HandleStream("Echo", func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
 		tb := &xmltree.TreeBuilder{}
 		return tb, func(w io.Writer) error {
 			_, err := fmt.Fprintf(w, "<EchoResponse>%s</EchoResponse>", tb.Root().Text)
 			return err
 		}, nil
 	})
-	srv.HandleStream("Fail", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+	srv.HandleStream("Fail", func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
 		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
 			return fmt.Errorf("kaput")
 		}, nil
 	})
-	srv.HandleStream("FailTyped", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+	srv.HandleStream("FailTyped", func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
 		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
 			return &Fault{Code: "soap:Client", String: "bad input"}
 		}, nil
@@ -159,7 +159,7 @@ func TestCallStreamWriteBodyError(t *testing.T) {
 func TestClientTimeout(t *testing.T) {
 	block := make(chan struct{})
 	srv := NewServer()
-	srv.HandleStream("Slow", func(attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+	srv.HandleStream("Slow", func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
 		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
 			<-block
 			return nil

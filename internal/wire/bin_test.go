@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/schema"
+	"xdx/internal/xmltree"
+)
+
+func TestParseCodec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Codec
+		str  string
+	}{
+		{"", Codec{Kind: CodecXML}, "xml"},
+		{"xml", Codec{Kind: CodecXML}, "xml"},
+		{"feed", Codec{Kind: CodecFeed}, "feed"},
+		{"bin", Codec{Kind: CodecBin}, "bin"},
+		{"bin+flate", Codec{Kind: CodecBin, Flate: true}, "bin+flate"},
+	}
+	for _, c := range cases {
+		got, err := ParseCodec(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseCodec(%q) = %+v, %v", c.in, got, err)
+		}
+		if got.String() != c.str {
+			t.Errorf("ParseCodec(%q).String() = %q, want %q", c.in, got.String(), c.str)
+		}
+	}
+	if _, err := ParseCodec("gzip"); err == nil {
+		t.Error("ParseCodec accepted unknown codec")
+	}
+	if (Codec{}).String() != "xml" {
+		t.Errorf("zero Codec renders as %q", Codec{}.String())
+	}
+}
+
+// TestBinShipmentRoundTrip holds the bin codec — compressed and not — to
+// tree-codec equivalence: decoding a bin shipment yields exactly the
+// instances the XML wire format delivers for the same outbound map.
+func TestBinShipmentRoundTrip(t *testing.T) {
+	sch, out, lookup := outboundFixture(t)
+	var xml bytes.Buffer
+	if err := StreamShipment(&xml, out, sch, false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadShipment(bytes.NewReader(xml.Bytes()), sch, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{CodecBin, CodecBinFlate} {
+		codec, err := ParseCodec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := StreamShipmentCodec(&buf, out, sch, codec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadShipment(bytes.NewReader(buf.Bytes()), sch, lookup)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := shipmentsEqual(want, got); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestBinStreamMatchesTreeCodec holds the streaming bin encoder to the
+// tree codec's bytes and the streaming decoder to the tree decoder's
+// instances, the same interoperability property the XML and feed formats
+// guarantee.
+func TestBinStreamMatchesTreeCodec(t *testing.T) {
+	sch, out, lookup := outboundFixture(t)
+	for _, codec := range []Codec{{Kind: CodecBin}, {Kind: CodecBin, Flate: true}} {
+		x, err := EncodeShipmentCodec(out, sch, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := xmltree.Marshal(x, xmltree.WriteOptions{EmitAllIDs: true})
+		var buf bytes.Buffer
+		if err := StreamShipmentCodec(&buf, out, sch, codec); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != want {
+			t.Fatalf("%s: stream bytes differ from tree codec:\n%s\nvs\n%s", codec, buf.String(), want)
+		}
+		wantDec, err := DecodeShipmentAuto(x, sch, lookup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDec, err := ReadShipment(bytes.NewReader(buf.Bytes()), sch, lookup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shipmentsEqual(wantDec, gotDec); err != nil {
+			t.Errorf("%s: %v", codec, err)
+		}
+	}
+}
+
+// TestBinShipsFewerBytes pins the point of the codec: the dictionary plus
+// delta keys undercut tagged XML on the same shipment.
+func TestBinShipsFewerBytes(t *testing.T) {
+	sch, out, _ := outboundFixture(t)
+	size := func(c Codec) int {
+		var buf bytes.Buffer
+		if err := StreamShipmentCodec(&buf, out, sch, c); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	xml := size(Codec{Kind: CodecXML})
+	bin := size(Codec{Kind: CodecBin})
+	if bin >= xml {
+		t.Errorf("bin shipment %d bytes, tagged XML %d", bin, xml)
+	}
+}
+
+// TestBinChunkSeqAndResume checks that sequenced bin chunks carry seq
+// attributes and respect OnChunk declines, the contract resumable sessions
+// are built on.
+func TestBinChunkSeqAndResume(t *testing.T) {
+	sch, f, rec := chunkFixture(t)
+	for _, codec := range []Codec{{Kind: CodecBin}, {Kind: CodecBin, Flate: true}} {
+		var buf bytes.Buffer
+		sw := NewShipmentWriterCodec(&buf, sch, codec)
+		if err := sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f2", "i2", "voicemail")}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.EmitChunk("1:feat", f, nil, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), ` seq="1"`) || !strings.Contains(buf.String(), `format="bin"`) {
+			t.Fatalf("%s: chunk framing missing:\n%s", codec, buf.String())
+		}
+
+		d := NewShipmentDecoder(sch, func(string) *core.Fragment { return f })
+		d.OnChunk = func(seq int64) bool { return seq != 0 }
+		var seqs []int64
+		d.ChunkDone = func(s int64) { seqs = append(seqs, s) }
+		if err := xmltree.ScanAttrs(bytes.NewReader(buf.Bytes()), d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+			t.Fatalf("%s: ChunkDone seqs = %v", codec, seqs)
+		}
+		in := got["0:feat"]
+		if in == nil || len(in.Records) != 1 || in.Records[0].ID != "f2" {
+			t.Fatalf("%s: declined bin chunk leaked: %+v", codec, got)
+		}
+		if in := got["1:feat"]; in == nil || len(in.Records) != 0 {
+			t.Fatalf("%s: empty bin chunk lost", codec)
+		}
+	}
+}
+
+// TestBinTornChunkIsAtomic tears a bin stream inside the second chunk's
+// base64 payload: the decoder must keep chunk 0 whole and commit nothing
+// of chunk 1 — the parse happens at commit time and a truncated payload
+// fails it.
+func TestBinTornChunkIsAtomic(t *testing.T) {
+	sch, f, rec := chunkFixture(t)
+	for _, codec := range []Codec{{Kind: CodecBin}, {Kind: CodecBin, Flate: true}} {
+		var buf bytes.Buffer
+		sw := NewShipmentWriterCodec(&buf, sch, codec)
+		sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f1", "i1", "callerID")}, 0)
+		sw.EmitChunk("0:feat", f, []*xmltree.Node{rec("f2", "i2", "voicemail")}, 1)
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wireBytes := buf.Bytes()
+
+		// Cut inside chunk 1's payload text but keep the XML well-formed by
+		// appending closing tags, so even a parse that reaches the end sees
+		// a chunk whose payload is torn.
+		second := bytes.Index(wireBytes, []byte(`seq="1"`))
+		if second < 0 {
+			t.Fatal("fixture missing second chunk")
+		}
+		open := bytes.Index(wireBytes[second:], []byte(">"))
+		cut := second + open + 1 + 5 // a few bytes into the base64 text
+		torn := append(append([]byte{}, wireBytes[:cut]...), []byte("</instance></shipment>")...)
+
+		out := map[string]*core.Instance{}
+		var done []int64
+		d := NewShipmentDecoderInto(sch, func(string) *core.Fragment { return f }, out)
+		d.ChunkDone = func(s int64) { done = append(done, s) }
+		if err := xmltree.ScanAttrs(bytes.NewReader(torn), d); err == nil {
+			t.Fatalf("%s: torn bin chunk decoded clean", codec)
+		}
+		if len(done) != 1 || done[0] != 0 {
+			t.Fatalf("%s: committed chunks after tear = %v, want [0]", codec, done)
+		}
+		in := out["0:feat"]
+		if in == nil || len(in.Records) != 1 || in.Records[0].ID != "f1" {
+			t.Fatalf("%s: torn bin chunk leaked partial state: %+v", codec, out["0:feat"])
+		}
+	}
+}
+
+// TestReadBinChunkRejects exercises the malformed-payload guards.
+func TestReadBinChunkRejects(t *testing.T) {
+	sch := schema.CustomerInfo()
+	for _, c := range []struct {
+		name, text, enc string
+	}{
+		{"bad base64", "!!!", ""},
+		{"empty payload", "", ""},
+		{"bad version", "/w==", ""}, // 0xff
+		{"unknown enc", "AQA=", "gzip"},
+		{"truncated flate", "AQA=", "flate"},
+	} {
+		if _, err := readBinChunk(c.text, sch, c.enc); err == nil {
+			t.Errorf("%s: decoded clean", c.name)
+		}
+	}
+	// A well-formed empty chunk (version byte + zero record count) is fine.
+	recs, err := readBinChunk("AQA=", sch, "")
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty chunk: recs=%v err=%v", recs, err)
+	}
+}

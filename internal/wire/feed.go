@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"xdx/internal/bufpool"
 	"xdx/internal/core"
 	"xdx/internal/schema"
 	"xdx/internal/xmltree"
@@ -27,7 +28,8 @@ import (
 // store-layout fragment; absent optional elements are materialized as
 // empty fields — the NULLs the paper notes inlined feeds carry.
 func WriteFeed(w io.Writer, in *core.Instance, sch *schema.Schema) error {
-	bw := bufio.NewWriter(w)
+	bw := bufpool.Writer(w)
+	defer bufpool.PutWriter(bw)
 	if err := writeFeedRecords(bw, in, sch); err != nil {
 		return err
 	}
@@ -242,10 +244,39 @@ func readFeedNode(elem, parentID string, next func() (string, error), sch *schem
 // paper sketches in §4.1 — fragments may be shipped "in XML format" or "in
 // the form of sorted feeds".
 func EncodeShipmentAuto(out map[string]*core.Instance, sch *schema.Schema, preferFeed bool) (*xmltree.Node, error) {
+	c := Codec{Kind: CodecXML}
+	if preferFeed {
+		c.Kind = CodecFeed
+	}
+	return EncodeShipmentCodec(out, sch, c)
+}
+
+// EncodeShipmentCodec serializes cross-edge instances under an explicit
+// codec, producing the same wire bytes as the streaming encoder for the
+// same shipment. Feed falls back to the XML tree encoding for non-flat
+// fragments; bin carries any fragment as base64 chunk text.
+func EncodeShipmentCodec(out map[string]*core.Instance, sch *schema.Schema, codec Codec) (*xmltree.Node, error) {
 	root := &xmltree.Node{Name: "shipment"}
 	for _, key := range sortedKeys(out) {
 		in := out[key]
-		if preferFeed && checkFlat(sch, in.Frag) == nil {
+		switch {
+		case codec.Kind == CodecBin:
+			ix := &xmltree.Node{Name: "instance"}
+			ix.SetAttr("edge", key)
+			ix.SetAttr("frag", in.Frag.Name)
+			ix.SetAttr("format", "bin")
+			if codec.Flate {
+				ix.SetAttr("enc", "flate")
+			}
+			if len(in.Records) > 0 {
+				var buf strings.Builder
+				if err := writeBinChunk(&buf, in.Records, sch, codec.Flate); err != nil {
+					return nil, err
+				}
+				ix.Text = buf.String()
+			}
+			root.AddKid(ix)
+		case codec.Kind == CodecFeed && checkFlat(sch, in.Frag) == nil:
 			var buf strings.Builder
 			if err := WriteFeed(&buf, in, sch); err != nil {
 				return nil, err
@@ -255,15 +286,15 @@ func EncodeShipmentAuto(out map[string]*core.Instance, sch *schema.Schema, prefe
 			ix.SetAttr("frag", in.Frag.Name)
 			ix.SetAttr("format", "feed")
 			root.AddKid(ix)
-			continue
+		default:
+			root.AddKid(encodeInstance(key, in))
 		}
-		root.AddKid(encodeInstance(key, in))
 	}
 	return root, nil
 }
 
-// DecodeShipmentAuto rebuilds the inbound instance map, handling both the
-// XML tree and feed encodings.
+// DecodeShipmentAuto rebuilds the inbound instance map, handling the XML
+// tree, feed, and bin encodings.
 func DecodeShipmentAuto(x *xmltree.Node, sch *schema.Schema, lookup func(name string) *core.Fragment) (map[string]*core.Instance, error) {
 	if x.Name != "shipment" {
 		return nil, fmt.Errorf("wire: expected shipment, got %q", x.Name)
@@ -276,10 +307,23 @@ func DecodeShipmentAuto(x *xmltree.Node, sch *schema.Schema, lookup func(name st
 		if f == nil {
 			return nil, fmt.Errorf("wire: shipment references unknown fragment %q", fragName)
 		}
-		if format, _ := ix.Attr("format"); format == "feed" {
+		switch format, _ := ix.Attr("format"); format {
+		case "feed":
 			in, err := ReadFeed(strings.NewReader(ix.Text), f, sch)
 			if err != nil {
 				return nil, err
+			}
+			out[key] = in
+			continue
+		case "bin":
+			in := &core.Instance{Frag: f}
+			if ix.Text != "" {
+				enc, _ := ix.Attr("enc")
+				recs, err := readBinChunk(ix.Text, sch, enc)
+				if err != nil {
+					return nil, err
+				}
+				in.Records = recs
 			}
 			out[key] = in
 			continue

@@ -26,30 +26,24 @@ import (
 
 	"bufio"
 
+	"xdx/internal/bufpool"
 	"xdx/internal/core"
 	"xdx/internal/netsim"
 	"xdx/internal/schema"
 	"xdx/internal/xmltree"
 )
 
-// bufPool recycles the serialization buffers of shipment writers; encoding
-// runs on the hot path of every exchange, so buffers are pooled rather than
-// allocated per shipment.
-var bufPool = sync.Pool{
-	New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) },
-}
-
 // ShipmentWriter streams a shipment onto a writer as a sequence of
 // <instance> chunks inside one <shipment> element. Emit may be called
 // concurrently by pipeline stages as producers finish batches; chunks
 // sharing an edge key are merged back into one instance by the decoders.
 type ShipmentWriter struct {
-	mu         sync.Mutex
-	bw         *bufio.Writer
-	sch        *schema.Schema
-	preferFeed bool
-	opened     bool
-	closed     bool
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	sch    *schema.Schema
+	codec  Codec
+	opened bool
+	closed bool
 }
 
 // NewShipmentWriter starts a shipment onto w. When preferFeed is set, flat
@@ -57,9 +51,19 @@ type ShipmentWriter struct {
 // keyed XML. Close must be called to complete the shipment and release the
 // pooled buffer.
 func NewShipmentWriter(w io.Writer, sch *schema.Schema, preferFeed bool) *ShipmentWriter {
-	bw := bufPool.Get().(*bufio.Writer)
-	bw.Reset(w)
-	return &ShipmentWriter{bw: bw, sch: sch, preferFeed: preferFeed}
+	c := Codec{Kind: CodecXML}
+	if preferFeed {
+		c.Kind = CodecFeed
+	}
+	return NewShipmentWriterCodec(w, sch, c)
+}
+
+// NewShipmentWriterCodec starts a shipment onto w in the given codec. Feed
+// chunks fall back to keyed XML for non-flat fragments; bin carries any
+// fragment. Close must be called to complete the shipment and release the
+// pooled buffer.
+func NewShipmentWriterCodec(w io.Writer, sch *schema.Schema, codec Codec) *ShipmentWriter {
+	return &ShipmentWriter{bw: bufpool.Writer(w), sch: sch, codec: codec}
 }
 
 // Emit writes one instance chunk carrying recs for the cross-edge key. It
@@ -86,7 +90,10 @@ func (sw *ShipmentWriter) emit(key string, frag *core.Fragment, recs []*xmltree.
 		sw.opened = true
 		sw.bw.WriteString("<shipment>")
 	}
-	if sw.preferFeed && checkFlat(sw.sch, frag) == nil {
+	switch {
+	case sw.codec.Kind == CodecBin:
+		return sw.emitBin(key, frag, recs, seq)
+	case sw.codec.Kind == CodecFeed && checkFlat(sw.sch, frag) == nil:
 		return sw.emitFeed(key, frag, recs, seq)
 	}
 	sw.bw.WriteString(`<instance edge="`)
@@ -137,6 +144,33 @@ func (sw *ShipmentWriter) emitFeed(key string, frag *core.Fragment, recs []*xmlt
 	return nil
 }
 
+// emitBin writes one binary-format instance chunk: the records' compact
+// binary encoding (optionally DEFLATE-compressed) travels base64-wrapped
+// as the element's character data. Each chunk is a self-contained
+// compression frame, so resumable sessions keep their chunk-granular
+// recovery.
+func (sw *ShipmentWriter) emitBin(key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
+	sw.bw.WriteString(`<instance edge="`)
+	xmltree.Escape(sw.bw, key)
+	sw.bw.WriteString(`" frag="`)
+	xmltree.Escape(sw.bw, frag.Name)
+	sw.writeSeq(seq)
+	sw.bw.WriteString(`" format="bin`)
+	if sw.codec.Flate {
+		sw.bw.WriteString(`" enc="flate`)
+	}
+	if len(recs) == 0 {
+		sw.bw.WriteString(`"/>`)
+		return nil
+	}
+	sw.bw.WriteString(`">`)
+	if err := writeBinChunk(sw.bw, recs, sw.sch, sw.codec.Flate); err != nil {
+		return err
+	}
+	sw.bw.WriteString("</instance>")
+	return nil
+}
+
 // Close completes the shipment, flushes, and returns the buffer to the
 // pool. A shipment with no emitted instance closes as <shipment/>.
 func (sw *ShipmentWriter) Close() error {
@@ -152,8 +186,7 @@ func (sw *ShipmentWriter) Close() error {
 		sw.bw.WriteString("<shipment/>")
 	}
 	err := sw.bw.Flush()
-	sw.bw.Reset(io.Discard)
-	bufPool.Put(sw.bw)
+	bufpool.PutWriter(sw.bw)
 	sw.bw = nil
 	return err
 }
@@ -206,7 +239,16 @@ func streamRecord(w *bufio.Writer, n *xmltree.Node, isRoot bool) {
 // EncodeShipmentAuto. It produces byte-for-byte the serialization of the
 // tree codec for the same shipment.
 func StreamShipment(w io.Writer, out map[string]*core.Instance, sch *schema.Schema, preferFeed bool) error {
-	sw := NewShipmentWriter(w, sch, preferFeed)
+	c := Codec{Kind: CodecXML}
+	if preferFeed {
+		c.Kind = CodecFeed
+	}
+	return StreamShipmentCodec(w, out, sch, c)
+}
+
+// StreamShipmentCodec is StreamShipment under an explicit codec.
+func StreamShipmentCodec(w io.Writer, out map[string]*core.Instance, sch *schema.Schema, codec Codec) error {
+	sw := NewShipmentWriterCodec(w, sch, codec)
 	if err := EmitShipment(sw, out); err != nil {
 		sw.Close()
 		return err
@@ -286,9 +328,12 @@ type ShipmentDecoder struct {
 	stageSeq  int64
 	stageRecs []*xmltree.Node
 
-	feed     *strings.Builder
-	feedFrag *core.Fragment
-	stack    []*xmltree.Node
+	// raw accumulates the character data of feed- and bin-format chunks;
+	// both parse at commit time, so they share the chunk-atomic guarantee.
+	raw       *strings.Builder
+	rawFormat string
+	rawEnc    string
+	stack     []*xmltree.Node
 }
 
 // NewShipmentDecoder prepares a decoder resolving fragments via lookup
@@ -330,7 +375,7 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 			d.skip = 1
 			return nil
 		}
-		var key, fragName, format string
+		var key, fragName, format, enc string
 		seq := int64(-1)
 		for _, a := range attrs {
 			switch a.Name {
@@ -340,6 +385,8 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 				fragName = a.Value
 			case "format":
 				format = a.Value
+			case "enc":
+				enc = a.Value
 			case "seq":
 				if v, err := strconv.ParseInt(a.Value, 10, 64); err == nil {
 					seq = v
@@ -358,13 +405,13 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 			return fmt.Errorf("wire: shipment references unknown fragment %q", fragName)
 		}
 		d.stageKey, d.stageFrag, d.stageSeq = key, f, seq
-		if format == "feed" {
-			d.feed = &strings.Builder{}
-			d.feedFrag = f
+		if format == "feed" || format == "bin" {
+			d.raw = &strings.Builder{}
+			d.rawFormat, d.rawEnc = format, enc
 		}
 		return nil
 	}
-	if d.feed != nil {
+	if d.raw != nil {
 		// The tree decoder ignores element content of feed instances; do the
 		// same.
 		d.depth--
@@ -411,8 +458,8 @@ func (d *ShipmentDecoder) instanceFor(key string, f *core.Fragment) *core.Instan
 func (d *ShipmentDecoder) Text(data string) error {
 	switch {
 	case d.skip > 0:
-	case d.feed != nil:
-		d.feed.WriteString(data)
+	case d.raw != nil:
+		d.raw.WriteString(data)
 	case len(d.stack) > 0:
 		top := d.stack[len(d.stack)-1]
 		top.Text += data
@@ -441,17 +488,32 @@ func (d *ShipmentDecoder) EndElement(string) error {
 }
 
 // commitChunk moves the staged chunk into the shared instance map as its
-// </instance> closes. Feed rows are parsed here, so even feed chunks are
-// all-or-nothing; KeepRecord filters replays, and ChunkDone marks the seq
-// checkpointable.
+// </instance> closes. Feed rows and bin payloads are parsed here, so those
+// chunks too are all-or-nothing — a torn chunk's base64/flate/binary parse
+// fails before anything reaches the map; KeepRecord filters replays, and
+// ChunkDone marks the seq checkpointable.
 func (d *ShipmentDecoder) commitChunk() error {
 	recs := d.stageRecs
-	if d.feed != nil {
-		in, err := ReadFeed(strings.NewReader(d.feed.String()), d.feedFrag, d.sch)
-		if err != nil {
-			return err
+	if d.raw != nil {
+		switch d.rawFormat {
+		case "feed":
+			in, err := ReadFeed(strings.NewReader(d.raw.String()), d.stageFrag, d.sch)
+			if err != nil {
+				return err
+			}
+			recs = in.Records
+		case "bin":
+			// A self-closed bin instance announces an empty chunk; there is
+			// no payload to parse.
+			if d.raw.Len() > 0 {
+				var err error
+				if recs, err = readBinChunk(d.raw.String(), d.sch, d.rawEnc); err != nil {
+					return err
+				}
+			} else {
+				recs = nil
+			}
 		}
-		recs = in.Records
 	}
 	if d.CommitLock != nil {
 		d.CommitLock.Lock()
@@ -478,7 +540,7 @@ func (d *ShipmentDecoder) commitChunk() error {
 
 // resetStage clears the per-chunk staging state after a commit or drop.
 func (d *ShipmentDecoder) resetStage() {
-	d.feed, d.feedFrag = nil, nil
+	d.raw, d.rawFormat, d.rawEnc = nil, "", ""
 	d.stageKey, d.stageFrag, d.stageSeq, d.stageRecs = "", nil, -1, nil
 }
 
@@ -507,15 +569,13 @@ func ReadShipment(r io.Reader, sch *schema.Schema, lookup func(name string) *cor
 // over a meter that discards the bytes.
 func ShipmentBytes(out map[string]*core.Instance) int64 {
 	m := netsim.NewMeter(nil)
-	bw := bufPool.Get().(*bufio.Writer)
-	bw.Reset(m)
+	bw := bufpool.Writer(m)
 	for _, in := range out {
 		for _, rec := range in.Records {
 			streamRecord(bw, rec, true)
 		}
 	}
 	bw.Flush()
-	bw.Reset(io.Discard)
-	bufPool.Put(bw)
+	bufpool.PutWriter(bw)
 	return m.Bytes()
 }

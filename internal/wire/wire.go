@@ -310,12 +310,24 @@ func EncodeStats(p *core.StatsProvider) *xmltree.Node {
 	root.SetAttr("unitCombine", formatFloat(p.Unit.Combine))
 	root.SetAttr("unitSplit", formatFloat(p.Unit.Split))
 	root.SetAttr("unitWrite", formatFloat(p.Unit.Write))
+	if p.ShipCodec != "" {
+		root.SetAttr("shipCodec", p.ShipCodec)
+	}
+	if p.ShipRatioDefault > 0 {
+		root.SetAttr("shipRatioDefault", formatFloat(p.ShipRatioDefault))
+	}
 	for e, c := range p.Card {
 		ex := &xmltree.Node{Name: "elem"}
 		ex.SetAttr("name", e)
 		ex.SetAttr("card", formatFloat(c))
 		ex.SetAttr("bytes", formatFloat(p.Bytes[e]))
 		root.AddKid(ex)
+	}
+	for f, r := range p.ShipRatio {
+		rx := &xmltree.Node{Name: "shipRatio"}
+		rx.SetAttr("frag", f)
+		rx.SetAttr("ratio", formatFloat(r))
+		root.AddKid(rx)
 	}
 	return root
 }
@@ -337,7 +349,17 @@ func DecodeStats(x *xmltree.Node) (*core.StatsProvider, error) {
 		Split:   attrFloat(x, "unitSplit"),
 		Write:   attrFloat(x, "unitWrite"),
 	}
+	p.ShipCodec, _ = x.Attr("shipCodec")
+	p.ShipRatioDefault = attrFloat(x, "shipRatioDefault")
 	for _, ex := range x.Kids {
+		if ex.Name == "shipRatio" {
+			f, _ := ex.Attr("frag")
+			if p.ShipRatio == nil {
+				p.ShipRatio = map[string]float64{}
+			}
+			p.ShipRatio[f] = attrFloat(ex, "ratio")
+			continue
+		}
 		name, _ := ex.Attr("name")
 		p.Card[name] = attrFloat(ex, "card")
 		p.Bytes[name] = attrFloat(ex, "bytes")

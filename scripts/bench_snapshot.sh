@@ -1,0 +1,82 @@
+#!/bin/sh
+# Snapshot the PR 4 wire-codec benchmark set into BENCH_4.json: the four
+# shipment-format ablations (XML, feed, bin, bin+flate on the MF and LF
+# layouts) with their wire sizes, the end-to-end Figure 9 run, and the
+# streaming codec's allocation budget. Fixed iteration counts keep the
+# run reproducible: `make bench-json` regenerates the file.
+#
+#   -smoke     3 iterations into a throwaway file — validates that every
+#              snapshot benchmark still runs and the JSON still parses;
+#              part of the merge gate (scripts/check.sh).
+#   -out=FILE  write somewhere other than BENCH_4.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_4.json
+BENCHTIME=50x
+for arg in "$@"; do
+	case "$arg" in
+	-smoke)
+		BENCHTIME=3x
+		OUT="${TMPDIR:-/tmp}/bench_smoke_$$.json"
+		;;
+	-out=*) OUT="${arg#-out=}" ;;
+	*)
+		echo "usage: $0 [-smoke] [-out=FILE]" >&2
+		exit 2
+		;;
+	esac
+done
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkAblation_ShipFormat' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
+go test -run '^$' -bench 'BenchmarkFigure9_EndToEnd$' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
+go test -run '^$' -bench 'BenchmarkShipmentCodecStream$' -benchmem -benchtime "$BENCHTIME" ./internal/wire/ >>"$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; bop = ""; aop = ""; wb = ""; mbs = ""
+	for (i = 3; i < NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op") ns = v
+		else if (u == "B/op") bop = v
+		else if (u == "allocs/op") aop = v
+		else if (u == "wire-bytes/op") wb = v
+		else if (u == "MB/s") mbs = v
+	}
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s", name, iters)
+	if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+	if (mbs != "") line = line sprintf(", \"mb_per_s\": %s", mbs)
+	if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
+	if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+	if (wb != "") line = line sprintf(", \"wire_bytes_per_op\": %s", wb)
+	line = line "}"
+	benches[++n] = line
+}
+END {
+	printf "{\n"
+	printf "  \"snapshot\": \"BENCH_4\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
+	printf "  ]\n"
+	printf "}\n"
+}
+' "$RAW" >"$OUT"
+
+# A snapshot that silently captured zero benchmarks is a broken snapshot.
+grep -q '"name":' "$OUT" || { echo "bench_snapshot: no benchmarks captured" >&2; exit 1; }
+echo "bench_snapshot: wrote $(grep -c '"name":' "$OUT") benchmarks to $OUT"
+case "$OUT" in "${TMPDIR:-/tmp}"/bench_smoke_*) rm -f "$OUT" ;; esac

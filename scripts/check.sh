@@ -15,6 +15,11 @@ go test -race ./...
 # without turning it into a performance run.
 make bench-smoke
 
+# Benchmark snapshot smoke: a 3-iteration pass through the BENCH_4.json
+# pipeline, so a benchmark rename or output-format drift breaks the gate
+# instead of the next `make bench-json`.
+./scripts/bench_snapshot.sh -smoke
+
 # Fault-injection soak: the reliable-exchange e2e over the widened seed
 # matrix, under the race detector. Deterministic, so a failure here is a
 # reliability regression, not flake.
