@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"xdx/internal/netsim"
+	"xdx/internal/obs"
 	"xdx/internal/registry"
 	"xdx/internal/reliable"
 	"xdx/internal/wire"
@@ -36,6 +38,8 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures before an endpoint's circuit opens (0 = default 5)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit fails fast (0 = default 1s)")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for backoff jitter and session IDs (reproducible runs)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = off)")
+	verbose := flag.Bool("v", false, "log exchange activity (retries, breaker transitions, outcomes) to stderr")
 	flag.Parse()
 
 	link := netsim.Link{BytesPerSecond: *bandwidth, Latency: *latency}
@@ -77,6 +81,21 @@ func main() {
 		cfg.Breakers = reliable.NewBreakerSet(cfg.Breaker)
 		svc.Reliability = cfg
 		log.Printf("xdxd: reliable exchanges on (chunk=%d)", cfg.ChunkSize)
+	}
+
+	var logger obs.Logger
+	if *verbose {
+		logger = obs.NewTextLogger(os.Stderr, obs.LevelDebug)
+	}
+	var metrics *obs.Registry
+	if *metricsAddr != "" {
+		metrics = obs.NewRegistry()
+		ops := &http.Server{Addr: *metricsAddr, Handler: obs.Mux(metrics), ReadHeaderTimeout: 10 * time.Second}
+		go func() { log.Fatal("xdxd: metrics: ", ops.ListenAndServe()) }()
+		log.Printf("xdxd: metrics on %s (/metrics, /healthz)", *metricsAddr)
+	}
+	if logger != nil || metrics != nil {
+		svc.SetObs(logger, metrics)
 	}
 
 	mux := http.NewServeMux()

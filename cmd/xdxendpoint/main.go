@@ -21,6 +21,7 @@ import (
 	"xdx/internal/core"
 	"xdx/internal/endpoint"
 	"xdx/internal/netsim"
+	"xdx/internal/obs"
 	"xdx/internal/relstore"
 	"xdx/internal/wsdlx"
 	"xdx/internal/xmark"
@@ -41,6 +42,8 @@ func main() {
 	faultStall := flag.Float64("fault-stall", 0, "probability a response stalls once before continuing")
 	fault5xx := flag.Float64("fault-5xx", 0, "probability a request is answered with a plain 503")
 	faultMaxTruncate := flag.Int("fault-max-truncate", 0, "max bytes before a truncation cut (0 = default 4096)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = off)")
+	verbose := flag.Bool("v", false, "log request and execution activity to stderr")
 	flag.Parse()
 
 	sch := xmark.Schema()
@@ -93,6 +96,21 @@ func main() {
 		}
 		log.Printf("xdxendpoint: answering in codecs %v", names)
 	}
+	var logger obs.Logger
+	if *verbose {
+		logger = obs.NewTextLogger(os.Stderr, obs.LevelDebug)
+	}
+	var metrics *obs.Registry
+	if *metricsAddr != "" {
+		metrics = obs.NewRegistry()
+		ops := &http.Server{Addr: *metricsAddr, Handler: obs.Mux(metrics), ReadHeaderTimeout: 10 * time.Second}
+		go func() { log.Fatal("xdxendpoint: metrics: ", ops.ListenAndServe()) }()
+		log.Printf("xdxendpoint: metrics on %s (/metrics, /healthz)", *metricsAddr)
+	}
+	if logger != nil || metrics != nil {
+		ep.SetObs(logger, metrics)
+	}
+
 	// Collect abandoned resumable sessions in the background; the
 	// opportunistic sweep only runs when new sessions arrive, which a
 	// quiet endpoint may never see again.
@@ -110,6 +128,9 @@ func main() {
 	}
 	if faults.DropProb > 0 || faults.TruncateProb > 0 || faults.StallProb > 0 || faults.HTTP5xxProb > 0 {
 		fl := netsim.NewFaultyLink(netsim.Loopback(), faults)
+		if metrics != nil {
+			fl.OnFault = func(kind string) { metrics.Counter("netsim.faults." + kind).Inc() }
+		}
 		soapH = fl.Middleware(soapH)
 		log.Printf("xdxendpoint: injecting %s", faults)
 	}

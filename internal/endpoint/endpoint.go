@@ -15,6 +15,7 @@ import (
 
 	"xdx/internal/core"
 	"xdx/internal/ldapstore"
+	"xdx/internal/obs"
 	"xdx/internal/reliable"
 	"xdx/internal/relstore"
 	"xdx/internal/schema"
@@ -175,6 +176,8 @@ type Endpoint struct {
 	backend  Backend
 	srv      *soap.Server
 	sessions *reliable.SessionStore
+	log      obs.Logger
+	met      *obs.Registry
 
 	// codecs is the shipment codecs this endpoint will answer in, in the
 	// order it prefers them; negotiation picks the client's first advertised
@@ -200,6 +203,7 @@ func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
 	e := &Endpoint{Name: name, WSDL: defs, backend: be, srv: soap.NewServer(),
 		sessions: reliable.NewSessionStore(),
 		codecs:   wire.Codecs(),
+		log:      obs.Nop,
 		calCache: map[string]*shipCalibration{}}
 	e.srv.Handle("GetWSDL", e.getWSDL)
 	e.srv.Handle("ProbeStats", e.probeStats)
@@ -217,6 +221,27 @@ func (e *Endpoint) Handler() http.Handler { return e.srv }
 // Sessions exposes the endpoint's resumable-session store, so daemons can
 // run its background sweeper and tests can observe session lifecycle.
 func (e *Endpoint) Sessions() *reliable.SessionStore { return e.sessions }
+
+// SetObs attaches observability to the endpoint: the SOAP server's
+// soap.server.* request metrics, an endpoint.* family (probes, execute
+// timings, codec picks, session lifecycle), and a live-session gauge fed
+// by the store's change hook. Either argument may be nil ("off"). Call
+// before serving traffic — hooks are installed without locks.
+func (e *Endpoint) SetObs(l obs.Logger, m *obs.Registry) {
+	e.log = obs.OrNop(l)
+	e.met = m
+	e.srv.SetObs(l, m)
+	if m != nil {
+		log := e.log
+		e.sessions.OnChange = func(live, swept int) {
+			m.Gauge("endpoint.sessions.live").Set(int64(live))
+			if swept > 0 {
+				m.Counter("endpoint.sessions.swept").Add(int64(swept))
+				log.Log(obs.LevelDebug, "sessions swept", "swept", swept, "live", live)
+			}
+		}
+	}
+}
 
 // SetSupportedCodecs restricts (and orders) the shipment codecs this
 // endpoint answers in. Unknown names are rejected. An empty call is a
@@ -258,10 +283,13 @@ func (e *Endpoint) pickCodec(env soap.Header, req *xmltree.Node) (wire.Codec, bo
 			if e.supportsCodec(name) {
 				c, err := wire.ParseCodec(name)
 				if err == nil {
+					e.met.Counter("endpoint.codec.picks." + name).Inc()
 					return c, true, nil
 				}
 			}
 		}
+		// Nothing advertised is spoken here; answer in the universal format.
+		e.met.Counter("endpoint.codec.picks.unsupported").Inc()
 		return wire.Codec{}, true, nil
 	}
 	if v, ok := req.Attr("codec"); ok && v != "" {
@@ -287,6 +315,8 @@ func (e *Endpoint) getWSDL(req *xmltree.Node) (*xmltree.Node, error) {
 }
 
 func (e *Endpoint) probeStats(req *xmltree.Node) (*xmltree.Node, error) {
+	e.met.Counter("endpoint.probe_stats").Inc()
+	defer e.met.Histogram("endpoint.probe_stats.millis").ObserveSince(time.Now())
 	p := e.backend.Provider()
 	if name, ok := req.Attr("codec"); ok && name != "" {
 		codec, err := wire.ParseCodec(name)
@@ -321,6 +351,8 @@ func (e *Endpoint) calibrate(codec wire.Codec) (*shipCalibration, error) {
 	if cal, ok := e.calCache[key]; ok {
 		return cal, nil
 	}
+	calStart := time.Now()
+	e.met.Counter("endpoint.calibrations").Inc()
 	sch := e.backend.Layout().Schema
 	cal := &shipCalibration{ratios: map[string]float64{}}
 	var wireSum, treeSum float64
@@ -352,6 +384,10 @@ func (e *Endpoint) calibrate(codec wire.Codec) (*shipCalibration, error) {
 		cal.def = core.DefaultShipRatio(key)
 	}
 	e.calCache[key] = cal
+	e.log.Log(obs.LevelInfo, "codec calibrated",
+		"endpoint", e.Name, "codec", key,
+		"ratio", strconv.FormatFloat(cal.def, 'f', 3, 64),
+		"millis", formatMillis(time.Since(calStart)))
 	return cal, nil
 }
 
@@ -359,6 +395,7 @@ func (e *Endpoint) calibrate(codec wire.Codec) (*shipCalibration, error) {
 // request carries the op kind, the location, and inline fragment
 // definitions — first the output, then the inputs.
 func (e *Endpoint) probeCost(req *xmltree.Node) (*xmltree.Node, error) {
+	e.met.Counter("endpoint.probe_cost").Inc()
 	kindStr, _ := req.Attr("kind")
 	locStr, _ := req.Attr("loc")
 	var kind core.OpKind
@@ -434,6 +471,8 @@ func (e *Endpoint) executeSource(req *xmltree.Node, codec wire.Codec) (*xmltree.
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	e.met.Counter("endpoint.source.executes").Inc()
+	e.met.Histogram("endpoint.source.millis").Observe(float64(elapsed) / float64(time.Millisecond))
 	resp := &xmltree.Node{Name: "ExecuteSourceResponse"}
 	resp.SetAttr("queryMillis", formatMillis(elapsed))
 	shipment, err := wire.EncodeShipmentCodec(outbound, e.backend.Layout().Schema, codec)

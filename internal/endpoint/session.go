@@ -31,11 +31,50 @@ import (
 // into, the execute-once latch, and the stored response replayed when a
 // completed execution's reply was lost in transit.
 type targetSession struct {
+	// mu serializes shipment commits (it is wire.ShipmentDecoder.CommitLock
+	// for every delivery attempt of the session) and the target execution
+	// they feed, so a straggling attempt's chunk commits never interleave
+	// with the execute reading the instance map.
 	mu      sync.Mutex
 	ledger  *reliable.Ledger
 	inbound map[string]*core.Instance
+
+	// stateMu guards the execute-once outcome and the in-flight latch. It
+	// is never held across backend execution or response writing, so
+	// SessionStatus probes answer immediately while a slow execute runs on
+	// mu. Once done is true, resp is immutable and safe to write
+	// concurrently.
+	stateMu sync.Mutex
+	running bool
 	done    bool
 	resp    *xmltree.Node
+}
+
+// replay returns the stored (immutable) response when the session already
+// executed, else nil.
+func (ts *targetSession) replay() *xmltree.Node {
+	ts.stateMu.Lock()
+	defer ts.stateMu.Unlock()
+	if !ts.done {
+		return nil
+	}
+	return ts.resp
+}
+
+// setRunning flips the in-flight latch SessionStatus reports as running.
+func (ts *targetSession) setRunning(v bool) {
+	ts.stateMu.Lock()
+	ts.running = v
+	ts.stateMu.Unlock()
+}
+
+// finish publishes the execute-once outcome. resp must not be mutated
+// after this call.
+func (ts *targetSession) finish(resp *xmltree.Node) {
+	ts.stateMu.Lock()
+	ts.done = true
+	ts.resp = resp
+	ts.stateMu.Unlock()
 }
 
 // targetSessionFor returns the session's endpoint state, attaching it on
@@ -73,14 +112,14 @@ func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *c
 
 // respondSession is the session-mode responder: execute once, stamp the
 // ledger's checkpoint and dedup count onto the response, and replay the
-// stored response on retries of a completed execution.
+// stored response on retries of a completed execution. Execution runs
+// under the commit lock (mu) so duplicate requests wait and then replay,
+// but never under stateMu — SessionStatus probes answer throughout.
 func (t *targetScan) respondSession(w io.Writer) error {
 	ts := t.ts
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	if ts.done {
-		ts.resp.SetAttr("replayed", "1")
-		return xmltree.Write(w, ts.resp, xmltree.WriteOptions{EmitAllIDs: true})
+	if resp := ts.replay(); resp != nil {
+		t.e.met.Counter("endpoint.session.replays").Inc()
+		return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
 	}
 	if t.g == nil {
 		return &soap.Fault{Code: "soap:Client", String: "missing program"}
@@ -91,21 +130,37 @@ func (t *targetScan) respondSession(w io.Writer) error {
 	if _, err := t.dec.Result(); err != nil {
 		return err
 	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	// A duplicate request may have won the execute race while this one
+	// waited on the commit lock; replay its response instead of loading
+	// the backend twice.
+	if resp := ts.replay(); resp != nil {
+		t.e.met.Counter("endpoint.session.replays").Inc()
+		return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+	}
+	ts.setRunning(true)
 	resp, err := t.e.runTarget(t.g, t.a, ts.inbound, t.pipelined)
+	ts.setRunning(false)
 	if err != nil {
 		return err
 	}
 	resp.SetAttr("checkpoint", strconv.FormatInt(ts.ledger.Checkpoint(), 10))
 	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
-	ts.done = true
-	ts.resp = resp
+	t.e.met.Counter("endpoint.session.executes").Inc()
+	t.e.met.Counter("endpoint.session.deduped").Add(ts.ledger.Deduped())
+	// Write the winner's copy before stamping the replay marker, then
+	// freeze: every later reader sees replayed="1" on an immutable node.
+	werr := xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+	resp.SetAttr("replayed", "1")
+	ts.finish(resp)
 	// The instances are loaded; replays only need the stored response, so
 	// release the decoded map instead of holding shipment-sized state for
 	// the rest of the session's lifetime. A late retry's decoder finds nil
 	// and decodes into a throwaway map — its chunks are all checkpointed
 	// anyway.
 	ts.inbound = nil
-	return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+	return werr
 }
 
 // sessionStatus answers a SessionStatus probe: the chunk checkpoint a
@@ -136,14 +191,21 @@ func (e *Endpoint) sessionStatus(req *xmltree.Node) (*xmltree.Node, error) {
 		resp.SetAttr("done", "0")
 		return resp, nil
 	}
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
+	// Probe state lives behind stateMu and the ledger's own lock — never
+	// the commit/execute lock — so a probe answers immediately even while
+	// a slow backend execution is in flight for this session.
+	ts.stateMu.Lock()
+	done, running := ts.done, ts.running
+	ts.stateMu.Unlock()
 	resp.SetAttr("next", strconv.FormatInt(ts.ledger.Checkpoint(), 10))
-	done := "0"
-	if ts.done {
-		done = "1"
+	d := "0"
+	if done {
+		d = "1"
 	}
-	resp.SetAttr("done", done)
+	resp.SetAttr("done", d)
+	if running {
+		resp.SetAttr("running", "1")
+	}
 	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
 	return resp, nil
 }

@@ -449,3 +449,102 @@ func TestSessionStatusUnknown(t *testing.T) {
 		t.Error("probe without session id must fault")
 	}
 }
+
+// slowBackend delays index building, holding the session's execute (and its
+// commit lock) busy long enough for probes to race it.
+type slowBackend struct {
+	Backend
+	delay   time.Duration
+	started chan struct{}
+	once    sync.Once
+}
+
+// BuildIndexes implements Backend.
+func (b *slowBackend) BuildIndexes() error {
+	b.once.Do(func() { close(b.started) })
+	time.Sleep(b.delay)
+	return b.Backend.BuildIndexes()
+}
+
+// TestSessionStatusAnswersDuringSlowExecute is the probe-liveness
+// regression: SessionStatus used to block on the session mutex for the
+// whole backend execution, so the reconnecting source it serves timed out
+// exactly when the target was busiest. Probes must answer immediately —
+// and report the execution as in flight — while a slow execute runs.
+func TestSessionStatusAnswersDuringSlowExecute(t *testing.T) {
+	fx, done := newSessionFixture(t)
+	defer done()
+
+	sch := schema.CustomerInfo()
+	fr := tFrag(t, sch)
+	tgtStore, err := relstore.NewStore(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowBackend{
+		Backend: &RelBackend{Store: tgtStore, Speed: 1, CanCombine: true},
+		delay:   time.Second,
+		started: make(chan struct{}),
+	}
+	client, closeSrv := startEndpoint(t, slow)
+	defer closeSrv()
+
+	const head = `<ExecuteTarget session="sess-slow-1">`
+	delivered := make(chan error, 1)
+	go func() {
+		delivered <- client.CallStream("ExecuteTarget", func(w io.Writer) error {
+			io.WriteString(w, head)
+			io.WriteString(w, fx.prog)
+			if _, werr := w.Write(fx.wire); werr != nil {
+				return werr
+			}
+			_, werr := io.WriteString(w, "</ExecuteTarget>")
+			return werr
+		}, &xmltree.TreeBuilder{})
+	}()
+
+	select {
+	case <-slow.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("execution never started")
+	}
+
+	// The backend now sleeps inside the execute, commit lock held. Probes
+	// must come back orders of magnitude faster than the execution.
+	status := &xmltree.Node{Name: "SessionStatus"}
+	status.SetAttr("session", "sess-slow-1")
+	sawRunning := false
+	for i := 0; i < 3; i++ {
+		probeStart := time.Now()
+		st, err := client.Call("SessionStatus", status)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(probeStart); elapsed > 100*time.Millisecond {
+			t.Fatalf("probe %d took %v with an execute in flight, want <100ms", i, elapsed)
+		}
+		if v, _ := st.Attr("done"); v != "0" {
+			t.Fatalf("probe %d reports done during execution", i)
+		}
+		if v, _ := st.Attr("running"); v == "1" {
+			sawRunning = true
+		}
+	}
+	if !sawRunning {
+		t.Error("no probe reported the execution as running")
+	}
+
+	if err := <-delivered; err != nil {
+		t.Fatalf("delivery failed: %v", err)
+	}
+	st, err := client.Call("SessionStatus", status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Attr("done"); v != "1" {
+		t.Error("probe does not report done after delivery")
+	}
+	if tgtStore.Rows() != fx.srcRows {
+		t.Errorf("target rows = %d, want %d", tgtStore.Rows(), fx.srcRows)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"xdx/internal/core"
+	"xdx/internal/obs"
 	"xdx/internal/soap"
 	"xdx/internal/wire"
 	"xdx/internal/xmltree"
@@ -124,7 +125,10 @@ func (e *Endpoint) respondSourceStream(env soap.Header, req *xmltree.Node, w io.
 	if err := sw.Close(); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, `<timing queryMillis="%s"/>`, formatMillis(time.Since(start))); err != nil {
+	elapsed := time.Since(start)
+	e.met.Counter("endpoint.source.executes").Inc()
+	e.met.Histogram("endpoint.source.millis").Observe(float64(elapsed) / float64(time.Millisecond))
+	if _, err := fmt.Fprintf(w, `<timing queryMillis="%s"/>`, formatMillis(elapsed)); err != nil {
 		return err
 	}
 	_, err = io.WriteString(w, "</ExecuteSourceResponse>")
@@ -310,6 +314,13 @@ func (e *Endpoint) runTarget(g *core.Graph, a core.Assignment, inbound map[strin
 		return nil, err
 	}
 	indexTime := time.Since(is)
+	e.met.Counter("endpoint.target.executes").Inc()
+	e.met.Histogram("endpoint.target.millis").ObserveSince(start)
+	if e.log.Enabled(obs.LevelDebug) {
+		e.log.Log(obs.LevelDebug, "target slice executed",
+			"endpoint", e.Name, "execMillis", formatMillis(execTime),
+			"writeMillis", formatMillis(writeTime), "indexMillis", formatMillis(indexTime))
+	}
 	resp := &xmltree.Node{Name: "ExecuteTargetResponse"}
 	resp.SetAttr("execMillis", formatMillis(execTime))
 	resp.SetAttr("writeMillis", formatMillis(writeTime))

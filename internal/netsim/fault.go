@@ -60,6 +60,12 @@ type FaultyLink struct {
 	Link
 	Faults
 
+	// OnFault, when set, observes every injected fault by kind ("drop",
+	// "http5xx", "truncate", "stall") — the hook observability layers bind
+	// counters and logs to. It runs outside the link's lock and must be
+	// safe for concurrent use. Set before the link carries traffic.
+	OnFault func(kind string)
+
 	mu     sync.Mutex
 	rng    *rand.Rand
 	counts FaultCounts
@@ -96,7 +102,6 @@ type faultPlan struct {
 
 func (f *FaultyLink) roll(withHTTP bool) faultPlan {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	var p faultPlan
 	switch {
 	case f.rng.Float64() < f.DropProb:
@@ -114,6 +119,20 @@ func (f *FaultyLink) roll(withHTTP bool) faultPlan {
 	if f.rng.Float64() < f.StallProb {
 		p.stall = true
 		f.counts.Stalls++
+	}
+	f.mu.Unlock()
+	if f.OnFault != nil {
+		switch {
+		case p.drop:
+			f.OnFault("drop")
+		case p.http5xx:
+			f.OnFault("http5xx")
+		case p.truncate:
+			f.OnFault("truncate")
+		}
+		if p.stall {
+			f.OnFault("stall")
+		}
 	}
 	return p
 }

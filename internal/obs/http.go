@@ -1,0 +1,27 @@
+package obs
+
+// The operational HTTP surface: a tiny mux serving /healthz (liveness)
+// and /metrics (the registry's JSON snapshot), mounted by the daemons
+// behind -metrics-addr. Deliberately separate from the SOAP listener so
+// scraping never competes with exchange traffic and so an operator can
+// keep the ops port private.
+
+import (
+	"net/http"
+)
+
+// Mux returns the ops handler for a registry: GET /healthz answers
+// "ok\n", GET /metrics answers the JSON snapshot. A nil registry serves
+// an empty snapshot — /healthz keeps working.
+func Mux(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	return mux
+}

@@ -1,0 +1,126 @@
+// Package obs is the observability substrate of the exchange stack. The
+// paper's architecture stands on measured per-node computation and
+// per-cross-edge communication costs (§4.1); the layers already produce
+// those numbers (queryMillis/execMillis timings, wire and payload byte
+// meters, retry and dedup counters, breaker states) but, before this
+// package, none of it was observable at runtime. obs supplies the three
+// pieces every layer threads through:
+//
+//   - a leveled key/value Logger (slog-compatible shape, no-op by
+//     default) so daemons can narrate exchange lifecycles to stderr;
+//   - an atomic counter/gauge/histogram Registry with an expvar-style
+//     JSON snapshot, served at /metrics next to /healthz (Mux);
+//   - per-exchange trace Spans (exchange → source attempt → chunk
+//     delivery → probe → commit) with monotonic timings, exported on the
+//     registry's Report.
+//
+// Everything is stdlib-only and nil-safe: a nil Logger, *Registry, or
+// *Span is the documented "observability off" state, so instrumented code
+// never branches and the default-off path stays off the profile.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. The numeric values match log/slog's, so a
+// Logger can be adapted onto slog without translation.
+type Level int
+
+// Log levels.
+const (
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+	LevelError Level = 8
+)
+
+// String renders the level for log lines.
+func (l Level) String() string {
+	switch {
+	case l < LevelInfo:
+		return "DEBUG"
+	case l < LevelWarn:
+		return "INFO"
+	case l < LevelError:
+		return "WARN"
+	default:
+		return "ERROR"
+	}
+}
+
+// Logger is the leveled key/value logging interface the exchange layers
+// accept. Implementations must be safe for concurrent use. The shape
+// mirrors log/slog's Enabled/Log pair so an slog handler adapts in a few
+// lines; the repo's own TextLogger keeps the dependency surface stdlib.
+type Logger interface {
+	// Enabled reports whether a record at this level would be emitted,
+	// so call sites can skip building expensive attributes.
+	Enabled(Level) bool
+	// Log emits one record: a message plus alternating key/value pairs.
+	Log(level Level, msg string, kv ...any)
+}
+
+// Nop is the default logger: everything disabled, nothing retained.
+var Nop Logger = nopLogger{}
+
+type nopLogger struct{}
+
+// Enabled implements Logger.
+func (nopLogger) Enabled(Level) bool { return false }
+
+// Log implements Logger.
+func (nopLogger) Log(Level, string, ...any) {}
+
+// OrNop resolves a possibly-nil logger to a usable one, so components can
+// store the result once and log unconditionally.
+func OrNop(l Logger) Logger {
+	if l == nil {
+		return Nop
+	}
+	return l
+}
+
+// TextLogger writes "time LEVEL msg k=v ..." lines to one writer under a
+// mutex — the stderr logger the daemons wire behind -v.
+type TextLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time
+}
+
+// NewTextLogger returns a TextLogger emitting records at min and above.
+func NewTextLogger(w io.Writer, min Level) *TextLogger {
+	return &TextLogger{w: w, min: min, now: time.Now}
+}
+
+// Enabled implements Logger.
+func (t *TextLogger) Enabled(l Level) bool { return l >= t.min }
+
+// Log implements Logger.
+func (t *TextLogger) Log(level Level, msg string, kv ...any) {
+	if level < t.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(t.now().Format("15:04:05.000"))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(&b, " !MISSING=%v", kv[len(kv)-1])
+	}
+	b.WriteByte('\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	io.WriteString(t.w, b.String())
+}

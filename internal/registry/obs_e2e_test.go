@@ -1,0 +1,187 @@
+package registry
+
+// End-to-end check of the observability layer: a fault-injected reliable
+// exchange with a Logger and Metrics registry attached must surface its
+// retries and resumes as counters, narrate them to the log, attach a
+// populated trace to the Report, and expose everything over the /metrics
+// endpoint the daemons mount.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xdx/internal/netsim"
+	"xdx/internal/obs"
+)
+
+// kid returns the first child span with the given name, or nil.
+func kid(s *obs.Span, name string) *obs.Span {
+	for _, k := range s.Kids() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+func TestObservedReliableExchange(t *testing.T) {
+	ag, plan, tgtStore, _, done := startAuctionExchange(t)
+	defer done()
+
+	const seed = 1 // every seed in faultSeeds injects at least one fault
+	fl := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(seed))
+	met := obs.NewRegistry()
+	fl.OnFault = func(kind string) { met.Counter("netsim.faults." + kind).Inc() }
+	var logBuf bytes.Buffer
+	logger := obs.NewTextLogger(&logBuf, obs.LevelDebug)
+
+	rep, err := ag.ExecuteOpts("Auction", plan, ExecOptions{
+		Link:        netsim.Loopback(),
+		Transport:   fl.RoundTripper(nil),
+		Reliability: soakConfig(seed),
+		Logger:      logger,
+		Metrics:     met,
+	})
+	if err != nil {
+		t.Fatalf("exchange failed: %v (injected %+v)", err, fl.Counts())
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("seed injected no retries (injected %+v)", fl.Counts())
+	}
+
+	// Counters mirror the report.
+	if got := met.Counter("exchange.total").Value(); got != 1 {
+		t.Errorf("exchange.total = %d, want 1", got)
+	}
+	if got := met.Counter("exchange.errors").Value(); got != 0 {
+		t.Errorf("exchange.errors = %d, want 0", got)
+	}
+	if got := met.Counter("exchange.retries").Value(); got != int64(rep.Retries) {
+		t.Errorf("exchange.retries = %d, report says %d", got, rep.Retries)
+	}
+	if got := met.Counter("exchange.resumes").Value(); got != int64(rep.Resumes) {
+		t.Errorf("exchange.resumes = %d, report says %d", got, rep.Resumes)
+	}
+	if got := met.Counter("exchange.wire_bytes").Value(); got != rep.WireBytes {
+		t.Errorf("exchange.wire_bytes = %d, report says %d", got, rep.WireBytes)
+	}
+	if got := met.Histogram("exchange.millis").Count(); got != 1 {
+		t.Errorf("exchange.millis count = %d, want 1", got)
+	}
+	c := fl.Counts()
+	faults := met.Counter("netsim.faults.drop").Value() +
+		met.Counter("netsim.faults.truncate").Value() +
+		met.Counter("netsim.faults.http5xx").Value()
+	if want := int64(c.Drops + c.Truncates + c.HTTP5xx); faults != want {
+		t.Errorf("netsim.faults.* total = %d, link counted %d", faults, want)
+	}
+
+	// The retry hook narrated each backoff to the logger.
+	if !strings.Contains(logBuf.String(), "retrying call") {
+		t.Error("log has no 'retrying call' line despite retries")
+	}
+	if !strings.Contains(logBuf.String(), "exchange complete") {
+		t.Error("log has no completion line")
+	}
+
+	// The trace covers the exchange: a root span with source and deliver
+	// phases, attempt children under each, and a commit for EndSession.
+	tr := rep.Trace
+	if tr == nil || tr.Name != "exchange" {
+		t.Fatalf("report trace = %+v", tr)
+	}
+	if tr.Attr("service") != "Auction" || tr.Attr("path") != "reliable" {
+		t.Errorf("trace attrs: service=%q path=%q", tr.Attr("service"), tr.Attr("path"))
+	}
+	if tr.Duration() <= 0 {
+		t.Error("trace has no duration")
+	}
+	src, del := kid(tr, "source"), kid(tr, "deliver")
+	if src == nil || del == nil || kid(tr, "commit") == nil {
+		t.Fatalf("trace missing phases; kids = %v", tr.Kids())
+	}
+	if kid(src, "attempt") == nil {
+		t.Error("source span has no attempt children")
+	}
+	attempts := 0
+	for _, k := range del.Kids() {
+		if k.Name == "attempt" {
+			attempts++
+		}
+	}
+	if attempts == 0 {
+		t.Error("deliver span has no attempt children")
+	}
+	if del.Attr("chunks") == "" {
+		t.Error("deliver span missing chunks attr")
+	}
+	if tgtStore.Rows() == 0 {
+		t.Error("observed exchange delivered nothing")
+	}
+
+	// The ops mux exports the same registry: /healthz is alive and
+	// /metrics carries the counters as JSON.
+	ops := httptest.NewServer(obs.Mux(met))
+	defer ops.Close()
+	hz, err := http.Get(ops.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", hz.StatusCode)
+	}
+	mr, err := http.Get(ops.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, raw)
+	}
+	if got, ok := snap["exchange.retries"].(float64); !ok || int(got) != rep.Retries {
+		t.Errorf("/metrics exchange.retries = %v, report says %d", snap["exchange.retries"], rep.Retries)
+	}
+}
+
+// TestObservedExchangeFailure checks the error path keeps its books: a
+// fault seed without reliability kills the exchange, and the metrics and
+// trace still record the failed run.
+func TestObservedExchangeFailure(t *testing.T) {
+	ag, plan, _, _, done := startAuctionExchange(t)
+	defer done()
+
+	fl := netsim.NewFaultyLink(netsim.Loopback(), soakFaults(1))
+	met := obs.NewRegistry()
+	rep, err := ag.ExecuteOpts("Auction", plan, ExecOptions{
+		Link:      netsim.Loopback(),
+		Streamed:  true,
+		Transport: fl.RoundTripper(nil),
+		Metrics:   met,
+	})
+	if err == nil {
+		t.Fatal("unreliable exchange survived the fault seed")
+	}
+	if got := met.Counter("exchange.total").Value(); got != 1 {
+		t.Errorf("exchange.total = %d, want 1", got)
+	}
+	if got := met.Counter("exchange.errors").Value(); got != 1 {
+		t.Errorf("exchange.errors = %d, want 1", got)
+	}
+	if rep == nil || rep.Trace == nil {
+		t.Fatalf("failed exchange returned no trace (report %+v)", rep)
+	}
+	if rep.Trace.Attr("path") != "streamed" {
+		t.Errorf("trace path = %q", rep.Trace.Attr("path"))
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"xdx/internal/core"
 	"xdx/internal/netsim"
+	"xdx/internal/obs"
 	"xdx/internal/reliable"
 	"xdx/internal/soap"
 	"xdx/internal/wire"
@@ -414,6 +415,11 @@ type Report struct {
 	// DedupedRecords is how many replayed records the target's idempotency
 	// ledger dropped across resumed deliveries.
 	DedupedRecords int64
+	// Trace is the exchange's span tree — the root "exchange" span with
+	// per-phase children (source attempts, delivery attempts, resume
+	// probes, commit). Always populated by ExecuteOpts; End() has been
+	// called on the root by the time the report is returned.
+	Trace *obs.Span
 }
 
 // Total sums all steps.
@@ -461,6 +467,12 @@ type ExecOptions struct {
 	// exchange — the hook a fault-injecting netsim.FaultyLink plugs into.
 	// With Reliability set it is used unless the config carries its own.
 	Transport http.RoundTripper
+	// Logger, when set, narrates the exchange: attempts, retries, breaker
+	// transitions, and the final outcome. Nil is silent.
+	Logger obs.Logger
+	// Metrics, when set, receives exchange.* counters and latency
+	// histograms from the drive. Nil records nothing.
+	Metrics *obs.Registry
 }
 
 // client builds a SOAP client for url honoring the configured transport.
@@ -503,19 +515,62 @@ func (a *Agency) Execute(service string, plan *Plan, link netsim.Link) (*Report,
 // ExecuteOpts drives an exchange end-to-end: the source executes its slice
 // and returns the cross-edge shipment, which the agency forwards to the
 // target together with the target slice. Communication time is modeled
-// over the link from the actual shipment size.
+// over the link from the actual shipment size. Every drive carries a span
+// tree (Report.Trace) and, when opts wires a Logger/Metrics, emits
+// exchange.* observability.
 func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Report, error) {
-	if opts.Reliability != nil {
+	start := time.Now()
+	met := opts.Metrics
+	log := obs.OrNop(opts.Logger)
+	met.Counter("exchange.total").Inc()
+
+	var report *Report
+	var err error
+	switch {
+	case opts.Reliability != nil:
 		if opts.Reliability.Transport == nil && opts.Transport != nil {
 			cfg := *opts.Reliability
 			cfg.Transport = opts.Transport
 			opts.Reliability = &cfg
 		}
-		return a.executeReliable(service, plan, opts)
+		report, err = a.executeReliable(service, plan, opts)
+	case opts.Streamed:
+		report, err = a.executeStreamed(service, plan, opts)
+	default:
+		report, err = a.executeTree(service, plan, opts)
 	}
-	if opts.Streamed {
-		return a.executeStreamed(service, plan, opts)
+
+	met.Histogram("exchange.millis").ObserveSince(start)
+	if report != nil {
+		report.Trace.End()
 	}
+	if err != nil {
+		met.Counter("exchange.errors").Inc()
+		log.Log(obs.LevelWarn, "exchange failed", "service", service, "err", err.Error())
+		return report, err
+	}
+	met.Counter("exchange.wire_bytes").Add(report.WireBytes)
+	met.Counter("exchange.payload_bytes").Add(report.PayloadBytes)
+	if log.Enabled(obs.LevelInfo) {
+		log.Log(obs.LevelInfo, "exchange complete",
+			"service", service, "codec", report.Codec,
+			"wireBytes", report.WireBytes, "retries", report.Retries,
+			"resumes", report.Resumes, "millis", time.Since(start).Milliseconds())
+	}
+	return report, nil
+}
+
+// newTrace roots an exchange's span tree.
+func newTrace(service, path string) *obs.Span {
+	sp := obs.NewSpan("exchange")
+	sp.Set("service", service)
+	sp.Set("path", path)
+	return sp
+}
+
+// executeTree is the buffered tree path: materialize the source response,
+// forward the shipment subtree, materialize the target response.
+func (a *Agency) executeTree(service string, plan *Plan, opts ExecOptions) (*Report, error) {
 	link := opts.Link
 	src := a.Party(service, RoleSource)
 	tgt := a.Party(service, RoleTarget)
@@ -530,7 +585,8 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Plan: plan, Codec: codec.String()}
+	trace := newTrace(service, "tree")
+	report := &Report{Plan: plan, Codec: codec.String(), Trace: trace}
 
 	reqS := &xmltree.Node{Name: "ExecuteSource"}
 	if opts.Codec != "" {
@@ -548,9 +604,12 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 	}
 	reqS.AddKid(progXML)
 	cs := opts.client(src.URL)
+	srcSpan := trace.Child("source")
 	respS, err := cs.Call("ExecuteSource", reqS)
+	srcSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("registry: source execution: %w", err)
+		srcSpan.Set("err", err.Error())
+		return report, fmt.Errorf("registry: source execution: %w", err)
 	}
 	if v, ok := respS.Attr("queryMillis"); ok {
 		report.SourceTime = parseMillis(v)
@@ -562,7 +621,7 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 		}
 	}
 	if shipment == nil {
-		return nil, fmt.Errorf("registry: source returned no shipment")
+		return report, fmt.Errorf("registry: source returned no shipment")
 	}
 	for _, ix := range shipment.Kids {
 		if format, _ := ix.Attr("format"); format != "" {
@@ -589,9 +648,12 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 	reqT.AddKid(progXML2)
 	reqT.AddKid(shipment)
 	ct := opts.client(tgt.URL)
+	tgtSpan := trace.Child("deliver")
 	respT, err := ct.Call("ExecuteTarget", reqT)
+	tgtSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("registry: target execution: %w", err)
+		tgtSpan.Set("err", err.Error())
+		return report, fmt.Errorf("registry: target execution: %w", err)
 	}
 	if v, ok := respT.Attr("execMillis"); ok {
 		report.TargetTime = parseMillis(v)

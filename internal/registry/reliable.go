@@ -23,13 +23,38 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"xdx/internal/core"
 	"xdx/internal/netsim"
+	"xdx/internal/obs"
 	"xdx/internal/reliable"
 	"xdx/internal/wire"
 	"xdx/internal/xmltree"
 )
+
+// wireExchangeObs registers the retry and breaker hooks of one exchange
+// onto the options' observability sinks. A shared breaker set (one the
+// caller passed in via Config.Breakers) is left alone — its owner wires
+// it once, so per-exchange callbacks don't stack up.
+func wireExchangeObs(ex *reliable.Exchange, opts ExecOptions) {
+	met, log := opts.Metrics, obs.OrNop(opts.Logger)
+	if met == nil && opts.Logger == nil {
+		return
+	}
+	ex.Retrier().OnRetry = func(op string, try int, delay time.Duration, err error) {
+		met.Counter("exchange.retries").Inc()
+		log.Log(obs.LevelWarn, "retrying call",
+			"op", op, "try", try, "delayMillis", delay.Milliseconds(), "err", err.Error())
+	}
+	if !ex.SharedBreakers() {
+		ex.Breakers().OnStateChange(func(url string, from, to reliable.BreakerState) {
+			met.Counter("exchange.breaker.transitions").Inc()
+			log.Log(obs.LevelInfo, "breaker state change",
+				"url", url, "from", from.String(), "to", to.String())
+		})
+	}
+}
 
 // executeReliable drives an exchange end-to-end under the reliability
 // config: retried source execution, resumable chunked target delivery.
@@ -48,8 +73,10 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Plan: plan, Codec: codec.String()}
+	trace := newTrace(service, "reliable")
+	report := &Report{Plan: plan, Codec: codec.String(), Trace: trace}
 	ex := reliable.NewExchange(opts.Reliability)
+	wireExchangeObs(ex, opts)
 
 	frags := map[string]*core.Fragment{}
 	for _, op := range plan.Program.Ops {
@@ -87,26 +114,34 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	var sourceMillis, answeredCodec string
 	cs := ex.Client(src.URL)
 	advertise(cs, codec)
-	err = ex.Do("ExecuteSource", src.URL, func(int) error {
+	srcSpan := trace.Child("source")
+	err = ex.Do("ExecuteSource", src.URL, func(try int) error {
+		at := srcSpan.Child("attempt")
+		at.Set("try", strconv.Itoa(try))
+		defer at.End()
 		dec := wire.NewShipmentDecoder(sch, lookup)
 		scanS := &sourceRespScan{dec: dec}
 		if err := cs.CallStream("ExecuteSource", func(w io.Writer) error {
 			return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
 		}, scanS); err != nil {
+			at.Set("err", err.Error())
 			return err
 		}
 		if !scanS.sawShipment {
+			at.Set("err", "no shipment")
 			return reliable.Permanent(fmt.Errorf("registry: source returned no shipment"))
 		}
 		m, err := dec.Result()
 		if err != nil {
 			// The response scan completed, so this is a protocol defect,
 			// not a torn stream; retrying would repeat it.
+			at.Set("err", err.Error())
 			return reliable.Permanent(err)
 		}
 		inbound, sourceMillis, answeredCodec = m, scanS.queryMillis, scanS.codec
 		return nil
 	})
+	srcSpan.End()
 	if err != nil {
 		report.Retries = ex.Retries()
 		return report, fmt.Errorf("registry: source execution: %w", err)
@@ -131,12 +166,22 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	open += `>`
 	ct := ex.Client(tgt.URL)
 	var respT *xmltree.Node
+	delSpan := trace.Child("deliver")
+	delSpan.Set("session", sessionID)
+	delSpan.Set("chunks", strconv.Itoa(len(chunks)))
 	next := int64(0)
 	err = ex.Do("ExecuteTarget", tgt.URL, func(try int) error {
+		at := delSpan.Child("attempt")
+		at.Set("try", strconv.Itoa(try))
+		defer at.End()
 		if try > 0 {
+			probe := at.Child("probe")
 			next = resumePoint(ct.Call("SessionStatus", sessionStatusReq(sessionID)))
+			probe.Set("next", strconv.FormatInt(next, 10))
+			probe.End()
 			if next > 0 {
 				report.Resumes++
+				opts.Metrics.Counter("exchange.resumes").Inc()
 			}
 		}
 		tb := &xmltree.TreeBuilder{}
@@ -171,14 +216,17 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 			_, err := io.WriteString(w, `</ExecuteTarget>`)
 			return err
 		}, tb); err != nil {
+			at.Set("err", err.Error())
 			return err
 		}
 		if tb.Root() == nil || tb.Root().Name != "ExecuteTargetResponse" {
+			at.Set("err", "no response")
 			return reliable.Permanent(fmt.Errorf("registry: target returned no response"))
 		}
 		respT = tb.Root()
 		return nil
 	})
+	delSpan.End()
 	report.Retries = ex.Retries()
 	if err != nil {
 		return report, fmt.Errorf("registry: target execution: %w", err)
@@ -187,7 +235,9 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	// stored replay response) has served its purpose; release it now
 	// rather than holding it for the store's full idle window. Best
 	// effort — the target's sweeper collects it if this call is lost.
+	commit := trace.Child("commit")
 	ct.Call("EndSession", endSessionReq(sessionID))
+	commit.End()
 	report.ShipTime = opts.Link.TransferTime(report.ShipBytes)
 	if v, ok := respT.Attr("execMillis"); ok {
 		report.TargetTime = parseMillis(v)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"xdx/internal/netsim"
+	"xdx/internal/obs"
 	"xdx/internal/reliable"
 	"xdx/internal/soap"
 	"xdx/internal/wire"
@@ -32,6 +33,8 @@ type Service struct {
 	Reliability *reliable.Config
 
 	srv *soap.Server
+	log obs.Logger
+	met *obs.Registry
 }
 
 // NewService wraps an agency.
@@ -42,6 +45,27 @@ func NewService(a *Agency, link netsim.Link) *Service {
 	s.srv.Handle("Plan", s.plan)
 	s.srv.Handle("Exchange", s.exchange)
 	return s
+}
+
+// SetObs attaches observability: the SOAP server counts requests, every
+// exchange the service drives carries the logger/metrics, and a shared
+// breaker set (Reliability.Breakers) is wired here exactly once — the
+// per-exchange wiring skips shared sets. Call before serving traffic.
+func (s *Service) SetObs(l obs.Logger, m *obs.Registry) {
+	s.log = l
+	s.met = m
+	s.srv.SetObs(l, m)
+	if s.Reliability == nil || s.Reliability.Breakers == nil || (l == nil && m == nil) {
+		return
+	}
+	bs := s.Reliability.Breakers
+	log := obs.OrNop(l)
+	bs.OnStateChange(func(url string, from, to reliable.BreakerState) {
+		m.Counter("exchange.breaker.transitions").Inc()
+		log.Log(obs.LevelInfo, "breaker state change",
+			"url", url, "from", from.String(), "to", to.String())
+	})
+	m.Func("exchange.breakers", func() any { return bs.States() })
 }
 
 // discover handles <Discover service=".." role=".." url=".."/>: the agency
@@ -171,6 +195,8 @@ func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 		Codec:       codec,
 		Streamed:    s.Streamed,
 		Reliability: s.Reliability,
+		Logger:      s.log,
+		Metrics:     s.met,
 	})
 	if err != nil {
 		return nil, err

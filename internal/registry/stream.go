@@ -137,7 +137,8 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Plan: plan, Codec: codec.String()}
+	trace := newTrace(service, "streamed")
+	report := &Report{Plan: plan, Codec: codec.String(), Trace: trace}
 
 	reqS := &xmltree.Node{Name: "ExecuteSource"}
 	reqS.SetAttr("stream", "1")
@@ -171,14 +172,17 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 
 	cs := opts.client(src.URL)
 	advertise(cs, codec)
+	srcSpan := trace.Child("source")
 	err = cs.CallStream("ExecuteSource", func(w io.Writer) error {
 		return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
 	}, scanS)
+	srcSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("registry: source execution: %w", err)
+		srcSpan.Set("err", err.Error())
+		return report, fmt.Errorf("registry: source execution: %w", err)
 	}
 	if !scanS.sawShipment {
-		return nil, fmt.Errorf("registry: source returned no shipment")
+		return report, fmt.Errorf("registry: source returned no shipment")
 	}
 	if scanS.codec != "" {
 		report.Codec = scanS.codec
@@ -186,7 +190,7 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	report.SourceTime = parseMillis(scanS.queryMillis)
 	inbound, err := dec.Result()
 	if err != nil {
-		return nil, fmt.Errorf("registry: source shipment: %w", err)
+		return report, fmt.Errorf("registry: source shipment: %w", err)
 	}
 	report.PayloadBytes = wire.ShipmentBytes(inbound)
 
@@ -197,6 +201,7 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 	open += `>`
 	tb := &xmltree.TreeBuilder{}
 	ct := opts.client(tgt.URL)
+	delSpan := trace.Child("deliver")
 	err = ct.CallStream("ExecuteTarget", func(w io.Writer) error {
 		if _, err := io.WriteString(w, open); err != nil {
 			return err
@@ -213,8 +218,10 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 		_, err := io.WriteString(w, `</ExecuteTarget>`)
 		return err
 	}, tb)
+	delSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("registry: target execution: %w", err)
+		delSpan.Set("err", err.Error())
+		return report, fmt.Errorf("registry: target execution: %w", err)
 	}
 	report.ShipTime = link.TransferTime(report.ShipBytes)
 	if respT := tb.Root(); respT != nil {

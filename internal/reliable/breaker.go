@@ -70,6 +70,7 @@ type Breaker struct {
 	openedAt time.Time
 	probing  bool
 	now      func() time.Time
+	onChange func(from, to BreakerState)
 }
 
 // NewBreaker returns a closed breaker.
@@ -77,15 +78,45 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
 }
 
-// State reports the current state (advancing open→half-open if the
-// cooldown elapsed).
+// OnStateChange registers fn to observe state transitions (closed→open,
+// open→half-open, half-open→closed, …). fn runs after the breaker's lock
+// is released, so it may call back into the breaker; it must be safe for
+// concurrent use. Only one hook is held — later calls replace it.
+func (b *Breaker) OnStateChange(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
+}
+
+// setState moves the state machine while the lock is held and returns the
+// notification to fire once the lock is released (nil when the state did
+// not actually change or no hook is registered).
+func (b *Breaker) setState(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if from == to || b.onChange == nil {
+		return nil
+	}
+	fn := b.onChange
+	return func() { fn(from, to) }
+}
+
+// State reports the current state, advancing open→half-open when the
+// cooldown has elapsed — the same transition Allow performs, so the two
+// never disagree. Reading the state does not claim the half-open probe;
+// the next Allow still admits exactly one.
 func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var fire func()
 	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
-		return BreakerHalfOpen
+		fire = b.setState(BreakerHalfOpen)
 	}
-	return b.state
+	st := b.state
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	return st
 }
 
 // Allow asks permission for one call. In the open state it returns ErrOpen
@@ -93,24 +124,29 @@ func (b *Breaker) State() BreakerState {
 // concurrent callers during the probe get ErrOpen.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var fire func()
+	var err error
 	switch b.state {
 	case BreakerClosed:
-		return nil
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
-			return ErrOpen
+			err = ErrOpen
+		} else {
+			fire = b.setState(BreakerHalfOpen)
+			b.probing = true
 		}
-		b.state = BreakerHalfOpen
-		b.probing = true
-		return nil
 	default: // half-open
 		if b.probing {
-			return ErrOpen
+			err = ErrOpen
+		} else {
+			b.probing = true
 		}
-		b.probing = true
-		return nil
 	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	return err
 }
 
 // Record reports the outcome of an allowed call. nil or a non-transient
@@ -119,20 +155,25 @@ func (b *Breaker) Allow() error {
 // immediately when it strikes the half-open probe.
 func (b *Breaker) Record(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var fire func()
 	transient := err != nil && Retryable(err)
-	if !transient {
-		b.state = BreakerClosed
+	switch {
+	case !transient:
+		fire = b.setState(BreakerClosed)
 		b.fails = 0
 		b.probing = false
-		return
+	default:
+		b.fails++
+		if b.state == BreakerHalfOpen || b.fails >= b.cfg.FailureThreshold {
+			fire = b.setState(BreakerOpen)
+			b.openedAt = b.now()
+			b.fails = 0
+			b.probing = false
+		}
 	}
-	b.fails++
-	if b.state == BreakerHalfOpen || b.fails >= b.cfg.FailureThreshold {
-		b.state = BreakerOpen
-		b.openedAt = b.now()
-		b.fails = 0
-		b.probing = false
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
 	}
 }
 
@@ -142,13 +183,32 @@ func (b *Breaker) Record(err error) {
 type BreakerSet struct {
 	cfg BreakerConfig
 
-	mu sync.Mutex
-	m  map[string]*Breaker
+	mu       sync.Mutex
+	m        map[string]*Breaker
+	onChange func(url string, from, to BreakerState)
 }
 
 // NewBreakerSet returns an empty set minting breakers with cfg.
 func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
 	return &BreakerSet{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// OnStateChange registers fn to observe every member breaker's transitions,
+// keyed by endpoint URL. It covers breakers already minted and those minted
+// later; fn must be safe for concurrent use.
+func (s *BreakerSet) OnStateChange(fn func(url string, from, to BreakerState)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = fn
+	for url, b := range s.m {
+		b.OnStateChange(s.hookFor(url))
+	}
+}
+
+// hookFor binds the set-level hook to one member's URL. Callers hold s.mu.
+func (s *BreakerSet) hookFor(url string) func(from, to BreakerState) {
+	fn := s.onChange
+	return func(from, to BreakerState) { fn(url, from, to) }
 }
 
 // For returns the endpoint's breaker, minting it on first sight.
@@ -158,7 +218,27 @@ func (s *BreakerSet) For(url string) *Breaker {
 	b := s.m[url]
 	if b == nil {
 		b = NewBreaker(s.cfg)
+		if s.onChange != nil {
+			b.OnStateChange(s.hookFor(url))
+		}
 		s.m[url] = b
 	}
 	return b
+}
+
+// States snapshots every member breaker's current state by URL — the
+// /metrics export. Reading advances cooled-down breakers to half-open,
+// exactly as Allow would.
+func (s *BreakerSet) States() map[string]string {
+	s.mu.Lock()
+	members := make(map[string]*Breaker, len(s.m))
+	for url, b := range s.m {
+		members[url] = b
+	}
+	s.mu.Unlock()
+	out := make(map[string]string, len(members))
+	for url, b := range members {
+		out[url] = b.State().String()
+	}
+	return out
 }

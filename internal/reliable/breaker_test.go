@@ -3,6 +3,8 @@ package reliable
 import (
 	"errors"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -125,5 +127,106 @@ func TestRetrierRespectsOpenBreaker(t *testing.T) {
 func TestBreakerStateString(t *testing.T) {
 	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
 		t.Error("state strings wrong")
+	}
+}
+
+func TestBreakerStateDoesNotClaimProbe(t *testing.T) {
+	// State() used to claim the half-open probe slot, so a metrics export
+	// polling state could starve the actual retry of its probe.
+	b, clock := tickBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF)
+	*clock = clock.Add(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		if b.State() != BreakerHalfOpen {
+			t.Fatalf("state = %v after cooldown", b.State())
+		}
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe slot consumed by State(): %v", err)
+	}
+}
+
+func TestBreakerOnStateChange(t *testing.T) {
+	b, clock := tickBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	type hop struct{ from, to BreakerState }
+	var hops []hop
+	b.OnStateChange(func(from, to BreakerState) { hops = append(hops, hop{from, to}) })
+	b.Allow()
+	b.Record(io.ErrUnexpectedEOF) // closed -> open
+	*clock = clock.Add(2 * time.Second)
+	b.Allow()     // open -> half-open
+	b.Record(nil) // half-open -> closed
+	b.Allow()
+	b.Record(nil) // no transition: stays closed, no callback
+	want := []hop{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(hops) != len(want) {
+		t.Fatalf("hops = %v", hops)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("hop %d = %v, want %v", i, hops[i], want[i])
+		}
+	}
+}
+
+func TestBreakerSetOnStateChangeCoversFutureMembers(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	pre := s.For("http://pre/soap")
+	var urls []string
+	s.OnStateChange(func(url string, from, to BreakerState) { urls = append(urls, url) })
+	pre.Allow()
+	pre.Record(io.ErrUnexpectedEOF)
+	post := s.For("http://post/soap")
+	post.Allow()
+	post.Record(io.ErrUnexpectedEOF)
+	if len(urls) != 2 || urls[0] != "http://pre/soap" || urls[1] != "http://post/soap" {
+		t.Fatalf("hook urls = %v", urls)
+	}
+	states := s.States()
+	if states["http://pre/soap"] != "open" || states["http://post/soap"] != "open" {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestBreakerConcurrentStateAndAllow(t *testing.T) {
+	// Run under -race this is the State/Allow/Record consistency
+	// regression: concurrent state reads (the /metrics exporter), hook
+	// registration, and traffic must not race or deadlock — the hook fires
+	// outside the lock and may itself read state.
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Microsecond})
+	var transitions atomic.Int64
+	b.OnStateChange(func(from, to BreakerState) {
+		transitions.Add(1)
+		_ = b.State() // re-entry from the hook must not deadlock
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					_ = b.State()
+					continue
+				}
+				if err := b.Allow(); err != nil {
+					continue
+				}
+				if i%3 == 0 {
+					b.Record(io.ErrUnexpectedEOF)
+				} else {
+					b.Record(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if transitions.Load() == 0 {
+		t.Error("no transitions observed under churn")
 	}
 }

@@ -77,6 +77,21 @@ func (e *Exchange) Do(op, url string, attempt func(try int) error) error {
 // Retries reports retries spent so far across the exchange.
 func (e *Exchange) Retries() int { return e.retrier.Retries() }
 
+// Retrier exposes the exchange's retry engine so callers can register
+// observability hooks (Retrier.OnRetry) before driving calls.
+func (e *Exchange) Retrier() *Retrier { return e.retrier }
+
+// Breakers exposes the exchange's breaker set (the configured shared set,
+// or the private one minted for this exchange) for hook registration and
+// state export.
+func (e *Exchange) Breakers() *BreakerSet { return e.breakers }
+
+// SharedBreakers reports whether the breaker set came from the config
+// (shared across exchanges) rather than being minted privately — shared
+// sets should be wired for observability once by their owner, not per
+// exchange.
+func (e *Exchange) SharedBreakers() bool { return e.cfg.Breakers != nil }
+
 // ChunkSize resolves the configured resume granularity.
 func (e *Exchange) ChunkSize() int {
 	if e.cfg.ChunkSize > 0 {

@@ -85,6 +85,12 @@ var ErrDeadline = errors.New("reliable: exchange deadline exceeded")
 type Retrier struct {
 	p Policy
 
+	// OnRetry, when set, observes every scheduled retry just before its
+	// backoff sleep: the operation name, the 0-based try that failed, the
+	// chosen delay, and the error that warranted the retry. Set it before
+	// the retrier runs; it must be safe for concurrent use.
+	OnRetry func(op string, try int, delay time.Duration, err error)
+
 	mu      sync.Mutex
 	rng     *rand.Rand
 	start   time.Time
@@ -163,7 +169,11 @@ func (r *Retrier) Do(op string, br *Breaker, attempt func(try int) error) error 
 		if !deadlineOK {
 			return fmt.Errorf("%w: %s: %w", ErrDeadline, op, err)
 		}
-		r.sleep(r.backoff(try))
+		delay := r.backoff(try)
+		if r.OnRetry != nil {
+			r.OnRetry(op, try, delay, err)
+		}
+		r.sleep(delay)
 	}
 }
 

@@ -122,6 +122,13 @@ type SessionStore struct {
 	// it. Default 10 minutes.
 	MaxAge time.Duration
 
+	// OnChange, when set, observes every change to the live-session
+	// population: the live count after the change and how many idle
+	// sessions the change swept (zero for mints and deletes). It runs
+	// outside the store's lock and must be safe for concurrent use; set it
+	// before the store sees traffic.
+	OnChange func(live, swept int)
+
 	mu  sync.Mutex
 	m   map[string]*Session
 	now func() time.Time
@@ -148,16 +155,26 @@ func (s *SessionStore) Get(id string) *Session {
 // first sight.
 func (s *SessionStore) GetOrCreate(id string) *Session {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.now()
 	if sess := s.m[id]; sess != nil {
 		sess.touched = now
+		s.mu.Unlock()
 		return sess
 	}
-	s.sweepLocked(now)
+	swept := s.sweepLocked(now)
 	sess := &Session{ID: id, Ledger: NewLedger(), Created: now, touched: now}
 	s.m[id] = sess
+	live := len(s.m)
+	s.mu.Unlock()
+	s.notify(live, swept)
 	return sess
+}
+
+// notify fires OnChange outside the lock.
+func (s *SessionStore) notify(live, swept int) {
+	if s.OnChange != nil {
+		s.OnChange(live, swept)
+	}
 }
 
 // Sweep collects sessions idle past MaxAge and reports how many went.
@@ -166,8 +183,13 @@ func (s *SessionStore) GetOrCreate(id string) *Session {
 // (StartSweeper) so completed state is not held indefinitely.
 func (s *SessionStore) Sweep() int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sweepLocked(s.now())
+	swept := s.sweepLocked(s.now())
+	live := len(s.m)
+	s.mu.Unlock()
+	if swept > 0 {
+		s.notify(live, swept)
+	}
+	return swept
 }
 
 func (s *SessionStore) sweepLocked(now time.Time) int {
@@ -207,8 +229,13 @@ func (s *SessionStore) StartSweeper(interval time.Duration) (stop func()) {
 // Delete drops a session.
 func (s *SessionStore) Delete(id string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, had := s.m[id]
 	delete(s.m, id)
+	live := len(s.m)
+	s.mu.Unlock()
+	if had {
+		s.notify(live, 0)
+	}
 }
 
 // Len reports the live session count.

@@ -1,0 +1,248 @@
+package soap
+
+// Regression tests for the status/header correctness fixes: non-2xx
+// responses with parseable non-fault bodies, mustUnderstand enforcement
+// (SOAP 1.1 §4.2.3) on both sides, header-entry exposure, and truncated
+// response accounting.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xdx/internal/obs"
+	"xdx/internal/xmltree"
+)
+
+// envelopeWith renders an envelope with the given header entries and body.
+func envelopeWith(t *testing.T, headers []*xmltree.Node, body *xmltree.Node) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := xmltree.Write(&buf, EnvelopeWithHeader(headers, body), xmltree.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCallNon2xxWithParseableNonFaultBody(t *testing.T) {
+	// A proxy can substitute a well-formed (even SOAP-shaped) body while
+	// the status still says the call failed. Before the fix the client
+	// returned the payload as a success; it must surface a fault carrying
+	// the status so retry policies see the failure.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "text/xml")
+		w.WriteHeader(http.StatusBadGateway)
+		io.WriteString(w, envPrefix+"<OpResponse>stale</OpResponse>"+envSuffix)
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL}
+
+	payload, err := c.Call("Op", &xmltree.Node{Name: "Op"})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("Call: want *Fault, got payload=%v err=%v", payload, err)
+	}
+	if f.Code != "soap:HTTP" || f.HTTPStatus != http.StatusBadGateway {
+		t.Errorf("Call fault = %+v", f)
+	}
+
+	tb := &xmltree.TreeBuilder{}
+	err = c.CallStream("Op", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Op/>")
+		return err
+	}, tb)
+	f = nil
+	if !errors.As(err, &f) {
+		t.Fatalf("CallStream: want *Fault, got %v", err)
+	}
+	if f.Code != "soap:HTTP" || f.HTTPStatus != http.StatusBadGateway {
+		t.Errorf("CallStream fault = %+v", f)
+	}
+}
+
+func TestServerFaultsOnUnrecognizedMustUnderstandHeader(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("Echo", func(req *xmltree.Node) (*xmltree.Node, error) {
+		return &xmltree.Node{Name: "EchoResponse"}, nil
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	hdr := &xmltree.Node{Name: "Transaction", Text: "tx-1"}
+	hdr.SetAttr("mustUnderstand", "1")
+	body := envelopeWith(t, []*xmltree.Node{hdr}, &xmltree.Node{Name: "Echo"})
+	resp, err := http.Post(hs.URL, "text/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	env, err := xmltree.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenEnvelope(env)
+	f, ok := err.(*Fault)
+	if !ok || f.Code != "soap:MustUnderstand" {
+		t.Fatalf("want soap:MustUnderstand fault, got %v", err)
+	}
+
+	// The same entry without the flag is informational and must not fault.
+	hdr2 := &xmltree.Node{Name: "Transaction", Text: "tx-2"}
+	body = envelopeWith(t, []*xmltree.Node{hdr2}, &xmltree.Node{Name: "Echo"})
+	resp2, err := http.Post(hs.URL, "text/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("optional header: status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestServerHonorsCodecsHeaderEntry(t *testing.T) {
+	// The codecs entry is part of the server's vocabulary: mandatory or
+	// not, it negotiates instead of faulting — an alternative carrier for
+	// the envelope's codecs attribute.
+	srv := NewServer()
+	var got []string
+	var entries []*xmltree.Node
+	srv.HandleStream("Op", func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+		got = env.Codecs
+		entries = env.Entries
+		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
+			_, err := io.WriteString(w, "<OpResponse/>")
+			return err
+		}, nil
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	hdr := &xmltree.Node{Name: "codecs", Text: "bin xml"}
+	hdr.SetAttr("mustUnderstand", "1")
+	body := envelopeWith(t, []*xmltree.Node{hdr}, &xmltree.Node{Name: "Op"})
+	resp, err := http.Post(hs.URL, "text/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (codecs entry is understood)", resp.StatusCode)
+	}
+	if len(got) != 2 || got[0] != "bin" || got[1] != "xml" {
+		t.Errorf("negotiated codecs = %v", got)
+	}
+	if len(entries) != 1 || entries[0].Name != "codecs" || entries[0].Text != "bin xml" {
+		t.Errorf("handler saw entries = %+v", entries)
+	}
+}
+
+func TestClientFaultsOnMustUnderstandResponseHeader(t *testing.T) {
+	// A response header entry the client cannot understand but must is a
+	// protocol breach; before the fix both bindings skipped headers
+	// silently.
+	respEnv := envelopeWith(t,
+		[]*xmltree.Node{func() *xmltree.Node {
+			h := &xmltree.Node{Name: "Expires", Text: "soon"}
+			h.SetAttr("soap:mustUnderstand", "1")
+			return h
+		}()},
+		&xmltree.Node{Name: "OpResponse"})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "text/xml")
+		io.WriteString(w, respEnv)
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL}
+
+	_, err := c.Call("Op", &xmltree.Node{Name: "Op"})
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != "soap:MustUnderstand" {
+		t.Fatalf("Call: want soap:MustUnderstand, got %v", err)
+	}
+
+	err = c.CallStream("Op", func(w io.Writer) error {
+		_, err := io.WriteString(w, "<Op/>")
+		return err
+	}, &xmltree.TreeBuilder{})
+	f = nil
+	if !errors.As(err, &f) || f.Code != "soap:MustUnderstand" {
+		t.Fatalf("CallStream: want soap:MustUnderstand, got %v", err)
+	}
+}
+
+// failAfterWriter is a ResponseWriter whose connection dies after n bytes.
+type failAfterWriter struct {
+	hdr  http.Header
+	n    int
+	code int
+}
+
+func (f *failAfterWriter) Header() http.Header {
+	if f.hdr == nil {
+		f.hdr = make(http.Header)
+	}
+	return f.hdr
+}
+
+func (f *failAfterWriter) WriteHeader(code int) { f.code = code }
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("connection torn")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, fmt.Errorf("connection torn")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestTruncatedResponsesCounted(t *testing.T) {
+	srv := NewServer()
+	srv.HandleStream("Big", func(env Header, attrs []xmltree.Attr) (xmltree.AttrHandler, RespondFunc, error) {
+		return &xmltree.TreeBuilder{}, func(w io.Writer) error {
+			_, err := io.WriteString(w, "<BigResponse>"+strings.Repeat("x", 256)+"</BigResponse>")
+			return err
+		}, nil
+	})
+	met := obs.NewRegistry()
+	srv.SetObs(nil, met)
+
+	req := func() *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/soap", strings.NewReader(envPrefix+"<Big/>"+envSuffix))
+		r.Header.Set("Content-Type", "text/xml")
+		return r
+	}
+
+	// Mid-payload failure: the envelope is already flowing, so the only
+	// signal left is the metric (and the peer's parse error).
+	srv.ServeHTTP(&failAfterWriter{n: 100}, req())
+	if got := met.Counter("soap.server.truncated").Value(); got != 1 {
+		t.Fatalf("truncated after mid-payload tear = %d, want 1", got)
+	}
+
+	// The closing </soap:Envelope> failing must be counted too — before
+	// the fix finish() dropped the write error on the floor.
+	srv.ServeHTTP(&failAfterWriter{n: len(envPrefix) + 300}, req())
+	if got := met.Counter("soap.server.truncated").Value(); got != 2 {
+		t.Fatalf("truncated after suffix tear = %d, want 2", got)
+	}
+
+	// A healthy response leaves the counter alone.
+	srv.ServeHTTP(httptest.NewRecorder(), req())
+	if got := met.Counter("soap.server.truncated").Value(); got != 2 {
+		t.Fatalf("healthy response bumped truncated to %d", got)
+	}
+}

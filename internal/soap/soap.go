@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"xdx/internal/obs"
 	"xdx/internal/xmltree"
 )
 
@@ -64,7 +65,8 @@ func EnvelopeWithHeader(headers []*xmltree.Node, body *xmltree.Node) *xmltree.No
 
 // Headers returns the header entries of a parsed envelope (possibly nil).
 // Entries marked mustUnderstand="1" that the caller does not recognize
-// should produce a soap:MustUnderstand fault, per SOAP 1.1 §4.2.3.
+// should produce a soap:MustUnderstand fault, per SOAP 1.1 §4.2.3 —
+// MustUnderstandFault implements the check.
 func Headers(env *xmltree.Node) []*xmltree.Node {
 	if env == nil {
 		return nil
@@ -76,6 +78,60 @@ func Headers(env *xmltree.Node) []*xmltree.Node {
 	}
 	return nil
 }
+
+// headerEntries unwraps a collected soap:Header tree into its entry list
+// (nil tree or empty header reads nil).
+func headerEntries(root *xmltree.Node) []*xmltree.Node {
+	if root == nil {
+		return nil
+	}
+	return root.Kids
+}
+
+// localName strips a namespace prefix from an element name.
+func localName(name string) string {
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// mustUnderstand reads a header entry's mustUnderstand flag (prefixed or
+// not; SOAP 1.1 uses "1"/"0").
+func mustUnderstand(e *xmltree.Node) bool {
+	for _, a := range e.Attrs {
+		if localName(a.Name) == "mustUnderstand" && a.Value == "1" {
+			return true
+		}
+	}
+	return false
+}
+
+// MustUnderstandFault enforces SOAP 1.1 §4.2.3 over parsed header
+// entries: any entry marked mustUnderstand="1" whose local name recognize
+// does not accept yields a soap:MustUnderstand fault; nil means every
+// mandatory entry was understood. recognize may be nil (nothing is
+// understood).
+func MustUnderstandFault(entries []*xmltree.Node, recognize func(local string) bool) *Fault {
+	for _, e := range entries {
+		if !mustUnderstand(e) {
+			continue
+		}
+		if recognize != nil && recognize(localName(e.Name)) {
+			continue
+		}
+		return &Fault{
+			Code:   "soap:MustUnderstand",
+			String: "soap: mandatory header entry not understood: " + e.Name,
+		}
+	}
+	return nil
+}
+
+// serverRecognizes is the header-entry vocabulary this server's dispatch
+// understands: the codecs negotiation entry (an alternative carrier for
+// the envelope's codecs attribute).
+func serverRecognizes(local string) bool { return local == "codecs" }
 
 // FaultEnvelope wraps a fault in an envelope.
 func FaultEnvelope(f *Fault) *xmltree.Node {
@@ -148,6 +204,47 @@ type Client struct {
 	// envelope. Empty means no negotiation (the peer answers in the
 	// universal tagged-XML format unless told otherwise in the payload).
 	Codecs []string
+	// Logger, when set, narrates calls at debug level and failures at
+	// warn. Nil is silent.
+	Logger obs.Logger
+	// Metrics, when set, receives per-call counters (calls, faults,
+	// request/response bytes) and a call-duration histogram under
+	// soap.client.*. Nil records nothing.
+	Metrics *obs.Registry
+}
+
+// observe records one finished call on the client's logger and metrics.
+func (c *Client) observe(action string, start time.Time, reqBytes, respBytes int64, err error) {
+	m := c.Metrics
+	m.Counter("soap.client.calls").Inc()
+	m.Counter("soap.client.req_bytes").Add(reqBytes)
+	m.Counter("soap.client.resp_bytes").Add(respBytes)
+	m.Histogram("soap.client.millis").ObserveSince(start)
+	if err != nil {
+		m.Counter("soap.client.errors").Inc()
+		obs.OrNop(c.Logger).Log(obs.LevelWarn, "soap call failed",
+			"action", action, "url", c.URL, "err", err)
+		return
+	}
+	if l := obs.OrNop(c.Logger); l.Enabled(obs.LevelDebug) {
+		l.Log(obs.LevelDebug, "soap call",
+			"action", action, "url", c.URL,
+			"reqBytes", reqBytes, "respBytes", respBytes,
+			"millis", fmt.Sprintf("%.3f", float64(time.Since(start))/float64(time.Millisecond)))
+	}
+}
+
+// countingReader counts bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+// Read implements io.Reader.
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Call posts the payload as a SOAP request with the given SOAPAction and
@@ -155,6 +252,7 @@ type Client struct {
 // with an explicit Content-Length. SOAP faults come back as *Fault errors
 // carrying the HTTP status.
 func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, error) {
+	start := time.Now()
 	env := Envelope(payload)
 	if len(c.Codecs) > 0 {
 		env.SetAttr("codecs", strings.Join(c.Codecs, " "))
@@ -169,7 +267,8 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 	if err != nil {
 		return nil, err
 	}
-	req.ContentLength = int64(buf.Len())
+	reqBytes := int64(buf.Len())
+	req.ContentLength = reqBytes
 	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
 	req.Header.Set("SOAPAction", `"`+action+`"`)
 	hc := c.HTTPClient
@@ -178,6 +277,7 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
+		c.observe(action, start, reqBytes, 0, err)
 		return nil, err
 	}
 	defer func() {
@@ -186,14 +286,35 @@ func (c *Client) Call(action string, payload *xmltree.Node) (*xmltree.Node, erro
 		drainBody(resp.Body)
 		resp.Body.Close()
 	}()
-	env, err = xmltree.Parse(resp.Body)
+	cr := &countingReader{r: resp.Body}
+	env, err = xmltree.Parse(cr)
 	if err != nil {
-		return nil, httpStatusError(resp.StatusCode, err)
+		err = httpStatusError(resp.StatusCode, err)
+		c.observe(action, start, reqBytes, cr.n, err)
+		return nil, err
 	}
 	payload, err = OpenEnvelope(env)
 	if f, ok := err.(*Fault); ok {
 		f.HTTPStatus = resp.StatusCode
 	}
+	if err == nil {
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			// A non-2xx status is a failed call even when the body parses as
+			// a non-fault envelope (a proxy substituting an error page, a
+			// half-written response behind a broken gateway). Surface it as
+			// a fault carrying the status so retry policies can classify it.
+			payload, err = nil, &Fault{
+				Code:       "soap:HTTP",
+				String:     fmt.Sprintf("HTTP %s with non-fault body", http.StatusText(resp.StatusCode)),
+				HTTPStatus: resp.StatusCode,
+			}
+		} else if f := MustUnderstandFault(Headers(env), nil); f != nil {
+			// This client recognizes no header vocabulary, so any mandatory
+			// response header entry is a protocol breach (SOAP 1.1 §4.2.3).
+			payload, err = nil, f
+		}
+	}
+	c.observe(action, start, reqBytes, cr.n, err)
 	return payload, err
 }
 
@@ -236,6 +357,8 @@ type HandlerFunc func(req *xmltree.Node) (*xmltree.Node, error)
 type Server struct {
 	handlers map[string]HandlerFunc
 	streams  map[string]StreamHandlerFunc
+	logger   obs.Logger
+	metrics  *obs.Registry
 }
 
 // NewServer returns an empty server.
@@ -248,6 +371,14 @@ func NewServer() *Server {
 
 // Handle registers a handler for requests whose body root is elem.
 func (s *Server) Handle(elem string, h HandlerFunc) { s.handlers[elem] = h }
+
+// SetObs attaches a logger and metric registry to the server; requests are
+// counted and timed under soap.server.*. Either may be nil ("off"). Call
+// before serving — the fields are read without locks.
+func (s *Server) SetObs(l obs.Logger, m *obs.Registry) {
+	s.logger = l
+	s.metrics = m
+}
 
 func (s *Server) fault(w http.ResponseWriter, status int, f *Fault) {
 	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)

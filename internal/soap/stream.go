@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"xdx/internal/bufpool"
+	"xdx/internal/obs"
 	"xdx/internal/xmltree"
 )
 
@@ -52,11 +53,18 @@ func envOpen(attrs []xmltree.Attr) string {
 }
 
 // Header is the envelope-level request context a stream handler may
-// consult — today the codec half of content negotiation.
+// consult — the codec half of content negotiation plus any SOAP Header
+// entries the request carried.
 type Header struct {
 	// Codecs is the client's advertised shipment codecs, in preference
-	// order; empty when the request did not negotiate.
+	// order; empty when the request did not negotiate. It may arrive as an
+	// envelope attribute or as a codecs header entry.
 	Codecs []string
+	// Entries holds the request's parsed soap:Header entries in document
+	// order (nil when the request carried none). Entries marked
+	// mustUnderstand="1" that dispatch does not recognize have already
+	// faulted by the time a handler runs.
+	Entries []*xmltree.Node
 }
 
 // EnvelopeAttrWriter is implemented by the response writer handed to
@@ -97,6 +105,7 @@ func (c *Client) callContext() (context.Context, context.CancelFunc) {
 // response. SOAP faults come back as *Fault errors carrying the HTTP
 // status.
 func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xmltree.AttrHandler) error {
+	start := time.Now()
 	ctx, cancel := c.callContext()
 	defer cancel()
 	pr, pw := io.Pipe()
@@ -104,12 +113,13 @@ func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xm
 	if len(c.Codecs) > 0 {
 		envAttrs = []xmltree.Attr{{Name: "codecs", Value: strings.Join(c.Codecs, " ")}}
 	}
+	reqCount := &countingWriter{w: pw}
 	errc := make(chan error, 1)
 	go func() {
 		// The pooled buffer coalesces the body producer's small writes into
 		// pipe-sized chunks; without it every framing fragment crosses the
 		// pipe (and the chunked transfer encoding) on its own.
-		bw := bufpool.Writer(pw)
+		bw := bufpool.Writer(reqCount)
 		_, err := bw.WriteString(envOpen(envAttrs))
 		if err == nil {
 			err = writeBody(bw)
@@ -140,28 +150,62 @@ func (c *Client) CallStream(action string, writeBody func(io.Writer) error, h xm
 	if err != nil {
 		pr.CloseWithError(err)
 		if werr := <-errc; werr != nil && !errors.Is(werr, io.ErrClosedPipe) {
-			return fmt.Errorf("soap: write request: %w", werr)
+			err = fmt.Errorf("soap: write request: %w", werr)
 		}
+		c.observe(action, start, reqCount.n, 0, err)
 		return err
 	}
 	defer func() {
 		drainBody(resp.Body)
 		resp.Body.Close()
 	}()
-	fault, scanErr := ScanEnvelope(resp.Body, h)
+	respCount := &countingReader{r: resp.Body}
+	fault, scanErr := ScanEnvelope(respCount, h)
 	pr.CloseWithError(io.ErrClosedPipe)
 	werr := <-errc
-	if fault != nil {
+	var callErr error
+	switch {
+	case fault != nil:
 		fault.HTTPStatus = resp.StatusCode
-		return fault
+		callErr = fault
+	case scanErr != nil:
+		var pe *PayloadError
+		var f *Fault
+		if !errors.As(scanErr, &pe) && errors.As(scanErr, &f) {
+			// The scanner itself faulted (an un-understood mandatory header
+			// entry); carry the status like a wire fault.
+			f.HTTPStatus = resp.StatusCode
+			callErr = f
+		} else {
+			callErr = httpStatusError(resp.StatusCode, scanErr)
+		}
+	case resp.StatusCode < 200 || resp.StatusCode >= 300:
+		// The body scanned as a non-fault envelope, but the status says the
+		// call failed (proxy substitution, broken gateway). Surface it as a
+		// fault carrying the status so retry policies can classify it.
+		callErr = &Fault{
+			Code:       "soap:HTTP",
+			String:     fmt.Sprintf("HTTP %s with non-fault body", http.StatusText(resp.StatusCode)),
+			HTTPStatus: resp.StatusCode,
+		}
+	case werr != nil && !errors.Is(werr, io.ErrClosedPipe):
+		callErr = fmt.Errorf("soap: write request: %w", werr)
 	}
-	if scanErr != nil {
-		return httpStatusError(resp.StatusCode, scanErr)
-	}
-	if werr != nil && !errors.Is(werr, io.ErrClosedPipe) {
-		return fmt.Errorf("soap: write request: %w", werr)
-	}
-	return nil
+	c.observe(action, start, reqCount.n, respCount.n, callErr)
+	return callErr
+}
+
+// countingWriter counts bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write implements io.Writer.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // PayloadError marks an error raised by the caller's payload handler
@@ -215,6 +259,9 @@ type envelopeScanner struct {
 	payloadSeen bool
 	sawEnvelope bool
 
+	inHeader int
+	hdr      *xmltree.TreeBuilder
+
 	fault      *Fault
 	inFault    int
 	faultField string
@@ -225,6 +272,10 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 	if v.skip > 0 {
 		v.skip++
 		return nil
+	}
+	if v.inHeader > 0 {
+		v.inHeader++
+		return v.hdr.StartElement(name, attrs)
 	}
 	if v.inFault > 0 {
 		v.inFault++
@@ -249,7 +300,15 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 		}
 	case 2:
 		if name != "Body" {
-			// Header entries (and foreign siblings) are not the payload.
+			if name == "Header" {
+				// Collect header entries so mandatory ones can be enforced
+				// (SOAP 1.1 §4.2.3) instead of silently skipped.
+				v.depth--
+				v.inHeader = 1
+				v.hdr = &xmltree.TreeBuilder{}
+				return v.hdr.StartElement(name, attrs)
+			}
+			// Foreign envelope siblings are not the payload.
 			v.depth--
 			v.skip = 1
 		}
@@ -281,6 +340,8 @@ func (v *envelopeScanner) StartElement(name string, attrs []xmltree.Attr) error 
 func (v *envelopeScanner) Text(data string) error {
 	switch {
 	case v.skip > 0:
+	case v.inHeader > 0:
+		return v.hdr.Text(data)
 	case v.inFault > 1:
 		switch v.faultField {
 		case "faultcode":
@@ -301,6 +362,20 @@ func (v *envelopeScanner) EndElement(name string) error {
 	switch {
 	case v.skip > 0:
 		v.skip--
+	case v.inHeader > 0:
+		v.inHeader--
+		if err := v.hdr.EndElement(name); err != nil {
+			return err
+		}
+		if v.inHeader == 0 {
+			entries := headerEntries(v.hdr.Root())
+			v.hdr = nil
+			// This caller recognizes no response-header vocabulary, so any
+			// mandatory entry aborts the scan as a protocol breach.
+			if f := MustUnderstandFault(entries, nil); f != nil {
+				return f
+			}
+		}
 	case v.inFault > 0:
 		v.inFault--
 		if v.inFault == 0 {
@@ -367,6 +442,9 @@ type serverWalker struct {
 	payloadName string
 	notFound    bool
 
+	inHeader int
+	hdr      *xmltree.TreeBuilder
+
 	inPayload int
 	delegate  xmltree.AttrHandler
 	respond   RespondFunc
@@ -374,11 +452,34 @@ type serverWalker struct {
 	tree      *xmltree.TreeBuilder
 }
 
+// closeHeader runs once the request's soap:Header closes: enforce
+// mustUnderstand (SOAP 1.1 §4.2.3), expose the entries to handlers, and
+// honor a codecs entry as the negotiation carrier when the envelope
+// attribute did not already negotiate.
+func (v *serverWalker) closeHeader() error {
+	entries := headerEntries(v.hdr.Root())
+	v.hdr = nil
+	v.env.Entries = entries
+	if f := MustUnderstandFault(entries, serverRecognizes); f != nil {
+		return &reqFault{status: http.StatusInternalServerError, f: f}
+	}
+	for _, e := range entries {
+		if localName(e.Name) == "codecs" && len(v.env.Codecs) == 0 {
+			v.env.Codecs = strings.Fields(e.Text)
+		}
+	}
+	return nil
+}
+
 // StartElement implements xmltree.AttrHandler.
 func (v *serverWalker) StartElement(name string, attrs []xmltree.Attr) error {
 	if v.skip > 0 {
 		v.skip++
 		return nil
+	}
+	if v.inHeader > 0 {
+		v.inHeader++
+		return v.hdr.StartElement(name, attrs)
 	}
 	if v.inPayload > 0 {
 		v.inPayload++
@@ -402,6 +503,13 @@ func (v *serverWalker) StartElement(name string, attrs []xmltree.Attr) error {
 	case 2:
 		if name == "Body" {
 			v.sawBody = true
+		} else if name == "Header" {
+			// Collect entries instead of silently skipping them, so
+			// mandatory ones are enforced and handlers can read the rest.
+			v.depth--
+			v.inHeader = 1
+			v.hdr = &xmltree.TreeBuilder{}
+			return v.hdr.StartElement(name, attrs)
 		} else {
 			v.depth--
 			v.skip = 1
@@ -442,7 +550,13 @@ func (v *serverWalker) StartElement(name string, attrs []xmltree.Attr) error {
 
 // Text implements xmltree.AttrHandler.
 func (v *serverWalker) Text(data string) error {
-	if v.skip > 0 || v.inPayload == 0 {
+	if v.skip > 0 {
+		return nil
+	}
+	if v.inHeader > 0 {
+		return v.hdr.Text(data)
+	}
+	if v.inPayload == 0 {
 		return nil
 	}
 	if err := v.delegate.Text(data); err != nil {
@@ -456,6 +570,14 @@ func (v *serverWalker) EndElement(name string) error {
 	switch {
 	case v.skip > 0:
 		v.skip--
+	case v.inHeader > 0:
+		v.inHeader--
+		if err := v.hdr.EndElement(name); err != nil {
+			return err
+		}
+		if v.inHeader == 0 {
+			return v.closeHeader()
+		}
 	case v.inPayload > 0:
 		v.inPayload--
 		if err := v.delegate.EndElement(name); err != nil {
@@ -495,27 +617,69 @@ func (e *envelopeWriter) SetEnvelopeAttr(name, value string) error {
 	return nil
 }
 
-func (e *envelopeWriter) open() {
+func (e *envelopeWriter) open() error {
 	e.started = true
 	e.w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
-	io.WriteString(e.w, envOpen(e.attrs))
+	_, err := io.WriteString(e.w, envOpen(e.attrs))
+	return err
 }
 
 // Write implements io.Writer.
 func (e *envelopeWriter) Write(p []byte) (int, error) {
 	if !e.started {
-		e.open()
+		if err := e.open(); err != nil {
+			return 0, err
+		}
 	}
 	return e.w.Write(p)
 }
 
 // finish closes the envelope (emitting an empty one if nothing was
-// written).
-func (e *envelopeWriter) finish() {
+// written). A non-nil error means the peer saw a truncated response —
+// the write failed and the framing never completed.
+func (e *envelopeWriter) finish() error {
 	if !e.started {
-		e.open()
+		if err := e.open(); err != nil {
+			return err
+		}
 	}
-	io.WriteString(e.w, envSuffix)
+	_, err := io.WriteString(e.w, envSuffix)
+	return err
+}
+
+// countingResponseWriter wraps an http.ResponseWriter to record the status
+// line and the bytes that actually reached the connection.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	status int
+	n      int64
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (c *countingResponseWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements io.Writer.
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// truncated records a response that was cut off after its envelope started
+// flowing — the only remaining failure signal once headers are gone, so it
+// must at least reach the metrics.
+func (s *Server) truncated(payload string, err error) {
+	s.metrics.Counter("soap.server.truncated").Inc()
+	obs.OrNop(s.logger).Log(obs.LevelWarn, "soap response truncated",
+		"payload", payload, "err", err)
 }
 
 // ServeHTTP implements http.Handler. Requests are consumed in one SAX
@@ -529,7 +693,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	walk := &serverWalker{s: s}
-	if err := xmltree.ScanAttrs(r.Body, walk); err != nil {
+	body := io.Reader(r.Body)
+	if s.metrics != nil || s.logger != nil {
+		// Wrapping only when observability is on keeps the default path
+		// allocation-identical to the unobserved server.
+		cr := &countingReader{r: r.Body}
+		cw := &countingResponseWriter{ResponseWriter: w}
+		body, w = cr, cw
+		start := time.Now()
+		defer func() {
+			status := cw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			m := s.metrics
+			m.Counter("soap.server.requests").Inc()
+			m.Counter("soap.server.req_bytes").Add(cr.n)
+			m.Counter("soap.server.resp_bytes").Add(cw.n)
+			if status >= 400 {
+				m.Counter("soap.server.faults").Inc()
+			}
+			m.Histogram("soap.server.millis").ObserveSince(start)
+			if l := obs.OrNop(s.logger); l.Enabled(obs.LevelDebug) {
+				l.Log(obs.LevelDebug, "soap request",
+					"payload", walk.payloadName, "status", status,
+					"reqBytes", cr.n, "respBytes", cw.n)
+			}
+		}()
+	}
+	if err := xmltree.ScanAttrs(body, walk); err != nil {
 		var rf *reqFault
 		var he *handlerError
 		switch {
@@ -566,9 +758,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			// The envelope is already flowing; truncating it is the only way
 			// left to signal failure — the client's parser will report it.
+			s.truncated(walk.payloadName, err)
 			return
 		}
-		ew.finish()
+		if err := ew.finish(); err != nil {
+			s.truncated(walk.payloadName, err)
+		}
 	default:
 		resp, err := walk.legacy(walk.tree.Root())
 		if err != nil {

@@ -24,3 +24,8 @@ make bench-smoke
 # matrix, under the race detector. Deterministic, so a failure here is a
 # reliability regression, not flake.
 make soak
+
+# Ops-endpoint smoke: a live xdxd must answer /healthz and serve a JSON
+# /metrics snapshot on -metrics-addr. Guards the daemon wiring the package
+# tests cannot see (flag parsing, the separate ops listener).
+./scripts/obs_smoke.sh
