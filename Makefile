@@ -40,7 +40,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=100x ./...
 
 # Snapshot the wire-codec benchmark set (shipment-format ablations,
-# Figure 9 end to end, streaming-codec allocations) into BENCH_4.json.
+# Figure 9 end to end, streaming-codec allocations, parallel-codec worker
+# sweep) into BENCH_$(BENCH_N).json; `BENCH_N=6 make bench-json` starts
+# the next snapshot.
 bench-json:
 	./scripts/bench_snapshot.sh
 

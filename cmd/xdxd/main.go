@@ -38,7 +38,8 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures before an endpoint's circuit opens (0 = default 5)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit fails fast (0 = default 1s)")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for backoff jitter and session IDs (reproducible runs)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = off)")
+	codecWorkers := flag.Int("codec-workers", 0, "chunk codec pool size per shipment (0 = one per CPU, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log exchange activity (retries, breaker transitions, outcomes) to stderr")
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 	}
 	svc := registry.NewService(agency, link)
 	svc.Streamed = *streamed
+	svc.ParallelChunks = *codecWorkers
 	if *codec != "" {
 		if _, err := wire.ParseCodec(*codec); err != nil {
 			log.Fatal("xdxd: ", err)

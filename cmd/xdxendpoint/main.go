@@ -42,7 +42,8 @@ func main() {
 	faultStall := flag.Float64("fault-stall", 0, "probability a response stalls once before continuing")
 	fault5xx := flag.Float64("fault-5xx", 0, "probability a request is answered with a plain 503")
 	faultMaxTruncate := flag.Int("fault-max-truncate", 0, "max bytes before a truncation cut (0 = default 4096)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = off)")
+	codecWorkers := flag.Int("codec-workers", 0, "chunk codec pool size per shipment (0 = one per CPU, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log request and execution activity to stderr")
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		Fragmentations:  []*core.Fragmentation{layout},
 	}
 	ep := endpoint.New(*name, &endpoint.RelBackend{Store: store, Speed: *speed, CanCombine: !*dumb}, defs)
+	ep.SetCodecWorkers(*codecWorkers)
 	if *codecs != "" {
 		names := strings.Split(*codecs, ",")
 		for i := range names {

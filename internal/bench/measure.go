@@ -29,11 +29,21 @@ type Options struct {
 	// magnitude faster than their MySQL setup, so a fixed 160 KB/s link
 	// would otherwise drown every processing effect.
 	Link netsim.Link
+	// Repeat measures every timed phase this many times and keeps the
+	// minimum (0 = once). The phases are sub-millisecond on small
+	// documents, where a single scheduler hiccup can invert the MF/LF
+	// orderings the paper's tables rest on; the minimum is the standard
+	// noise-robust estimator for shape assertions. Defaults to once so
+	// end-to-end benchmarks keep their cost.
+	Repeat int
 }
 
 func (o Options) withDefaults() Options {
 	if len(o.Sizes) == 0 {
 		o.Sizes = []int64{2_500_000, 12_500_000, 25_000_000}
+	}
+	if o.Repeat < 1 {
+		o.Repeat = 1
 	}
 	return o
 }
@@ -142,16 +152,23 @@ func Measure(opts Options) (*Results, error) {
 				return nil, err
 			}
 			a := allAtSource(g)
-			start := time.Now()
-			outbound, _, err := core.ExecuteSlice(g, sch, a, core.LocSource, core.SliceIO{
-				Scan: func(f *core.Fragment) (*core.Instance, error) {
-					return scanByElems(stores[srcName], f)
-				},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s: %w", scen, err)
+			var outbound map[string]*core.Instance
+			var step1 time.Duration
+			for r := 0; r < opts.Repeat; r++ {
+				start := time.Now()
+				outbound, _, err = core.ExecuteSlice(g, sch, a, core.LocSource, core.SliceIO{
+					Scan: func(f *core.Fragment) (*core.Instance, error) {
+						return scanByElems(stores[srcName], f)
+					},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s: %w", scen, err)
+				}
+				if d := time.Since(start); r == 0 || d < step1 {
+					step1 = d
+				}
 			}
-			res.Step1[key{scen, size}] = time.Since(start)
+			res.Step1[key{scen, size}] = step1
 			// Shipped bytes depend only on the target layout; record once
 			// per target. Fragments travel as sorted feeds ([5, 6]), which
 			// is what Table 3 measures.
@@ -164,45 +181,71 @@ func Measure(opts Options) (*Results, error) {
 		// (Table 4).
 		var docBuf bytes.Buffer
 		for _, srcName := range []string{"MF", "LF"} {
-			docBuf.Reset()
-			pres, err := publish.Publish(stores[srcName], &docBuf)
-			if err != nil {
-				return nil, err
-			}
-			res.PublishTime[key{srcName, size}] = pres.QueryTime + pres.TagTime
-			res.DocBytes[key{"doc", size}] = pres.Bytes
-		}
-		// Parse-only time, reported separately in §5.3.
-		pStart := time.Now()
-		if err := xmltree.Scan(bytes.NewReader(docBuf.Bytes()), xmltree.FuncHandler{}); err != nil {
-			return nil, err
-		}
-		res.ParseTime[key{"doc", size}] = time.Since(pStart)
-		for _, tgtName := range []string{"MF", "LF"} {
-			// Full shred (parse + stack + cut).
-			sStart := time.Now()
-			insts, err := shred.Shred(bytes.NewReader(docBuf.Bytes()), layouts[tgtName])
-			if err != nil {
-				return nil, err
-			}
-			res.ShredTime[key{tgtName, size}] = time.Since(sStart)
-			// Load + index an empty target store (Table 4).
-			tgtStore, err := relstore.NewStore(layouts[tgtName])
-			if err != nil {
-				return nil, err
-			}
-			lStart := time.Now()
-			for _, f := range layouts[tgtName].Fragments {
-				if err := tgtStore.Load(insts[f.Name]); err != nil {
+			var pubTime time.Duration
+			for r := 0; r < opts.Repeat; r++ {
+				docBuf.Reset()
+				pres, err := publish.Publish(stores[srcName], &docBuf)
+				if err != nil {
 					return nil, err
 				}
+				if d := pres.QueryTime + pres.TagTime; r == 0 || d < pubTime {
+					pubTime = d
+				}
+				res.DocBytes[key{"doc", size}] = pres.Bytes
 			}
-			res.LoadTime[key{tgtName, size}] = time.Since(lStart)
-			iStart := time.Now()
-			if err := tgtStore.BuildIndexes(); err != nil {
+			res.PublishTime[key{srcName, size}] = pubTime
+		}
+		// Parse-only time, reported separately in §5.3.
+		var parseTime time.Duration
+		for r := 0; r < opts.Repeat; r++ {
+			pStart := time.Now()
+			if err := xmltree.Scan(bytes.NewReader(docBuf.Bytes()), xmltree.FuncHandler{}); err != nil {
 				return nil, err
 			}
-			res.IndexTime[key{tgtName, size}] = time.Since(iStart)
+			if d := time.Since(pStart); r == 0 || d < parseTime {
+				parseTime = d
+			}
+		}
+		res.ParseTime[key{"doc", size}] = parseTime
+		for _, tgtName := range []string{"MF", "LF"} {
+			var shredTime, loadTime, indexTime time.Duration
+			for r := 0; r < opts.Repeat; r++ {
+				// Full shred (parse + stack + cut).
+				sStart := time.Now()
+				insts, err := shred.Shred(bytes.NewReader(docBuf.Bytes()), layouts[tgtName])
+				if err != nil {
+					return nil, err
+				}
+				if d := time.Since(sStart); r == 0 || d < shredTime {
+					shredTime = d
+				}
+				// Load + index an empty target store (Table 4). Each
+				// repetition starts from its own empty store so load and
+				// index always do full work.
+				tgtStore, err := relstore.NewStore(layouts[tgtName])
+				if err != nil {
+					return nil, err
+				}
+				lStart := time.Now()
+				for _, f := range layouts[tgtName].Fragments {
+					if err := tgtStore.Load(insts[f.Name]); err != nil {
+						return nil, err
+					}
+				}
+				if d := time.Since(lStart); r == 0 || d < loadTime {
+					loadTime = d
+				}
+				iStart := time.Now()
+				if err := tgtStore.BuildIndexes(); err != nil {
+					return nil, err
+				}
+				if d := time.Since(iStart); r == 0 || d < indexTime {
+					indexTime = d
+				}
+			}
+			res.ShredTime[key{tgtName, size}] = shredTime
+			res.LoadTime[key{tgtName, size}] = loadTime
+			res.IndexTime[key{tgtName, size}] = indexTime
 		}
 	}
 	return res, nil

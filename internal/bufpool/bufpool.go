@@ -93,6 +93,10 @@ var flateReaders = sync.Pool{
 	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
 }
 
+// emptySource is the parking source for pooled flate readers; it is never
+// read from (Reset replaces it before any Read), only referenced.
+var emptySource = bytes.NewReader(nil)
+
 // FlateReader returns a pooled DEFLATE reader reset onto r.
 func FlateReader(r io.Reader) io.ReadCloser {
 	fr := flateReaders.Get().(io.ReadCloser)
@@ -100,7 +104,10 @@ func FlateReader(r io.Reader) io.ReadCloser {
 	return fr
 }
 
-// PutFlateReader returns a DEFLATE reader to the pool.
+// PutFlateReader returns a DEFLATE reader to the pool, detached from its
+// source first — like PutWriter, the pool must never retain a reference
+// into a finished request's payload buffer.
 func PutFlateReader(fr io.ReadCloser) {
+	fr.(flate.Resetter).Reset(emptySource, nil)
 	flateReaders.Put(fr)
 }

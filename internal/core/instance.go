@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 
 	"xdx/internal/schema"
@@ -301,11 +300,63 @@ func (j *joiner) finish() {
 }
 
 // sortKids stably reorders n's children into schema order.
-func sortKids(sch *schema.Schema, n *xmltree.Node) {
+func sortKids(sch *schema.Schema, n *xmltree.Node) { SortKids(sch, n) }
+
+// SortKids stably reorders n's children into schema order (Definition 3.7)
+// using the cached child-order map. Exported for stores that reassemble
+// records outside the executor. It avoids sort.SliceStable: the reflective
+// swapper and the closure were two heap allocations per touched parent,
+// which dominated Combine-heavy exchanges.
+func SortKids(sch *schema.Schema, n *xmltree.Node) {
+	kids := n.Kids
+	if len(kids) < 2 {
+		return
+	}
 	order := sch.ChildOrderMap(n.Name)
-	sort.SliceStable(n.Kids, func(i, j int) bool {
-		return order[n.Kids[i].Name] < order[n.Kids[j].Name]
-	})
+	// Appends arrive grouped by producer, so runs are usually already in
+	// schema order; detect that before touching anything.
+	sorted := true
+	for i := 1; i < len(kids); i++ {
+		if order[kids[i].Name] < order[kids[i-1].Name] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if len(kids) <= 32 {
+		// Stable insertion sort; equal keys never swap.
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && order[kids[j].Name] < order[kids[j-1].Name]; j-- {
+				kids[j], kids[j-1] = kids[j-1], kids[j]
+			}
+		}
+		return
+	}
+	// Stable counting sort: keys are positions among the parent's possible
+	// children, so the key space is tiny and one linear pass places every
+	// kid in order.
+	maxKey := 0
+	for _, k := range order {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	counts := make([]int, maxKey+2)
+	for _, k := range kids {
+		counts[order[k.Name]+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	out := make([]*xmltree.Node, len(kids))
+	for _, k := range kids {
+		key := order[k.Name]
+		out[counts[key]] = k
+		counts[key]++
+	}
+	copy(kids, out)
 }
 
 // mergeFragments returns the fragment covering the union of a and b, rooted
@@ -352,6 +403,11 @@ type splitter struct {
 	parts  []*Fragment
 	partOf map[string]*Fragment
 	rootOf map[string]*Fragment
+	// arena batches the projected copies: a split touches every node of
+	// every record, so per-node heap allocation dominated the stage. The
+	// splitter is single-goroutine (one per pipeline op), which is what an
+	// arena requires.
+	arena xmltree.Arena
 }
 
 // newSplitter verifies that parts partition the input fragment's elements.
@@ -395,7 +451,8 @@ func newSplitter(inFrag *Fragment, parts []*Fragment) (*splitter, error) {
 func (sp *splitter) extract(rec *xmltree.Node, out map[*Fragment][]*xmltree.Node) error {
 	var walk func(n *xmltree.Node) *xmltree.Node
 	walk = func(n *xmltree.Node) *xmltree.Node {
-		cp := &xmltree.Node{Name: n.Name, ID: n.ID, Parent: n.Parent, Text: n.Text}
+		cp := sp.arena.New()
+		cp.Name, cp.ID, cp.Parent, cp.Text = n.Name, n.ID, n.Parent, n.Text
 		myPart := sp.partOf[n.Name]
 		for _, k := range n.Kids {
 			kc := walk(k)

@@ -105,6 +105,8 @@ func (e *Endpoint) respondSourceStream(env soap.Header, req *xmltree.Node, w io.
 		return err
 	}
 	sw := wire.NewShipmentWriterCodec(w, sch, codec)
+	sw.SetWorkers(e.codecWorkers)
+	sw.SetObs(e.met)
 	if v, ok := req.Attr("pipelined"); ok && attrTrue(v) {
 		// Producers emit straight onto the wire as they finish batches.
 		_, _, err = core.ExecuteSlicePipelined(g, sch, a, core.LocSource, core.SliceIO{
@@ -212,6 +214,20 @@ func (t *targetScan) Text(data string) error {
 	return t.sub.Text(data)
 }
 
+// TextBytes implements xmltree.TextBytesHandler: shipment character data
+// (dominant in an ExecuteTarget request — the base64 bodies of binary
+// chunks flow through here) reaches the decoder without a string per
+// event; the program tree builder takes the plain path.
+func (t *targetScan) TextBytes(data []byte) error {
+	if t.skip > 0 || t.sub == nil {
+		return nil
+	}
+	if tb, ok := t.sub.(xmltree.TextBytesHandler); ok {
+		return tb.TextBytes(data)
+	}
+	return t.sub.Text(string(data))
+}
+
 // EndElement implements xmltree.AttrHandler.
 func (t *targetScan) EndElement(name string) error {
 	switch {
@@ -262,6 +278,8 @@ func (t *targetScan) programDone() error {
 	} else {
 		t.dec = wire.NewShipmentDecoder(t.e.backend.Layout().Schema, lookup)
 	}
+	t.dec.Workers = t.e.codecWorkers
+	t.dec.Met = t.e.met
 	return nil
 }
 

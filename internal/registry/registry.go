@@ -473,6 +473,11 @@ type ExecOptions struct {
 	// Metrics, when set, receives exchange.* counters and latency
 	// histograms from the drive. Nil records nothing.
 	Metrics *obs.Registry
+	// ParallelChunks dials the agency-side chunk codec pools (encode
+	// renders and raw-chunk parses): 0 — the default — is one worker per
+	// CPU, 1 or less runs the codecs in-line. The wire bytes and the
+	// decoded instances are identical for every setting.
+	ParallelChunks int
 }
 
 // client builds a SOAP client for url honoring the configured transport.

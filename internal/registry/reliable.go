@@ -120,6 +120,8 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 		at.Set("try", strconv.Itoa(try))
 		defer at.End()
 		dec := wire.NewShipmentDecoder(sch, lookup)
+		dec.Workers = opts.ParallelChunks
+		dec.Met = opts.Metrics
 		scanS := &sourceRespScan{dec: dec}
 		if err := cs.CallStream("ExecuteSource", func(w io.Writer) error {
 			return xmltree.Write(w, reqS, xmltree.WriteOptions{EmitAllIDs: true})
@@ -201,6 +203,8 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 				report.ShipBytes = report.WireBytes
 			}()
 			sw := wire.NewShipmentWriterCodec(m, sch, codec)
+			sw.SetWorkers(opts.ParallelChunks)
+			sw.SetObs(opts.Metrics)
 			for _, c := range chunks {
 				if c.Seq < next {
 					continue // acked on a prior attempt

@@ -196,6 +196,10 @@ func TestReliableExchangeUnderInjectedFaults(t *testing.T) {
 						Transport:   flB.RoundTripper(nil),
 						Reliability: soakConfig(seed),
 						Codec:       codec,
+						// Faulted runs drive the parallel chunk pipelines so
+						// torn-prefix recovery, the idempotency ledger, and
+						// resumes are soaked with concurrent renders/parses.
+						ParallelChunks: 4,
 					})
 					if err != nil {
 						t.Fatalf("reliable exchange failed: %v (injected %+v)", err, flB.Counts())

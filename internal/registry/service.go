@@ -31,6 +31,10 @@ type Service struct {
 	// path (retries, resumable sessions, circuit breaking). Set
 	// Reliability.Breakers to share breaker state across exchanges.
 	Reliability *reliable.Config
+	// ParallelChunks dials the chunk codec pools of every exchange the
+	// service drives (ExecOptions.ParallelChunks): 0 is one worker per
+	// CPU, 1 or less runs the codecs in-line.
+	ParallelChunks int
 
 	srv *soap.Server
 	log obs.Logger
@@ -191,12 +195,13 @@ func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
 		return nil, err
 	}
 	report, err := s.Agency.ExecuteOpts(service, plan, ExecOptions{
-		Link:        s.Link,
-		Codec:       codec,
-		Streamed:    s.Streamed,
-		Reliability: s.Reliability,
-		Logger:      s.log,
-		Metrics:     s.met,
+		Link:           s.Link,
+		Codec:          codec,
+		Streamed:       s.Streamed,
+		Reliability:    s.Reliability,
+		Logger:         s.log,
+		Metrics:        s.met,
+		ParallelChunks: s.ParallelChunks,
 	})
 	if err != nil {
 		return nil, err

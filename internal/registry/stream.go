@@ -97,6 +97,15 @@ func (s *sourceRespScan) Text(data string) error {
 	return s.dec.Text(data)
 }
 
+// TextBytes implements xmltree.TextBytesHandler, keeping the scanner's
+// zero-copy text path intact through to the shipment decoder.
+func (s *sourceRespScan) TextBytes(data []byte) error {
+	if s.skip > 0 || !s.sub {
+		return nil
+	}
+	return s.dec.TextBytes(data)
+}
+
 // EndElement implements xmltree.AttrHandler.
 func (s *sourceRespScan) EndElement(name string) error {
 	switch {
@@ -168,6 +177,8 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 		frags[ed.Frag.Name] = ed.Frag
 	}
 	dec := wire.NewShipmentDecoder(sch, func(name string) *core.Fragment { return frags[name] })
+	dec.Workers = opts.ParallelChunks
+	dec.Met = opts.Metrics
 	scanS := &sourceRespScan{dec: dec}
 
 	cs := opts.client(src.URL)
@@ -210,7 +221,14 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 			return err
 		}
 		m := netsim.NewMeter(w)
-		if err := wire.StreamShipmentCodec(m, inbound, sch, codec); err != nil {
+		sw := wire.NewShipmentWriterCodec(m, sch, codec)
+		sw.SetWorkers(opts.ParallelChunks)
+		sw.SetObs(opts.Metrics)
+		if err := wire.EmitShipment(sw, inbound); err != nil {
+			sw.Close()
+			return err
+		}
+		if err := sw.Close(); err != nil {
 			return err
 		}
 		report.WireBytes = m.Bytes()

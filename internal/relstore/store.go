@@ -152,13 +152,13 @@ func (s *Store) Load(in *core.Instance) error {
 	defer s.mu.Unlock()
 	t := s.tables[name]
 	d := s.descs[name]
-	var rows [][]string
+	sh := &shredder{t: t, d: d, slab: rowSlab{width: len(t.Cols)}, base: make([]string, len(t.Cols))}
+	rows := make([][]string, 0, len(in.Records))
+	var err error
 	for _, rec := range in.Records {
-		rs, err := s.shredRecord(t, d, rec)
-		if err != nil {
+		if rows, err = sh.record(rec, rows); err != nil {
 			return err
 		}
-		rows = append(rows, rs...)
 	}
 	return t.BulkLoad(rows)
 }
@@ -172,76 +172,115 @@ func (s *Store) layoutName(f *core.Fragment) string {
 	return ""
 }
 
-// shredRecord flattens one record tree into one or more rows.
-func (s *Store) shredRecord(t *Table, d *tableDesc, rec *xmltree.Node) ([][]string, error) {
-	if rec.Name != d.frag.Root {
-		return nil, fmt.Errorf("relstore: record root %q does not match fragment root %q", rec.Name, d.frag.Root)
+// rowSlabRows sizes the shared backing arrays rowSlab carves rows from:
+// large enough to amortize the allocation across a load, small enough not
+// to overcommit on tiny instances.
+const rowSlabRows = 256
+
+// rowSlab carves fixed-width rows out of large shared backing arrays.
+// Rows of one Load are retained — and later dropped — together by their
+// table, so sharing backing slabs leaks nothing, and shredding stops
+// paying one allocation per row.
+type rowSlab struct {
+	buf   []string
+	width int
+}
+
+func (sl *rowSlab) row() []string {
+	if len(sl.buf) < sl.width {
+		sl.buf = make([]string, sl.width*rowSlabRows)
 	}
-	base := make([]string, len(t.Cols))
-	base[t.ColIndex("$parent")] = rec.Parent
-	var reps []*xmltree.Node
-	fill := func(row []string, n *xmltree.Node) error {
-		ci := t.ColIndex(n.Name + "$id")
-		if ci < 0 {
-			return fmt.Errorf("relstore: record for %q contains unexpected element %q", d.frag.Name, n.Name)
-		}
-		if row[ci] != "" {
-			return fmt.Errorf("relstore: record for %q repeats element %q", d.frag.Name, n.Name)
-		}
-		id := n.ID
-		if id == "" {
-			id = "-"
-		}
-		row[ci] = id
-		if ti := t.ColIndex(n.Name + "$txt"); ti >= 0 {
-			row[ti] = n.Text
-		}
-		return nil
+	r := sl.buf[:sl.width:sl.width]
+	sl.buf = sl.buf[sl.width:]
+	return r
+}
+
+// shredder flattens record trees into table rows. One shredder serves a
+// whole Load: the base scratch row and the rep list are reused across
+// records, and finished rows come from the shared slab, so the per-record
+// allocation count is (amortized) zero.
+type shredder struct {
+	t    *Table
+	d    *tableDesc
+	slab rowSlab
+	base []string // scratch for the non-repeated part, cleared per record
+	reps []*xmltree.Node
+}
+
+// record flattens one record tree and appends its rows.
+func (sh *shredder) record(rec *xmltree.Node, rows [][]string) ([][]string, error) {
+	if rec.Name != sh.d.frag.Root {
+		return nil, fmt.Errorf("relstore: record root %q does not match fragment root %q", rec.Name, sh.d.frag.Root)
 	}
-	var walkBase func(n *xmltree.Node) error
-	walkBase = func(n *xmltree.Node) error {
-		if n.Name == d.repRoot {
-			reps = append(reps, n)
-			return nil
-		}
-		if err := fill(base, n); err != nil {
-			return err
-		}
-		for _, k := range n.Kids {
-			if err := walkBase(k); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walkBase(rec); err != nil {
+	clear(sh.base)
+	sh.reps = sh.reps[:0]
+	sh.base[sh.t.ColIndex("$parent")] = rec.Parent
+	if err := sh.walkBase(rec); err != nil {
 		return nil, err
 	}
-	if len(reps) == 0 {
-		return [][]string{base}, nil
+	if len(sh.reps) == 0 {
+		row := sh.slab.row()
+		copy(row, sh.base)
+		return append(rows, row), nil
 	}
-	rows := make([][]string, 0, len(reps))
-	for _, rep := range reps {
-		row := make([]string, len(base))
-		copy(row, base)
-		var walkRep func(n *xmltree.Node) error
-		walkRep = func(n *xmltree.Node) error {
-			if err := fill(row, n); err != nil {
-				return err
-			}
-			for _, k := range n.Kids {
-				if err := walkRep(k); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		if err := walkRep(rep); err != nil {
+	for _, rep := range sh.reps {
+		row := sh.slab.row()
+		copy(row, sh.base)
+		if err := sh.walkRep(row, rep); err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+func (sh *shredder) fill(row []string, n *xmltree.Node) error {
+	ci := sh.t.ColIndex(n.Name + "$id")
+	if ci < 0 {
+		return fmt.Errorf("relstore: record for %q contains unexpected element %q", sh.d.frag.Name, n.Name)
+	}
+	if row[ci] != "" {
+		return fmt.Errorf("relstore: record for %q repeats element %q", sh.d.frag.Name, n.Name)
+	}
+	id := n.ID
+	if id == "" {
+		id = "-"
+	}
+	row[ci] = id
+	if ti := sh.t.ColIndex(n.Name + "$txt"); ti >= 0 {
+		row[ti] = n.Text
+	}
+	return nil
+}
+
+// walkBase fills the scratch row from the non-repeated part of the tree,
+// collecting repeated-subtree roots for walkRep.
+func (sh *shredder) walkBase(n *xmltree.Node) error {
+	if n.Name == sh.d.repRoot {
+		sh.reps = append(sh.reps, n)
+		return nil
+	}
+	if err := sh.fill(sh.base, n); err != nil {
+		return err
+	}
+	for _, k := range n.Kids {
+		if err := sh.walkBase(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *shredder) walkRep(row []string, n *xmltree.Node) error {
+	if err := sh.fill(row, n); err != nil {
+		return err
+	}
+	for _, k := range n.Kids {
+		if err := sh.walkRep(row, k); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ScanFragment materializes the instance of the named layout fragment from
@@ -259,18 +298,27 @@ func (s *Store) ScanFragment(fragName string) (*core.Instance, error) {
 	d := s.descs[fragName]
 	sch := s.Layout.Schema
 	inst := &core.Instance{Frag: f, Records: make([]*xmltree.Node, 0, t.Len())}
+	// The attachment point of repeated subtrees is a fixed element per
+	// fragment; resolve it once instead of building a name→node map per row.
+	attachElem := ""
+	if d.repRoot != "" {
+		attachElem = sch.ParentOf(d.repRoot)
+	}
+	// All records of one scan share an arena: the instance is the decode
+	// unit, so its nodes live and die together.
+	var arena xmltree.Arena
 	var curRoot *xmltree.Node
 	var curRootID string
-	var attach map[string]*xmltree.Node // element name -> node, for rep attachment
-	var fixups []*xmltree.Node          // nodes whose kid order needs restoring
+	var attach *xmltree.Node   // the current root's attachment-point node
+	var fixups []*xmltree.Node // nodes whose kid order needs restoring
 	err := t.Scan(func(row []string) error {
 		rootID := row[t.ColIndex(f.Root+"$id")]
 		if curRoot == nil || rootID != curRootID {
-			rec, nodes, err := buildPart(sch, d, t, row, f.Root, row[t.ColIndex("$parent")], false)
+			rec, at, err := buildPart(sch, d, t, row, f.Root, row[t.ColIndex("$parent")], false, attachElem, &arena)
 			if err != nil {
 				return err
 			}
-			curRoot, curRootID, attach = rec, rootID, nodes
+			curRoot, curRootID, attach = rec, rootID, at
 			inst.Records = append(inst.Records, rec)
 		}
 		if d.repRoot == "" {
@@ -280,51 +328,35 @@ func (s *Store) ScanFragment(fragName string) (*core.Instance, error) {
 		if repID == "" {
 			return nil // root instance without repeated children
 		}
-		parentElem := sch.ParentOf(d.repRoot)
-		parentNode := attach[parentElem]
-		if parentNode == nil {
-			return fmt.Errorf("relstore: fragment %q: no attachment point %q for %q", f.Name, parentElem, d.repRoot)
+		if attach == nil {
+			return fmt.Errorf("relstore: fragment %q: no attachment point %q for %q", f.Name, attachElem, d.repRoot)
 		}
-		rep, _, err := buildPart(sch, d, t, row, d.repRoot, parentNode.ID, true)
+		rep, _, err := buildPart(sch, d, t, row, d.repRoot, attach.ID, true, "", &arena)
 		if err != nil {
 			return err
 		}
-		if len(parentNode.Kids) == 0 || parentNode.Kids[len(parentNode.Kids)-1].Name != d.repRoot {
-			fixups = append(fixups, parentNode)
+		if len(attach.Kids) == 0 || attach.Kids[len(attach.Kids)-1].Name != d.repRoot {
+			fixups = append(fixups, attach)
 		}
-		parentNode.AddKid(rep)
+		attach.AddKid(rep)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for _, n := range fixups {
-		sortKidsBySchema(sch, n)
+		core.SortKids(sch, n)
 	}
 	return inst, nil
 }
 
-// sortKidsBySchema stably restores document order after repeated subtrees
-// were appended at the end.
-func sortKidsBySchema(sch *schema.Schema, n *xmltree.Node) {
-	order := make(map[string]int)
-	for i, c := range sch.AllChildren(n.Name) {
-		order[c] = i
-	}
-	kids := n.Kids
-	// Stable insertion sort; kid lists are short.
-	for i := 1; i < len(kids); i++ {
-		for j := i; j > 0 && order[kids[j].Name] < order[kids[j-1].Name]; j-- {
-			kids[j], kids[j-1] = kids[j-1], kids[j]
-		}
-	}
-}
-
 // buildPart reconstructs either the base part (fromRep=false, stopping at
 // the repeated subtree) or the repeated part of one row. It returns the
-// subtree root and a name→node map.
-func buildPart(sch *schema.Schema, d *tableDesc, t *Table, row []string, elem, parentID string, fromRep bool) (*xmltree.Node, map[string]*xmltree.Node, error) {
-	nodes := make(map[string]*xmltree.Node)
+// subtree root and, when wantNode names an element, that element's node
+// (the repeated subtree's attachment point — recording one pointer replaced
+// a per-row name→node map).
+func buildPart(sch *schema.Schema, d *tableDesc, t *Table, row []string, elem, parentID string, fromRep bool, wantNode string, arena *xmltree.Arena) (*xmltree.Node, *xmltree.Node, error) {
+	var want *xmltree.Node
 	var build func(elem, parentID string) (*xmltree.Node, error)
 	build = func(elem, parentID string) (*xmltree.Node, error) {
 		if !fromRep && elem == d.repRoot {
@@ -337,8 +369,11 @@ func buildPart(sch *schema.Schema, d *tableDesc, t *Table, row []string, elem, p
 		if id == "-" {
 			id = ""
 		}
-		n := &xmltree.Node{Name: elem, ID: id, Parent: parentID}
-		nodes[elem] = n
+		n := arena.New()
+		n.Name, n.ID, n.Parent = elem, id, parentID
+		if elem == wantNode {
+			want = n
+		}
 		if ti := t.ColIndex(elem + "$txt"); ti >= 0 {
 			n.Text = row[ti]
 		}
@@ -366,7 +401,7 @@ func buildPart(sch *schema.Schema, d *tableDesc, t *Table, row []string, elem, p
 	if root == nil {
 		return nil, nil, fmt.Errorf("relstore: row has empty identifier for %q", elem)
 	}
-	return root, nodes, nil
+	return root, want, nil
 }
 
 func inElems(list []string, e string) bool {

@@ -61,6 +61,7 @@ type Schema struct {
 
 	orderMu       sync.RWMutex
 	orderCache    map[string]map[string]int
+	childrenCache map[string][]string
 	interiorCache map[string]bool
 }
 
@@ -157,13 +158,22 @@ func (s *Schema) Parents(name string) []string {
 
 // AllChildren returns the names of all elements that may occur as children
 // of name in documents: the primary children followed by extra children
-// (elements recording name as an extra parent), in declaration order.
+// (elements recording name as an extra parent), in declaration order. The
+// slice is computed once per element and shared across callers — it must
+// not be mutated. (Record reconstruction consults it per node per row, so
+// an uncached build dominated fragment scans.)
 func (s *Schema) AllChildren(name string) []string {
+	s.orderMu.RLock()
+	out, ok := s.childrenCache[name]
+	s.orderMu.RUnlock()
+	if ok {
+		return out
+	}
 	n := s.byName[name]
 	if n == nil {
 		return nil
 	}
-	var out []string
+	out = []string{}
 	for _, c := range n.Children {
 		out = append(out, c.Name)
 	}
@@ -174,6 +184,12 @@ func (s *Schema) AllChildren(name string) []string {
 			}
 		}
 	}
+	s.orderMu.Lock()
+	if s.childrenCache == nil {
+		s.childrenCache = make(map[string][]string)
+	}
+	s.childrenCache[name] = out
+	s.orderMu.Unlock()
 	return out
 }
 

@@ -28,7 +28,13 @@ func To(r io.Reader, layout *core.Fragmentation, sink Sink) error {
 		frag *core.Fragment // the fragment owning this element
 		kids int            // children seen, for Dewey numbering
 	}
-	var stack []*entry
+	// Entries live in a value stack (popped slots are reused on the next
+	// push) and record nodes come from an arena, so the shredder allocates
+	// per slab rather than per element. The arena spans one document — the
+	// shred's decode unit — and slabs whose records have all been flushed
+	// and dropped become collectable again, keeping pipelines bounded.
+	var stack []entry
+	var arena xmltree.Arena
 	h := xmltree.FuncHandler{
 		Start: func(name, _, _ string) error {
 			frag := layout.FragmentOf(name)
@@ -36,15 +42,16 @@ func To(r io.Reader, layout *core.Fragmentation, sink Sink) error {
 				return fmt.Errorf("shred: element %q not covered by layout %q", name, layout.Name)
 			}
 			var id, parentID string
-			if len(stack) == 0 {
-				id = "1"
-			} else {
-				top := stack[len(stack)-1]
+			if len(stack) > 0 {
+				top := &stack[len(stack)-1]
 				top.kids++
 				id = top.id + "." + strconv.Itoa(top.kids)
 				parentID = top.id
+			} else {
+				id = "1"
 			}
-			node := &xmltree.Node{Name: name, ID: id, Parent: parentID}
+			node := arena.New()
+			node.Name, node.ID, node.Parent = name, id, parentID
 			if frag.Root != name {
 				// Interior element: its document parent must be the open
 				// element just below it on the stack, in the same fragment.
@@ -53,7 +60,7 @@ func To(r io.Reader, layout *core.Fragmentation, sink Sink) error {
 				}
 				stack[len(stack)-1].node.AddKid(node)
 			}
-			stack = append(stack, &entry{name: name, id: id, node: node, frag: frag})
+			stack = append(stack, entry{name: name, id: id, node: node, frag: frag})
 			return nil
 		},
 		Data: func(text string) error {

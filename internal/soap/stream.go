@@ -357,6 +357,21 @@ func (v *envelopeScanner) Text(data string) error {
 	return nil
 }
 
+// TextBytes implements xmltree.TextBytesHandler so a payload handler with
+// a zero-copy text path (the shipment decoder) keeps it through the
+// envelope walk; header and fault text take the string path.
+func (v *envelopeScanner) TextBytes(data []byte) error {
+	switch {
+	case v.skip > 0:
+		return nil
+	case v.inPayload > 0:
+		if tb, ok := v.h.(xmltree.TextBytesHandler); ok {
+			return payloadErr(tb.TextBytes(data))
+		}
+	}
+	return v.Text(string(data))
+}
+
 // EndElement implements xmltree.AttrHandler.
 func (v *envelopeScanner) EndElement(name string) error {
 	switch {
@@ -563,6 +578,24 @@ func (v *serverWalker) Text(data string) error {
 		return &handlerError{err}
 	}
 	return nil
+}
+
+// TextBytes implements xmltree.TextBytesHandler: the server side of the
+// same fast path — a streaming request handler (the endpoint's target
+// scan) that accepts raw bytes gets them without a string per event.
+func (v *serverWalker) TextBytes(data []byte) error {
+	switch {
+	case v.skip > 0:
+		return nil
+	case v.inHeader == 0 && v.inPayload > 0:
+		if tb, ok := v.delegate.(xmltree.TextBytesHandler); ok {
+			if err := tb.TextBytes(data); err != nil {
+				return &handlerError{err}
+			}
+			return nil
+		}
+	}
+	return v.Text(string(data))
 }
 
 // EndElement implements xmltree.AttrHandler.

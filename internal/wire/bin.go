@@ -139,13 +139,16 @@ func dictFor(sch *schema.Schema) *binDict {
 }
 
 // binEncoder appends the binary node encoding of one chunk to a scratch
-// buffer; the delta state lives for exactly one chunk.
+// buffer; the delta state lives for exactly one chunk, but the encoder
+// itself is pooled across chunks (and across the parallel render workers).
 type binEncoder struct {
 	buf                *bytes.Buffer
 	dict               *binDict
 	prevID, prevParent string
 	tmp                [binary.MaxVarintLen64]byte
 }
+
+var binEncoders = sync.Pool{New: func() any { return new(binEncoder) }}
 
 func (e *binEncoder) uvarint(v uint64) {
 	n := binary.PutUvarint(e.tmp[:], v)
@@ -220,12 +223,15 @@ func (e *binEncoder) node(n *xmltree.Node, isRoot bool) {
 // appendBinRecords serializes recs into buf as one self-contained chunk
 // payload.
 func appendBinRecords(buf *bytes.Buffer, recs []*xmltree.Node, sch *schema.Schema) {
-	e := &binEncoder{buf: buf, dict: dictFor(sch)}
+	e := binEncoders.Get().(*binEncoder)
+	e.buf, e.dict, e.prevID, e.prevParent = buf, dictFor(sch), "", ""
 	buf.WriteByte(binVersion)
 	e.uvarint(uint64(len(recs)))
 	for _, r := range recs {
 		e.node(r, true)
 	}
+	e.buf, e.dict = nil, nil
+	binEncoders.Put(e)
 }
 
 // writeBinChunk writes the wire text of one bin chunk — the binary
@@ -252,16 +258,17 @@ func writeBinChunk(w io.Writer, recs []*xmltree.Node, sch *schema.Schema, compre
 }
 
 // readBinChunk decodes a bin chunk's accumulated wire text back into
-// records. Any failure — torn base64, a truncated flate stream, a short
-// payload — rejects the chunk whole; nothing partial escapes.
-func readBinChunk(text string, sch *schema.Schema, enc string) ([]*xmltree.Node, error) {
+// records, allocating nodes from arena (nil falls back to the heap). Any
+// failure — torn base64, a truncated flate stream, a short payload —
+// rejects the chunk whole; nothing partial escapes.
+func readBinChunk(text string, sch *schema.Schema, enc string, arena *xmltree.Arena) ([]*xmltree.Node, error) {
 	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(text))
 	if err != nil {
 		return nil, fmt.Errorf("wire: bin: %v", err)
 	}
 	switch enc {
 	case "":
-		return decodeBinRecords(raw, sch)
+		return decodeBinRecords(raw, sch, arena)
 	case "flate":
 		fr := bufpool.FlateReader(bytes.NewReader(raw))
 		buf := bufpool.Buffer()
@@ -274,7 +281,7 @@ func readBinChunk(text string, sch *schema.Schema, enc string) ([]*xmltree.Node,
 		if err != nil {
 			return nil, fmt.Errorf("wire: bin: flate: %v", err)
 		}
-		return decodeBinRecords(buf.Bytes(), sch)
+		return decodeBinRecords(buf.Bytes(), sch, arena)
 	}
 	return nil, fmt.Errorf("wire: bin: unknown chunk encoding %q", enc)
 }
@@ -284,6 +291,7 @@ type binDecoder struct {
 	pos                int
 	dict               *binDict
 	prevID, prevParent string
+	arena              *xmltree.Arena
 }
 
 func (d *binDecoder) uvarint() (uint64, error) {
@@ -311,6 +319,21 @@ func (d *binDecoder) str() (string, error) {
 	}
 	b, err := d.take(n)
 	return string(b), err
+}
+
+// strInterned is str for text and attribute values, which repeat heavily
+// across records (country names, category labels, flags): the arena's
+// intern table turns each repeat into a map hit instead of a heap copy.
+func (d *binDecoder) strInterned() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return "", err
+	}
+	return d.arena.InternBytes(b), nil
 }
 
 func (d *binDecoder) delta(prev *string) (string, error) {
@@ -359,7 +382,8 @@ func (d *binDecoder) node(parentID string, isRoot bool, depth int) (*xmltree.Nod
 	}
 	// Nesting is the parent relation the encoder erased (same restoration
 	// as the XML decoders); a root's own PARENT, when shipped, overrides.
-	n := &xmltree.Node{Name: name, Parent: parentID}
+	n := d.arena.New()
+	n.Name, n.Parent = name, parentID
 	if flags&binFlagID != 0 {
 		if n.ID, err = d.delta(&d.prevID); err != nil {
 			return nil, err
@@ -371,7 +395,7 @@ func (d *binDecoder) node(parentID string, isRoot bool, depth int) (*xmltree.Nod
 		}
 	}
 	if flags&binFlagText != 0 {
-		if n.Text, err = d.str(); err != nil {
+		if n.Text, err = d.strInterned(); err != nil {
 			return nil, err
 		}
 	}
@@ -384,11 +408,11 @@ func (d *binDecoder) node(parentID string, isRoot bool, depth int) (*xmltree.Nod
 			return nil, errBinTruncated
 		}
 		for i := uint64(0); i < cnt; i++ {
-			aname, err := d.str()
+			aname, err := d.strInterned()
 			if err != nil {
 				return nil, err
 			}
-			aval, err := d.str()
+			aval, err := d.strInterned()
 			if err != nil {
 				return nil, err
 			}
@@ -412,15 +436,16 @@ func (d *binDecoder) node(parentID string, isRoot bool, depth int) (*xmltree.Nod
 	return n, nil
 }
 
-// decodeBinRecords parses one chunk payload back into record trees.
-func decodeBinRecords(payload []byte, sch *schema.Schema) ([]*xmltree.Node, error) {
+// decodeBinRecords parses one chunk payload back into record trees, with
+// nodes carved from arena (nil allocates plainly).
+func decodeBinRecords(payload []byte, sch *schema.Schema, arena *xmltree.Arena) ([]*xmltree.Node, error) {
 	if len(payload) == 0 {
 		return nil, errBinTruncated
 	}
 	if payload[0] != binVersion {
 		return nil, fmt.Errorf("wire: bin: unknown payload version %#x", payload[0])
 	}
-	d := &binDecoder{data: payload, pos: 1, dict: dictFor(sch)}
+	d := &binDecoder{data: payload, pos: 1, dict: dictFor(sch), arena: arena}
 	cnt, err := d.uvarint()
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"xdx/internal/bufpool"
 	"xdx/internal/core"
 	"xdx/internal/netsim"
+	"xdx/internal/obs"
 	"xdx/internal/schema"
 	"xdx/internal/xmltree"
 )
@@ -37,6 +38,11 @@ import (
 // <instance> chunks inside one <shipment> element. Emit may be called
 // concurrently by pipeline stages as producers finish batches; chunks
 // sharing an edge key are merged back into one instance by the decoders.
+//
+// Chunks are rendered by a bounded worker pool (parallel.go) and spliced
+// onto the writer in emit order; SetWorkers(1) selects the serial in-line
+// path. In the parallel mode a chunk's render error may surface on a later
+// Emit or at Close rather than on the Emit that submitted it.
 type ShipmentWriter struct {
 	mu     sync.Mutex
 	bw     *bufio.Writer
@@ -44,6 +50,13 @@ type ShipmentWriter struct {
 	codec  Codec
 	opened bool
 	closed bool
+
+	reqWorkers int           // SetWorkers knob; resolved on first emit
+	workers    int           // resolved pool size; 1 = serial
+	sem        chan struct{} // render-pool slots (parallel mode)
+	fifo       []*encJob     // submitted chunks awaiting in-order splice
+	firstErr   error         // first failed chunk; sticky
+	met        *obs.Registry
 }
 
 // NewShipmentWriter starts a shipment onto w. When preferFeed is set, flat
@@ -86,88 +99,103 @@ func (sw *ShipmentWriter) emit(key string, frag *core.Fragment, recs []*xmltree.
 	if sw.closed {
 		return fmt.Errorf("wire: emit on closed shipment writer")
 	}
+	if sw.firstErr != nil {
+		return sw.firstErr
+	}
+	workers := sw.encodeWorkers()
 	if !sw.opened {
 		sw.opened = true
 		sw.bw.WriteString("<shipment>")
 	}
-	switch {
-	case sw.codec.Kind == CodecBin:
-		return sw.emitBin(key, frag, recs, seq)
-	case sw.codec.Kind == CodecFeed && checkFlat(sw.sch, frag) == nil:
-		return sw.emitFeed(key, frag, recs, seq)
+	if workers > 1 {
+		return sw.emitParallel(key, frag, recs, seq)
 	}
-	sw.bw.WriteString(`<instance edge="`)
-	xmltree.Escape(sw.bw, key)
-	sw.bw.WriteString(`" frag="`)
-	xmltree.Escape(sw.bw, frag.Name)
-	sw.writeSeq(seq)
+	return renderChunk(sw.bw, sw.sch, sw.codec, key, frag, recs, seq)
+}
+
+// renderChunk writes the complete wire bytes of one instance chunk. It is
+// the single chunk serializer — the serial path points it at the shipment
+// writer, the parallel workers at private pooled buffers — which is what
+// makes the two paths byte-identical by construction.
+func renderChunk(bw *bufio.Writer, sch *schema.Schema, codec Codec, key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
+	switch {
+	case codec.Kind == CodecBin:
+		return renderBinChunk(bw, sch, codec, key, frag, recs, seq)
+	case codec.Kind == CodecFeed && checkFlat(sch, frag) == nil:
+		return renderFeedChunk(bw, sch, key, frag, recs, seq)
+	}
+	bw.WriteString(`<instance edge="`)
+	xmltree.Escape(bw, key)
+	bw.WriteString(`" frag="`)
+	xmltree.Escape(bw, frag.Name)
+	writeSeqAttr(bw, seq)
 	if len(recs) == 0 {
-		sw.bw.WriteString(`"/>`)
+		bw.WriteString(`"/>`)
 		return nil
 	}
-	sw.bw.WriteString(`">`)
+	bw.WriteString(`">`)
 	for _, rec := range recs {
-		streamRecord(sw.bw, rec, true)
+		streamRecord(bw, rec, true)
 	}
-	sw.bw.WriteString("</instance>")
+	bw.WriteString("</instance>")
 	return nil
 }
 
-// writeSeq appends the seq attribute (continuing an open attribute
+// writeSeqAttr appends the seq attribute (continuing an open attribute
 // position: the caller has written up to a value's closing point).
-func (sw *ShipmentWriter) writeSeq(seq int64) {
+func writeSeqAttr(bw *bufio.Writer, seq int64) {
 	if seq < 0 {
 		return
 	}
-	sw.bw.WriteString(`" seq="`)
-	sw.bw.WriteString(strconv.FormatInt(seq, 10))
+	bw.WriteString(`" seq="`)
+	bw.WriteString(strconv.FormatInt(seq, 10))
 }
 
-// emitFeed writes one feed-format instance chunk. Feed text escapes the
-// XML-special characters itself, so the rows embed verbatim.
-func (sw *ShipmentWriter) emitFeed(key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
-	sw.bw.WriteString(`<instance edge="`)
-	xmltree.Escape(sw.bw, key)
-	sw.bw.WriteString(`" frag="`)
-	xmltree.Escape(sw.bw, frag.Name)
-	sw.writeSeq(seq)
-	sw.bw.WriteString(`" format="feed`)
+// renderFeedChunk writes one feed-format instance chunk. Feed text escapes
+// the XML-special characters itself, so the rows embed verbatim.
+func renderFeedChunk(bw *bufio.Writer, sch *schema.Schema, key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
+	bw.WriteString(`<instance edge="`)
+	xmltree.Escape(bw, key)
+	bw.WriteString(`" frag="`)
+	xmltree.Escape(bw, frag.Name)
+	writeSeqAttr(bw, seq)
+	bw.WriteString(`" format="feed`)
 	if len(recs) == 0 {
-		sw.bw.WriteString(`"/>`)
+		bw.WriteString(`"/>`)
 		return nil
 	}
-	sw.bw.WriteString(`">`)
-	if err := writeFeedRecords(sw.bw, &core.Instance{Frag: frag, Records: recs}, sw.sch); err != nil {
+	bw.WriteString(`">`)
+	if err := writeFeedRecords(bw, &core.Instance{Frag: frag, Records: recs}, sch); err != nil {
 		return err
 	}
-	sw.bw.WriteString("</instance>")
+	bw.WriteString("</instance>")
 	return nil
 }
 
-// emitBin writes one binary-format instance chunk: the records' compact
-// binary encoding (optionally DEFLATE-compressed) travels base64-wrapped
-// as the element's character data. Each chunk is a self-contained
-// compression frame, so resumable sessions keep their chunk-granular
-// recovery.
-func (sw *ShipmentWriter) emitBin(key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
-	sw.bw.WriteString(`<instance edge="`)
-	xmltree.Escape(sw.bw, key)
-	sw.bw.WriteString(`" frag="`)
-	xmltree.Escape(sw.bw, frag.Name)
-	sw.writeSeq(seq)
-	sw.bw.WriteString(`" format="bin`)
-	if sw.codec.Flate {
-		sw.bw.WriteString(`" enc="flate`)
+// renderBinChunk writes one binary-format instance chunk: the records'
+// compact binary encoding (optionally DEFLATE-compressed) travels
+// base64-wrapped as the element's character data. Each chunk is a
+// self-contained compression frame, so resumable sessions keep their
+// chunk-granular recovery.
+func renderBinChunk(bw *bufio.Writer, sch *schema.Schema, codec Codec, key string, frag *core.Fragment, recs []*xmltree.Node, seq int64) error {
+	bw.WriteString(`<instance edge="`)
+	xmltree.Escape(bw, key)
+	bw.WriteString(`" frag="`)
+	xmltree.Escape(bw, frag.Name)
+	writeSeqAttr(bw, seq)
+	bw.WriteString(`" format="bin`)
+	if codec.Flate {
+		bw.WriteString(`" enc="flate`)
 	}
 	if len(recs) == 0 {
-		sw.bw.WriteString(`"/>`)
+		bw.WriteString(`"/>`)
 		return nil
 	}
-	sw.bw.WriteString(`">`)
-	if err := writeBinChunk(sw.bw, recs, sw.sch, sw.codec.Flate); err != nil {
+	bw.WriteString(`">`)
+	if err := writeBinChunk(bw, recs, sch, codec.Flate); err != nil {
 		return err
 	}
-	sw.bw.WriteString("</instance>")
+	bw.WriteString("</instance>")
 	return nil
 }
 
@@ -180,12 +208,15 @@ func (sw *ShipmentWriter) Close() error {
 		return nil
 	}
 	sw.closed = true
+	err := sw.spliceLocked(0)
 	if sw.opened {
 		sw.bw.WriteString("</shipment>")
 	} else {
 		sw.bw.WriteString("<shipment/>")
 	}
-	err := sw.bw.Flush()
+	if ferr := sw.bw.Flush(); err == nil {
+		err = ferr
+	}
 	bufpool.PutWriter(sw.bw)
 	sw.bw = nil
 	return err
@@ -312,12 +343,24 @@ type ShipmentDecoder struct {
 	// committed while this one was parsing it is dropped wholesale, which
 	// keeps records exactly-once even when they carry no IDs.
 	CommitLock sync.Locker
+	// Workers dials the raw-chunk parse pool (parallel.go): 0 (the
+	// default) is one worker per CPU, 1 or less parses in-line. Set it
+	// before scanning. Whatever the count, chunks commit in stream order
+	// on the scanner goroutine, so the hooks above behave identically.
+	Workers int
+	// Met, when set, exposes the parse pool's queue depth and latencies.
+	Met *obs.Registry
 
 	out     map[string]*core.Instance
 	started bool
 	done    bool
 	depth   int
 	skip    int
+
+	workers int           // resolved pool size; 1 = serial
+	sem     chan struct{} // parse-pool slots (parallel mode)
+	jobs    []*parseJob   // submitted chunks awaiting in-order commit
+	arena   xmltree.Arena // scanner-side nodes; lives for the shipment
 
 	// Chunk staging: records of the open <instance> accumulate here and
 	// commit to the shared map only at its close tag, so a connection torn
@@ -418,7 +461,8 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 		d.skip = 1
 		return nil
 	}
-	n := &xmltree.Node{Name: name}
+	n := d.arena.New()
+	n.Name = name
 	for _, a := range attrs {
 		switch a.Name {
 		case "ID":
@@ -467,6 +511,28 @@ func (d *ShipmentDecoder) Text(data string) error {
 	return nil
 }
 
+// TextBytes implements xmltree.TextBytesHandler: base64 chunk bodies
+// accumulate without an intermediate string per event, and leaf values —
+// where shipments repeat themselves — are interned through the decode
+// arena instead of allocated fresh.
+func (d *ShipmentDecoder) TextBytes(data []byte) error {
+	switch {
+	case d.skip > 0:
+	case d.raw != nil:
+		d.raw.Write(data)
+	case len(d.stack) > 0:
+		top := d.stack[len(d.stack)-1]
+		if top.Text == "" {
+			top.Text = d.arena.InternBytes(data)
+		} else {
+			// Split character data (entity boundaries, CDATA) is rare;
+			// fall back to plain concatenation.
+			top.Text += string(data)
+		}
+	}
+	return nil
+}
+
 // EndElement implements xmltree.AttrHandler.
 func (d *ShipmentDecoder) EndElement(string) error {
 	if d.skip > 0 {
@@ -481,60 +547,94 @@ func (d *ShipmentDecoder) EndElement(string) error {
 			return err
 		}
 	case d.depth == 1:
+		// Every chunk the stream carried must be committed before the
+		// shipment reads as complete.
+		if err := d.drainJobs(0); err != nil {
+			return err
+		}
 		d.done = true
 	}
 	d.depth--
 	return nil
 }
 
-// commitChunk moves the staged chunk into the shared instance map as its
-// </instance> closes. Feed rows and bin payloads are parsed here, so those
-// chunks too are all-or-nothing — a torn chunk's base64/flate/binary parse
-// fails before anything reaches the map; KeepRecord filters replays, and
-// ChunkDone marks the seq checkpointable.
+// commitChunk routes the staged chunk toward the shared instance map as
+// its </instance> closes. Feed rows and bin payloads parse first — in a
+// pool worker when the decoder is parallel, in-line otherwise — so those
+// chunks are all-or-nothing: a torn chunk's base64/flate/binary parse
+// fails before anything reaches the map. Commits always happen in stream
+// order on the scanner goroutine (drainJobs); tagged-XML chunks drain the
+// pool before committing so mixed-format shipments keep their order.
 func (d *ShipmentDecoder) commitChunk() error {
-	recs := d.stageRecs
 	if d.raw != nil {
-		switch d.rawFormat {
-		case "feed":
-			in, err := ReadFeed(strings.NewReader(d.raw.String()), d.stageFrag, d.sch)
-			if err != nil {
-				return err
-			}
-			recs = in.Records
-		case "bin":
-			// A self-closed bin instance announces an empty chunk; there is
-			// no payload to parse.
-			if d.raw.Len() > 0 {
-				var err error
-				if recs, err = readBinChunk(d.raw.String(), d.sch, d.rawEnc); err != nil {
-					return err
-				}
-			} else {
-				recs = nil
-			}
+		key, frag, seq := d.stageKey, d.stageFrag, d.stageSeq
+		format, enc, text := d.rawFormat, d.rawEnc, d.raw.String()
+		d.resetStage()
+		if w := d.decodeWorkers(); w > 1 {
+			job := &parseJob{key: key, frag: frag, seq: seq, format: format, enc: enc, text: text, done: make(chan struct{})}
+			d.jobs = append(d.jobs, job)
+			d.Met.Gauge("wire.decode.queue").Set(int64(len(d.jobs)))
+			go d.parseAsync(job)
+			return d.drainJobs(decQueueSlack * w)
 		}
+		recs, err := parseRawChunk(text, format, enc, frag, d.sch, &d.arena)
+		if err != nil {
+			return err
+		}
+		return d.commitRecs(key, frag, seq, recs)
 	}
+	key, frag, seq, recs := d.stageKey, d.stageFrag, d.stageSeq, d.stageRecs
+	d.resetStage()
+	if err := d.drainJobs(0); err != nil {
+		return err
+	}
+	return d.commitRecs(key, frag, seq, recs)
+}
+
+// parseRawChunk turns one raw chunk payload into records; arena supplies
+// the nodes (one arena per decode unit — the serial decoder's, or a pool
+// worker's own).
+func parseRawChunk(text, format, enc string, frag *core.Fragment, sch *schema.Schema, arena *xmltree.Arena) ([]*xmltree.Node, error) {
+	switch format {
+	case "feed":
+		in, err := ReadFeed(strings.NewReader(text), frag, sch)
+		if err != nil {
+			return nil, err
+		}
+		return in.Records, nil
+	case "bin":
+		// A self-closed bin instance announces an empty chunk; there is
+		// no payload to parse.
+		if len(text) == 0 {
+			return nil, nil
+		}
+		return readBinChunk(text, sch, enc, arena)
+	}
+	return nil, fmt.Errorf("wire: unknown chunk format %q", format)
+}
+
+// commitRecs moves one parsed chunk's records into the shared instance
+// map, under CommitLock when set; KeepRecord filters replays, and
+// ChunkDone marks the seq checkpointable.
+func (d *ShipmentDecoder) commitRecs(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error {
 	if d.CommitLock != nil {
 		d.CommitLock.Lock()
 		defer d.CommitLock.Unlock()
 	}
-	if d.stageSeq >= 0 && d.OnChunk != nil && !d.OnChunk(d.stageSeq) {
-		// Admission lapsed between the chunk's open tag and its close: a
+	if seq >= 0 && d.OnChunk != nil && !d.OnChunk(seq) {
+		// Admission lapsed between the chunk's open tag and its commit: a
 		// concurrent delivery attempt committed it first.
-		d.resetStage()
 		return nil
 	}
-	in := d.instanceFor(d.stageKey, d.stageFrag)
+	in := d.instanceFor(key, frag)
 	for _, rec := range recs {
-		if d.KeepRecord == nil || d.KeepRecord(d.stageKey, rec) {
+		if d.KeepRecord == nil || d.KeepRecord(key, rec) {
 			in.Records = append(in.Records, rec)
 		}
 	}
 	if d.ChunkDone != nil {
-		d.ChunkDone(d.stageSeq)
+		d.ChunkDone(seq)
 	}
-	d.resetStage()
 	return nil
 }
 

@@ -1,0 +1,117 @@
+package xmltree
+
+// Arena batch-allocates Nodes in slabs so hot decode and scan loops stop
+// paying one heap allocation per element instance. Records built from an
+// arena are ordinary *Node values — callers hand them to instances, stores,
+// and shipments exactly as before — but they are carved out of shared
+// backing arrays, so a slab stays reachable as long as ANY node allocated
+// from it is. The intended lifetime is therefore one decode unit (a
+// shipment, a fragment scan, a shredded document): allocate everything the
+// unit produces from one arena, let the whole unit go at once. Never use
+// one long-lived arena to build short-lived trees — the slabs would pin
+// them all.
+//
+// An Arena is not safe for concurrent use; parallel decoders give each
+// worker its own. The zero value and the nil pointer are both ready to
+// use — a nil arena falls back to plain per-node allocation, so optional
+// call sites need no branching.
+
+const (
+	// arenaMinSlab/arenaMaxSlab bound slab growth: the first slab stays
+	// small so tiny decode units don't overcommit, and doubling stops at a
+	// size where the per-node amortization is already negligible.
+	arenaMinSlab = 64
+	arenaMaxSlab = 2048
+
+	// internMaxLen and internMaxEntries bound the intern table: interning
+	// exists for short, heavily repeated leaf values (country names, flags,
+	// category labels), and an unbounded table over arbitrary payloads
+	// would be a memory leak with a map lookup tax.
+	internMaxLen     = 64
+	internMaxEntries = 4096
+)
+
+// Arena allocates Nodes in slabs and interns repeated short strings.
+type Arena struct {
+	slab   []Node
+	grow   int
+	intern map[string]string
+}
+
+// New returns a fresh zero Node carved from the arena (or heap-allocated
+// when the receiver is nil).
+func (a *Arena) New() *Node {
+	if a == nil {
+		return &Node{}
+	}
+	if len(a.slab) == 0 {
+		switch {
+		case a.grow < arenaMinSlab:
+			a.grow = arenaMinSlab
+		case a.grow < arenaMaxSlab:
+			a.grow *= 2
+		}
+		a.slab = make([]Node, a.grow)
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
+	return n
+}
+
+// Intern returns a canonical copy of s, so repeated leaf values share one
+// string header target instead of one heap copy per record. Long or unseen
+// strings pass through unchanged; a nil arena interns nothing.
+func (a *Arena) Intern(s string) string {
+	if a == nil || len(s) == 0 || len(s) > internMaxLen {
+		return s
+	}
+	if v, ok := a.intern[s]; ok {
+		return v
+	}
+	if a.intern == nil {
+		a.intern = make(map[string]string, 64)
+	}
+	if len(a.intern) < internMaxEntries {
+		a.intern[s] = s
+	}
+	return s
+}
+
+// InternBytes is Intern for byte slices: on a table hit no string is
+// allocated at all (the compiler elides the map-key conversion), which is
+// what makes interning an allocation win for binary-decoded text values.
+func (a *Arena) InternBytes(b []byte) string {
+	if a != nil && len(b) > 0 && len(b) <= internMaxLen {
+		if v, ok := a.intern[string(b)]; ok {
+			return v
+		}
+	}
+	s := string(b)
+	if a == nil || len(s) == 0 || len(s) > internMaxLen {
+		return s
+	}
+	if a.intern == nil {
+		a.intern = make(map[string]string, 64)
+	}
+	if len(a.intern) < internMaxEntries {
+		a.intern[s] = s
+	}
+	return s
+}
+
+// CloneInto deep-copies the subtree with every copied node carved from the
+// arena. CloneInto(nil) is Clone.
+func (n *Node) CloneInto(a *Arena) *Node {
+	c := a.New()
+	c.Name, c.ID, c.Parent, c.Text = n.Name, n.ID, n.Parent, n.Text
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	if len(n.Kids) > 0 {
+		c.Kids = make([]*Node, 0, len(n.Kids))
+		for _, k := range n.Kids {
+			c.Kids = append(c.Kids, k.CloneInto(a))
+		}
+	}
+	return c
+}

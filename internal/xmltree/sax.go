@@ -63,6 +63,19 @@ type AttrHandler interface {
 	EndElement(name string) error
 }
 
+// TextBytesHandler is an optional extension of AttrHandler. A handler that
+// implements it receives character data as the scanner's raw byte slice
+// instead of an allocated string; the slice aliases the scanner's buffers
+// and is valid only for the duration of the call — copy (or intern) to
+// retain. The shipment decoder uses this to intern repeated leaf values
+// and to accumulate base64 chunk bodies without an intermediate string per
+// text event. When a handler implements TextBytesHandler the scanner calls
+// TextBytes instead of Text; the events and their payloads are otherwise
+// identical.
+type TextBytesHandler interface {
+	TextBytes(data []byte) error
+}
+
 // ScanAttrs streams XML from r into h, like Scan but delivering the full
 // attribute list of every element. It is single-pass and keeps no tree in
 // memory; it is what the zero-materialization wire path parses shipments

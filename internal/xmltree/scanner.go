@@ -19,6 +19,7 @@ import (
 type attrScanner struct {
 	br    *bufio.Reader
 	h     AttrHandler
+	tb    TextBytesHandler // h's optional zero-copy text path, nil otherwise
 	names map[string]string
 	attrs []Attr
 	text  []byte // raw accumulation of the pending character data
@@ -37,6 +38,7 @@ func scanStream(r io.Reader, h AttrHandler) error {
 		h:     h,
 		names: make(map[string]string, 32),
 	}
+	s.tb, _ = h.(TextBytesHandler)
 	for {
 		err := s.scanText()
 		if err == io.EOF {
@@ -109,7 +111,7 @@ func (s *attrScanner) emitText(raw []byte) error {
 			return err
 		}
 		if t := bytes.TrimSpace(raw); len(t) > 0 {
-			return s.h.Text(string(t))
+			return s.deliverText(t)
 		}
 		return nil
 	}
@@ -122,9 +124,20 @@ func (s *attrScanner) emitText(raw []byte) error {
 		return err
 	}
 	if t := bytes.TrimSpace(dec); len(t) > 0 {
-		return s.h.Text(string(t))
+		return s.deliverText(t)
 	}
 	return nil
+}
+
+// deliverText hands trimmed character data to the handler, through the
+// zero-copy byte path when the handler supports it. t aliases the
+// scanner's buffers, so the string conversion happens only for handlers
+// that need one.
+func (s *attrScanner) deliverText(t []byte) error {
+	if s.tb != nil {
+		return s.tb.TextBytes(t)
+	}
+	return s.h.Text(string(t))
 }
 
 // checkChars enforces the XML Char production the way encoding/xml does:
@@ -465,7 +478,7 @@ func (s *attrScanner) scanCDATA() error {
 					return err
 				}
 				if t := bytes.TrimSpace(s.text); len(t) > 0 {
-					return s.h.Text(string(t))
+					return s.deliverText(t)
 				}
 			}
 			return nil

@@ -76,14 +76,7 @@ func (n *Node) Count() int {
 }
 
 // Clone returns a deep copy of the subtree.
-func (n *Node) Clone() *Node {
-	c := &Node{Name: n.Name, ID: n.ID, Parent: n.Parent, Text: n.Text}
-	c.Attrs = append(c.Attrs, n.Attrs...)
-	for _, k := range n.Kids {
-		c.Kids = append(c.Kids, k.Clone())
-	}
-	return c
-}
+func (n *Node) Clone() *Node { return n.CloneInto(nil) }
 
 // Find returns the first descendant (including n) with the given element
 // name, in document order, or nil.

@@ -1,19 +1,23 @@
 #!/bin/sh
-# Snapshot the PR 4 wire-codec benchmark set into BENCH_4.json: the four
+# Snapshot the wire-codec benchmark set into BENCH_$BENCH_N.json: the four
 # shipment-format ablations (XML, feed, bin, bin+flate on the MF and LF
-# layouts) with their wire sizes, the end-to-end Figure 9 run, and the
-# streaming codec's allocation budget. Fixed iteration counts keep the
-# run reproducible: `make bench-json` regenerates the file.
+# layouts) with their wire sizes, the end-to-end Figure 9 run, the
+# streaming codec's allocation budget, and the chunk-parallel codec's
+# worker sweep (w1 serial floor vs wN — the GOMAXPROCS scaling of the
+# pipeline). Fixed iteration counts keep the run reproducible:
+# `make bench-json` regenerates the current snapshot, and
+# `BENCH_N=6 make bench-json` starts the next one.
 #
 #   -smoke     3 iterations into a throwaway file — validates that every
 #              snapshot benchmark still runs and the JSON still parses;
 #              part of the merge gate (scripts/check.sh).
-#   -out=FILE  write somewhere other than BENCH_4.json.
+#   -out=FILE  write somewhere other than BENCH_$BENCH_N.json.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_4.json
+BENCH_N="${BENCH_N:-5}"
+OUT="BENCH_${BENCH_N}.json"
 BENCHTIME=50x
 for arg in "$@"; do
 	case "$arg" in
@@ -23,7 +27,7 @@ for arg in "$@"; do
 		;;
 	-out=*) OUT="${arg#-out=}" ;;
 	*)
-		echo "usage: $0 [-smoke] [-out=FILE]" >&2
+		echo "usage: [BENCH_N=N] $0 [-smoke] [-out=FILE]" >&2
 		exit 2
 		;;
 	esac
@@ -35,8 +39,9 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench 'BenchmarkAblation_ShipFormat' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
 go test -run '^$' -bench 'BenchmarkFigure9_EndToEnd$' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
 go test -run '^$' -bench 'BenchmarkShipmentCodecStream$' -benchmem -benchtime "$BENCHTIME" ./internal/wire/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkShipmentCodecParallel' -benchmem -benchtime "$BENCHTIME" ./internal/wire/ >>"$RAW"
 
-awk -v benchtime="$BENCHTIME" '
+awk -v benchtime="$BENCHTIME" -v snapshot="BENCH_${BENCH_N}" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -64,7 +69,7 @@ awk -v benchtime="$BENCHTIME" '
 }
 END {
 	printf "{\n"
-	printf "  \"snapshot\": \"BENCH_4\",\n"
+	printf "  \"snapshot\": \"%s\",\n", snapshot
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"goos\": \"%s\",\n", goos
 	printf "  \"goarch\": \"%s\",\n", goarch

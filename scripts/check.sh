@@ -15,10 +15,15 @@ go test -race ./...
 # without turning it into a performance run.
 make bench-smoke
 
-# Benchmark snapshot smoke: a 3-iteration pass through the BENCH_4.json
+# Benchmark snapshot smoke: a 3-iteration pass through the BENCH_N.json
 # pipeline, so a benchmark rename or output-format drift breaks the gate
 # instead of the next `make bench-json`.
 ./scripts/bench_snapshot.sh -smoke
+
+# Allocation-regression smoke: the end-to-end benchmark must stay within
+# 25% of the committed snapshot's allocs/op — the arena/slab teardown is a
+# merge-gated property, not a one-off number.
+./scripts/alloc_smoke.sh
 
 # Fault-injection soak: the reliable-exchange e2e over the widened seed
 # matrix, under the race detector. Deterministic, so a failure here is a
