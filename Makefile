@@ -39,10 +39,10 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=100x ./...
 
-# Snapshot the wire-codec benchmark set (shipment-format ablations,
-# Figure 9 end to end, streaming-codec allocations, parallel-codec worker
-# sweep) into BENCH_$(BENCH_N).json; `BENCH_N=6 make bench-json` starts
-# the next snapshot.
+# Snapshot the benchmark set (shipment-format ablations, Figure 9 end to
+# end, streaming-codec allocations, parallel-codec worker sweep, xdxload
+# traffic run) into BENCH_$(BENCH_N).json; `BENCH_N=7 make bench-json`
+# starts the next snapshot.
 bench-json:
 	./scripts/bench_snapshot.sh
 

@@ -39,6 +39,12 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit fails fast (0 = default 1s)")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for backoff jitter and session IDs (reproducible runs)")
 	codecWorkers := flag.Int("codec-workers", 0, "chunk codec pool size per shipment (0 = one per CPU, 1 = serial)")
+	exchangeWorkers := flag.Int("exchange-workers", 0, "concurrent exchange pool size (0 = 8 per GOMAXPROCS, negative = no pool: serial legacy driving)")
+	exchangeQueue := flag.Int("exchange-queue", 0, "bounded exchange FIFO depth; submissions beyond it are shed with a 503 fault (0 = 2x workers)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "max queued+running exchanges per tenant before shedding (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant exchange admission rate per second, token-bucket (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst capacity (0 = ceil(rate))")
+	planCache := flag.Bool("plan-cache", true, "cache derived plan templates per fragmentation pair, invalidated on re-registration")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log exchange activity (retries, breaker transitions, outcomes) to stderr")
 	flag.Parse()
@@ -54,9 +60,21 @@ func main() {
 		agency.SetAutoSave(*state)
 		log.Printf("xdxd: restored %d services from %s", len(agency.Services()), *state)
 	}
+	agency.SetPlanCache(*planCache)
 	svc := registry.NewService(agency, link)
 	svc.Streamed = *streamed
 	svc.ParallelChunks = *codecWorkers
+	if *exchangeWorkers >= 0 {
+		sched := registry.NewScheduler(registry.SchedulerConfig{
+			Workers:        *exchangeWorkers,
+			QueueDepth:     *exchangeQueue,
+			TenantInFlight: *tenantInflight,
+			TenantRate:     *tenantRate,
+			TenantBurst:    *tenantBurst,
+		})
+		svc.Sched = sched
+		log.Printf("xdxd: exchange pool %d workers, queue %d", sched.Workers(), sched.QueueDepth())
+	}
 	if *codec != "" {
 		if _, err := wire.ParseCodec(*codec); err != nil {
 			log.Fatal("xdxd: ", err)

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xdx/internal/core"
@@ -49,17 +51,44 @@ type Party struct {
 	Fragmentation *core.Fragmentation
 }
 
-// Agency is the discovery agency.
+// Agency is the discovery agency. Registration state lives behind a
+// read-write lock: planning and executing only ever take read snapshots,
+// so they never serialize on each other or on concurrent registrations —
+// only Register/Deregister write. A *Party is immutable once published
+// (re-registration installs a fresh Party), so a pointer copied out under
+// the read lock stays valid forever.
 type Agency struct {
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	services    map[string]map[Role]*Party
 	autosaveDir string
+
+	// epoch counts registration mutations; the plan cache uses it to
+	// discard derivations that raced a Register/Deregister.
+	epoch atomic.Int64
+	plans planCache
 }
 
 // New returns an empty agency.
 func New() *Agency {
-	return &Agency{services: make(map[string]map[Role]*Party)}
+	a := &Agency{services: make(map[string]map[Role]*Party)}
+	a.plans.init()
+	return a
 }
+
+// SetMetrics exports the agency's control-plane metrics (plan-cache hits,
+// misses, evictions, size) into m. Call before serving traffic.
+func (a *Agency) SetMetrics(m *obs.Registry) { a.plans.export(m) }
+
+// PlanCacheStats reports the plan cache's lifetime counters and current
+// entry count — the hit-rate source for load harnesses and tests.
+func (a *Agency) PlanCacheStats() (hits, misses, evictions int64, size int) {
+	return a.plans.stats()
+}
+
+// SetPlanCache enables or disables plan-template caching (on by default).
+// Disabling re-derives the mapping and program on every Plan call — the
+// pre-cache control-plane behavior, kept reachable as a load-test baseline.
+func (a *Agency) SetPlanCache(enabled bool) { a.plans.setEnabled(enabled) }
 
 // Register stores a party's WSDL document under a service name (step 1 of
 // Figure 2). A missing fragmentation defaults to the whole XML Schema.
@@ -80,6 +109,8 @@ func (a *Agency) Register(service string, role Role, wsdlDoc []byte, url string)
 		a.services[service] = make(map[Role]*Party)
 	}
 	a.services[service][role] = p
+	a.epoch.Add(1)
+	a.plans.invalidate(service)
 	if a.autosaveDir != "" {
 		if err := a.saveLocked(a.autosaveDir); err != nil {
 			return err
@@ -100,11 +131,22 @@ func (a *Agency) RegisterFromEndpoint(service string, role Role, url string) err
 	return a.Register(service, role, []byte(resp.Text), url)
 }
 
-// Party returns the registration for a role, or nil.
+// Party returns the registration for a role, or nil. The returned Party
+// is an immutable snapshot — safe to read after the lock is released.
 func (a *Agency) Party(service string, role Role) *Party {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.services[service][role]
+}
+
+// parties copies out both of a service's registrations under one read
+// lock, so a plan or execute sees a coherent source/target pair even while
+// registrations churn.
+func (a *Agency) parties(service string) (src, tgt *Party) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	m := a.services[service]
+	return m[RoleSource], m[RoleTarget]
 }
 
 // Deregister removes a party's registration (both roles when role is "").
@@ -127,22 +169,52 @@ func (a *Agency) Deregister(service string, role Role) bool {
 			delete(a.services, service)
 		}
 	}
-	if removed && a.autosaveDir != "" {
-		_ = a.saveLocked(a.autosaveDir)
+	if removed {
+		a.epoch.Add(1)
+		a.plans.invalidate(service)
+		if a.autosaveDir != "" {
+			_ = a.saveLocked(a.autosaveDir)
+		}
 	}
 	return removed
 }
 
 // Services lists registered service names.
 func (a *Agency) Services() []string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	var out []string
 	for s := range a.services {
 		out = append(out, s)
 	}
 	return out
 }
+
+// ServicesPage lists registered service names sorted lexicographically,
+// keyset-paginated: up to limit names strictly after cursor, plus the
+// cursor for the next page ("" when this page is the last). Pass cursor ""
+// for the first page; limit <= 0 takes a default page.
+func (a *Agency) ServicesPage(cursor string, limit int) (names []string, next string) {
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	all := a.Services()
+	sort.Strings(all)
+	for _, s := range all {
+		if s <= cursor {
+			continue
+		}
+		if len(names) == limit {
+			return names, names[len(names)-1]
+		}
+		names = append(names, s)
+	}
+	return names, ""
+}
+
+// DefaultPageSize is the page size ServicesPage and the List SOAP op use
+// when the caller names none.
+const DefaultPageSize = 50
 
 // Algorithm selects the program-generation strategy of §4.
 type Algorithm string
@@ -184,12 +256,52 @@ type Plan struct {
 // Plan generates and optimizes a data-transfer program for the service:
 // it derives the mapping between the registered fragmentations, probes both
 // endpoints' cost interfaces over SOAP, and runs the selected optimizer.
+//
+// Derivations are cached: the mapping and optimizer output depend only on
+// the (source fragmentation, target fragmentation, endpoint pair, options)
+// tuple, so repeated plans over the same pair return the cached immutable
+// *Plan template without re-deriving or re-probing (Mahboubi & Darmont:
+// fragmentation-derived artifacts are reusable across queries). The cache
+// is invalidated whenever the service re-registers or deregisters. Callers
+// must treat the returned Plan as read-only.
 func (a *Agency) Plan(service string, opts PlanOptions) (*Plan, error) {
-	src := a.Party(service, RoleSource)
-	tgt := a.Party(service, RoleTarget)
+	epoch := a.epoch.Load()
+	src, tgt := a.parties(service)
 	if src == nil || tgt == nil {
 		return nil, fmt.Errorf("registry: service %q needs both a source and a target registration", service)
 	}
+	key := planKey(src, tgt, opts)
+	p, flight, leader := a.plans.join(service, key)
+	if p != nil {
+		return p, nil
+	}
+	if !leader {
+		// Another caller is deriving this very key; wait for its answer
+		// instead of stampeding the endpoints with duplicate probe rounds.
+		<-flight.done
+		if flight.err != nil {
+			return nil, flight.err
+		}
+		a.plans.coalescedHit()
+		return flight.p, nil
+	}
+	p, err := a.derivePlan(service, src, tgt, opts)
+	if flight != nil {
+		defer func() { a.plans.finish(service, key, flight, p, err) }()
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The epoch check drops derivations whose party snapshot predates a
+	// registration change; waiters coalesced onto this flight still receive
+	// the plan (they raced the change exactly as a lone caller would have).
+	a.plans.put(service, key, p, func() bool { return a.epoch.Load() == epoch })
+	return p, nil
+}
+
+// derivePlan is the uncached step 2/3 work: mapping derivation, stats
+// probes against both live endpoints, and optimizer search.
+func (a *Agency) derivePlan(service string, src, tgt *Party, opts PlanOptions) (*Plan, error) {
 	// The two parties agreed on one XML Schema; align the target's
 	// fragmentation onto the source's schema object.
 	tgtFrag, err := realign(tgt.Fragmentation, src.Fragmentation)
@@ -319,8 +431,7 @@ type ProbedCost struct {
 // answers together with their sum. It lets an operator check a plan's
 // estimate against the systems' own current numbers before executing.
 func (a *Agency) VerifyPlan(service string, plan *Plan) ([]ProbedCost, float64, error) {
-	src := a.Party(service, RoleSource)
-	tgt := a.Party(service, RoleTarget)
+	src, tgt := a.parties(service)
 	if src == nil || tgt == nil {
 		return nil, 0, fmt.Errorf("registry: service %q not fully registered", service)
 	}
@@ -478,6 +589,14 @@ type ExecOptions struct {
 	// CPU, 1 or less runs the codecs in-line. The wire bytes and the
 	// decoded instances are identical for every setting.
 	ParallelChunks int
+	// Scheduler, when set, routes the drive through the admission-
+	// controlled exchange pool: the exchange waits for a worker under
+	// Tenant's budgets and runs there, or is shed immediately with a
+	// soap.CodeOverloaded fault (see Scheduler.Submit).
+	Scheduler *Scheduler
+	// Tenant names the admission-control bucket the exchange charges
+	// against; empty defaults to the service name.
+	Tenant string
 }
 
 // client builds a SOAP client for url honoring the configured transport.
@@ -524,6 +643,20 @@ func (a *Agency) Execute(service string, plan *Plan, link netsim.Link) (*Report,
 // tree (Report.Trace) and, when opts wires a Logger/Metrics, emits
 // exchange.* observability.
 func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Report, error) {
+	if opts.Scheduler != nil {
+		sched, tenant := opts.Scheduler, opts.Tenant
+		if tenant == "" {
+			tenant = service
+		}
+		opts.Scheduler = nil
+		var report *Report
+		err := sched.Submit(tenant, func() error {
+			var e error
+			report, e = a.ExecuteOpts(service, plan, opts)
+			return e
+		})
+		return report, err
+	}
 	start := time.Now()
 	met := opts.Metrics
 	log := obs.OrNop(opts.Logger)
@@ -577,8 +710,7 @@ func newTrace(service, path string) *obs.Span {
 // forward the shipment subtree, materialize the target response.
 func (a *Agency) executeTree(service string, plan *Plan, opts ExecOptions) (*Report, error) {
 	link := opts.Link
-	src := a.Party(service, RoleSource)
-	tgt := a.Party(service, RoleTarget)
+	src, tgt := a.parties(service)
 	if src == nil || tgt == nil {
 		return nil, fmt.Errorf("registry: service %q not fully registered", service)
 	}

@@ -59,8 +59,7 @@ func wireExchangeObs(ex *reliable.Exchange, opts ExecOptions) {
 // executeReliable drives an exchange end-to-end under the reliability
 // config: retried source execution, resumable chunked target delivery.
 func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (*Report, error) {
-	src := a.Party(service, RoleSource)
-	tgt := a.Party(service, RoleTarget)
+	src, tgt := a.parties(service)
 	if src == nil || tgt == nil {
 		return nil, fmt.Errorf("registry: service %q not fully registered", service)
 	}

@@ -1,0 +1,318 @@
+package registry
+
+// The concurrent exchange scheduler: the agency's admission-controlled
+// worker pool. One exchange is a chain of SOAP round trips — mostly wait —
+// so a single-file agency wastes almost all of its wall clock. The
+// scheduler runs a bounded pool of workers over a FIFO queue, with two
+// per-tenant budgets in front of it:
+//
+//   - max in-flight: a tenant may hold at most TenantInFlight slots
+//     (queued + executing) at once, so one hot tenant cannot occupy the
+//     whole pool;
+//   - token bucket: a tenant admits at most TenantRate exchanges/second
+//     with TenantBurst of headroom, smoothing bursts into the pool.
+//
+// Work over budget — or arriving at a full queue — is shed immediately
+// with a typed soap fault (soap.CodeOverloaded, HTTP 503) instead of
+// queueing without bound: the client learns in microseconds that it must
+// back off, and everyone else's latency stays flat.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdx/internal/obs"
+	"xdx/internal/soap"
+)
+
+// SchedulerConfig tunes the exchange worker pool and its admission
+// control. The zero value is a usable default: GOMAXPROCS-scaled workers,
+// a queue twice the pool, and no per-tenant budgets.
+type SchedulerConfig struct {
+	// Workers is the pool size. Exchanges spend most of their time waiting
+	// on endpoint round trips, so the default over-subscribes the CPUs:
+	// 8 x GOMAXPROCS, floor 8.
+	Workers int
+	// QueueDepth bounds the FIFO of admitted-but-not-running exchanges;
+	// submissions beyond it are shed. 0 means 2 x Workers.
+	QueueDepth int
+	// TenantInFlight caps one tenant's queued+executing exchanges.
+	// 0 means unlimited.
+	TenantInFlight int
+	// TenantRate is a per-tenant token-bucket refill rate in exchanges per
+	// second; 0 means unlimited.
+	TenantRate float64
+	// TenantBurst is the bucket capacity — how many exchanges a tenant may
+	// admit back-to-back before the rate applies. 0 means max(1, ceil(rate)).
+	TenantBurst int
+}
+
+// DefaultWorkers resolves the pool size for a config.
+func (c SchedulerConfig) DefaultWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	n := 8 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func (c SchedulerConfig) defaultQueueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 2 * c.DefaultWorkers()
+}
+
+func (c SchedulerConfig) defaultBurst() int {
+	if c.TenantBurst > 0 {
+		return c.TenantBurst
+	}
+	if c.TenantRate <= 0 {
+		return 0
+	}
+	b := int(c.TenantRate)
+	if float64(b) < c.TenantRate {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// ErrSchedulerClosed is returned by Submit after Close.
+var ErrSchedulerClosed = errors.New("registry: scheduler closed")
+
+// schedJob is one queued exchange. claimed arbitrates the Close race: a
+// worker claims the job before running it, the submitter claims it when
+// abandoning the queue on shutdown — exactly one side wins, so the
+// tenant's in-flight slot is released exactly once.
+type schedJob struct {
+	tenant   string
+	fn       func() error
+	done     chan error
+	enqueued time.Time
+	claimed  atomic.Bool
+}
+
+// tenantState is one tenant's admission bookkeeping, guarded by the
+// scheduler mutex.
+type tenantState struct {
+	inFlight int
+	tokens   float64
+	last     time.Time
+}
+
+// Scheduler is the bounded, admission-controlled exchange pool. Create
+// with NewScheduler, submit work with Submit, stop with Close.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	workers int
+	burst   int
+	queue   chan *schedJob
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	closed  bool
+
+	running atomic.Int64
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	shed      atomic.Int64
+
+	met *obs.Registry
+	log obs.Logger
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{
+		cfg:     cfg,
+		workers: cfg.DefaultWorkers(),
+		burst:   cfg.defaultBurst(),
+		quit:    make(chan struct{}),
+		tenants: make(map[string]*tenantState),
+	}
+	s.queue = make(chan *schedJob, cfg.defaultQueueDepth())
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// SetObs attaches observability: queue-depth and in-flight gauges, shed
+// and completion counters, queue-wait and per-tenant latency histograms.
+// Call before submitting traffic; either argument may be nil.
+func (s *Scheduler) SetObs(l obs.Logger, m *obs.Registry) {
+	s.log = l
+	s.met = m
+	if m == nil {
+		return
+	}
+	m.Func("sched.queue.depth", func() any { return len(s.queue) })
+	m.Func("sched.inflight", func() any { return s.running.Load() })
+	m.Func("sched.workers", func() any { return s.workers })
+	m.Func("sched.accepted", func() any { return s.accepted.Load() })
+	m.Func("sched.completed", func() any { return s.completed.Load() })
+	m.Func("sched.failed", func() any { return s.failed.Load() })
+	m.Func("sched.shed", func() any { return s.shed.Load() })
+}
+
+// Stats reports lifetime submission counters.
+func (s *Scheduler) Stats() (accepted, completed, failed, shed int64) {
+	return s.accepted.Load(), s.completed.Load(), s.failed.Load(), s.shed.Load()
+}
+
+// Workers reports the pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// QueueDepth reports the FIFO capacity.
+func (s *Scheduler) QueueDepth() int { return cap(s.queue) }
+
+// Close stops the pool: no new submissions are accepted, and workers exit
+// after their current job. Jobs still queued are failed back to their
+// submitters with ErrSchedulerClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// admit runs the per-tenant budgets, reserving an in-flight slot on
+// success. The caller must releaseTenant on any later failure to enqueue.
+func (s *Scheduler) admit(tenant string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSchedulerClosed
+	}
+	t := s.tenants[tenant]
+	if t == nil {
+		t = &tenantState{tokens: float64(s.burst), last: time.Now()}
+		s.tenants[tenant] = t
+	}
+	if s.cfg.TenantInFlight > 0 && t.inFlight >= s.cfg.TenantInFlight {
+		return soap.OverloadedFault(fmt.Sprintf("tenant %q over in-flight budget (%d)", tenant, s.cfg.TenantInFlight))
+	}
+	if s.cfg.TenantRate > 0 {
+		now := time.Now()
+		t.tokens += now.Sub(t.last).Seconds() * s.cfg.TenantRate
+		t.last = now
+		if max := float64(s.burst); t.tokens > max {
+			t.tokens = max
+		}
+		if t.tokens < 1 {
+			return soap.OverloadedFault(fmt.Sprintf("tenant %q over rate budget (%g/s)", tenant, s.cfg.TenantRate))
+		}
+		t.tokens--
+	}
+	t.inFlight++
+	return nil
+}
+
+// releaseTenant returns a tenant's in-flight slot.
+func (s *Scheduler) releaseTenant(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[tenant]
+	if t == nil {
+		return
+	}
+	t.inFlight--
+	if t.inFlight <= 0 && t.tokens >= float64(s.burst) {
+		// Idle tenant with a full bucket carries no state worth keeping.
+		delete(s.tenants, tenant)
+	}
+}
+
+// Submit runs fn on the pool under tenant's budgets and blocks until it
+// finishes, returning its error. Over-budget or queue-full submissions are
+// shed immediately with a soap.CodeOverloaded fault; soap.IsOverloaded
+// classifies the error.
+func (s *Scheduler) Submit(tenant string, fn func() error) error {
+	if err := s.admit(tenant); err != nil {
+		if soap.IsOverloaded(err) {
+			s.shedOne(tenant, err)
+		}
+		return err
+	}
+	job := &schedJob{tenant: tenant, fn: fn, done: make(chan error, 1), enqueued: time.Now()}
+	select {
+	case s.queue <- job:
+	default:
+		s.releaseTenant(tenant)
+		err := soap.OverloadedFault(fmt.Sprintf("exchange queue full (%d)", cap(s.queue)))
+		s.shedOne(tenant, err)
+		return err
+	}
+	s.accepted.Add(1)
+	select {
+	case err := <-job.done:
+		return err
+	case <-s.quit:
+		if job.claimed.CompareAndSwap(false, true) {
+			// The job was still queued; no worker will run it.
+			s.releaseTenant(tenant)
+			return ErrSchedulerClosed
+		}
+		// A worker claimed it before shutdown; it will finish and answer.
+		return <-job.done
+	}
+}
+
+// shedOne records one shed submission.
+func (s *Scheduler) shedOne(tenant string, err error) {
+	s.shed.Add(1)
+	s.met.Counter("sched.shed.total").Inc()
+	s.met.Counter("sched.shed." + tenant).Inc()
+	obs.OrNop(s.log).Log(obs.LevelWarn, "exchange shed", "tenant", tenant, "err", err.Error())
+}
+
+// worker drains the FIFO until Close.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case job := <-s.queue:
+			if job.claimed.CompareAndSwap(false, true) {
+				s.run(job)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// run executes one job, recording queue wait and end-to-end latency.
+func (s *Scheduler) run(job *schedJob) {
+	s.running.Add(1)
+	s.met.Histogram("sched.wait.millis").ObserveSince(job.enqueued)
+	err := job.fn()
+	s.running.Add(-1)
+	s.releaseTenant(job.tenant)
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	s.met.Histogram("exchange.tenant." + job.tenant + ".millis").ObserveSince(job.enqueued)
+	job.done <- err
+}

@@ -35,6 +35,13 @@ type Service struct {
 	// service drives (ExecOptions.ParallelChunks): 0 is one worker per
 	// CPU, 1 or less runs the codecs in-line.
 	ParallelChunks int
+	// Sched, when set, drives every Exchange request through the
+	// admission-controlled worker pool: plan derivation and the drive both
+	// run on a pool worker under the requesting service's tenant budgets,
+	// and over-budget requests are shed with a soap.CodeOverloaded fault
+	// (HTTP 503). Nil keeps the caller's goroutine driving the exchange
+	// directly. Set before SetObs so the pool's gauges are exported.
+	Sched *Scheduler
 
 	srv *soap.Server
 	log obs.Logger
@@ -46,6 +53,7 @@ func NewService(a *Agency, link netsim.Link) *Service {
 	s := &Service{Agency: a, Link: link, srv: soap.NewServer()}
 	s.srv.Handle("Register", s.register)
 	s.srv.Handle("Discover", s.discover)
+	s.srv.Handle("List", s.list)
 	s.srv.Handle("Plan", s.plan)
 	s.srv.Handle("Exchange", s.exchange)
 	return s
@@ -59,6 +67,10 @@ func (s *Service) SetObs(l obs.Logger, m *obs.Registry) {
 	s.log = l
 	s.met = m
 	s.srv.SetObs(l, m)
+	s.Agency.SetMetrics(m)
+	if s.Sched != nil {
+		s.Sched.SetObs(l, m)
+	}
 	if s.Reliability == nil || s.Reliability.Breakers == nil || (l == nil && m == nil) {
 		return
 	}
@@ -98,6 +110,54 @@ func (s *Service) discover(req *xmltree.Node) (*xmltree.Node, error) {
 
 // Handler returns the HTTP handler.
 func (s *Service) Handler() http.Handler { return s.srv }
+
+// maxPageSize caps a List page so a tenant cannot request an unbounded
+// body anyway.
+const maxPageSize = 500
+
+// list handles <List cursor=".." pageSize=".."/>: a keyset-paginated
+// tenant listing. The response carries one <service> element per
+// registered service on the page, each with its <party> registrations,
+// and a nextCursor attribute to resume from ("" / absent on the last
+// page) — bounded bodies no matter how many tenants are registered.
+func (s *Service) list(req *xmltree.Node) (*xmltree.Node, error) {
+	cursor, _ := req.Attr("cursor")
+	limit := 0
+	if v, ok := req.Attr("pageSize"); ok && v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, &soap.Fault{Code: "soap:Client", String: "pageSize must be a positive integer"}
+		}
+		limit = n
+	}
+	if limit > maxPageSize {
+		limit = maxPageSize
+	}
+	names, next := s.Agency.ServicesPage(cursor, limit)
+	resp := &xmltree.Node{Name: "ListResponse"}
+	resp.SetAttr("count", strconv.Itoa(len(names)))
+	if next != "" {
+		resp.SetAttr("nextCursor", next)
+	}
+	for _, name := range names {
+		sx := &xmltree.Node{Name: "service"}
+		sx.SetAttr("name", name)
+		for _, role := range []Role{RoleSource, RoleTarget} {
+			p := s.Agency.Party(name, role)
+			if p == nil {
+				continue
+			}
+			px := &xmltree.Node{Name: "party"}
+			px.SetAttr("role", string(role))
+			px.SetAttr("url", p.URL)
+			px.SetAttr("fragmentation", p.Fragmentation.Name)
+			px.SetAttr("fragments", strconv.Itoa(p.Fragmentation.Len()))
+			sx.AddKid(px)
+		}
+		resp.AddKid(sx)
+	}
+	return resp, nil
+}
 
 // register handles <Register service=".." role=".." url=".."> with the
 // WSDL definitions document as its child.
@@ -166,8 +226,26 @@ func (s *Service) reqCodec(req *xmltree.Node) string {
 }
 
 // exchange handles <Exchange service=".." algorithm=".." codec=".."/>:
-// plan and run.
+// plan and run. With a scheduler installed the whole unit — plan
+// derivation (cache-served after the first exchange of a pair) plus the
+// drive — runs on a pool worker under the service's tenant budgets; the
+// SOAP goroutine just waits for the answer or the shed fault.
 func (s *Service) exchange(req *xmltree.Node) (*xmltree.Node, error) {
+	if s.Sched != nil {
+		service, _ := req.Attr("service")
+		var resp *xmltree.Node
+		err := s.Sched.Submit(service, func() error {
+			var e error
+			resp, e = s.exchangeNow(req)
+			return e
+		})
+		return resp, err
+	}
+	return s.exchangeNow(req)
+}
+
+// exchangeNow plans and drives one exchange on the calling goroutine.
+func (s *Service) exchangeNow(req *xmltree.Node) (*xmltree.Node, error) {
 	service, _ := req.Attr("service")
 	algStr, _ := req.Attr("algorithm")
 	alg := AlgGreedy

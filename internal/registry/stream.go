@@ -132,8 +132,7 @@ func (s *sourceRespScan) EndElement(name string) error {
 // <shipment>/<instance> wrappers).
 func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (*Report, error) {
 	link := opts.Link
-	src := a.Party(service, RoleSource)
-	tgt := a.Party(service, RoleTarget)
+	src, tgt := a.parties(service)
 	if src == nil || tgt == nil {
 		return nil, fmt.Errorf("registry: service %q not fully registered", service)
 	}

@@ -1,0 +1,56 @@
+package soap
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"xdx/internal/xmltree"
+)
+
+// An overload fault must travel the wire as HTTP 503 with its typed code
+// intact, so clients can classify shedding without string matching.
+func TestOverloadedFaultOverHTTP(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("Poke", func(req *xmltree.Node) (*xmltree.Node, error) {
+		return nil, OverloadedFault("pool saturated")
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	c := &Client{URL: hs.URL}
+	_, err := c.Call("Poke", &xmltree.Node{Name: "Poke"})
+	if err == nil {
+		t.Fatal("overloaded handler answered without error")
+	}
+	if !IsOverloaded(err) {
+		t.Fatalf("IsOverloaded(%v) = false", err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %T is not a *Fault", err)
+	}
+	if f.Code != CodeOverloaded {
+		t.Errorf("fault code %q, want %q", f.Code, CodeOverloaded)
+	}
+	if f.HTTPStatus != 503 {
+		t.Errorf("fault carried HTTP %d, want 503", f.HTTPStatus)
+	}
+	if f.Detail != "pool saturated" {
+		t.Errorf("fault detail %q lost in transit", f.Detail)
+	}
+}
+
+// Other faults keep their existing statuses: a plain server fault is not
+// classified as overload.
+func TestIsOverloadedRejectsOtherErrors(t *testing.T) {
+	if IsOverloaded(errors.New("boom")) {
+		t.Error("plain error classified as overload")
+	}
+	if IsOverloaded(&Fault{Code: "soap:Server", String: "x"}) {
+		t.Error("generic server fault classified as overload")
+	}
+	if !IsOverloaded(OverloadedFault("d")) {
+		t.Error("OverloadedFault not classified as overload")
+	}
+}

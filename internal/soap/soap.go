@@ -6,6 +6,7 @@ package soap
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -36,6 +37,40 @@ func (f *Fault) Error() string {
 		return fmt.Sprintf("soap: fault %s (HTTP %d): %s", f.Code, f.HTTPStatus, f.String)
 	}
 	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.String)
+}
+
+// CodeOverloaded is the fault code a server sheds load with: the request
+// was admissible but the server is over its concurrency or rate budget.
+// Shed faults travel as HTTP 503 so intermediaries and retry policies see
+// a standard transient-overload signal.
+const CodeOverloaded = "soap:Server.Overloaded"
+
+// OverloadedFault builds a load-shed fault. The detail string names the
+// exhausted budget ("tenant svc over in-flight budget", "queue full") so
+// clients can distinguish their own overdrive from global pressure.
+func OverloadedFault(detail string) *Fault {
+	return &Fault{
+		Code:       CodeOverloaded,
+		String:     "server over capacity",
+		Detail:     detail,
+		HTTPStatus: http.StatusServiceUnavailable,
+	}
+}
+
+// IsOverloaded reports whether err is (or wraps) a load-shed fault.
+func IsOverloaded(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Code == CodeOverloaded
+}
+
+// faultStatus picks the HTTP status a server-side fault is sent under: the
+// fault's own HTTPStatus when a handler set one (e.g. 503 on load shed),
+// 500 otherwise.
+func faultStatus(f *Fault) int {
+	if f.HTTPStatus >= 400 && f.HTTPStatus < 600 {
+		return f.HTTPStatus
+	}
+	return http.StatusInternalServerError
 }
 
 // Envelope wraps a body payload in a SOAP envelope.

@@ -762,7 +762,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.fault(w, rf.status, rf.f)
 		case errors.As(err, &he):
 			if f, ok := he.err.(*Fault); ok {
-				s.fault(w, http.StatusInternalServerError, f)
+				s.fault(w, faultStatus(f), f)
 			} else {
 				s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: he.err.Error()})
 			}
@@ -783,7 +783,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if err := walk.respond(ew); err != nil {
 			if !ew.started {
 				if f, ok := err.(*Fault); ok {
-					s.fault(w, http.StatusInternalServerError, f)
+					s.fault(w, faultStatus(f), f)
 				} else {
 					s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: err.Error()})
 				}
@@ -801,7 +801,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp, err := walk.legacy(walk.tree.Root())
 		if err != nil {
 			if f, ok := err.(*Fault); ok {
-				s.fault(w, http.StatusInternalServerError, f)
+				s.fault(w, faultStatus(f), f)
 				return
 			}
 			s.fault(w, http.StatusInternalServerError, &Fault{Code: "soap:Server", String: err.Error()})

@@ -1,29 +1,34 @@
 #!/bin/sh
-# Snapshot the wire-codec benchmark set into BENCH_$BENCH_N.json: the four
+# Snapshot the benchmark set into BENCH_$BENCH_N.json: the four
 # shipment-format ablations (XML, feed, bin, bin+flate on the MF and LF
 # layouts) with their wire sizes, the end-to-end Figure 9 run, the
-# streaming codec's allocation budget, and the chunk-parallel codec's
-# worker sweep (w1 serial floor vs wN — the GOMAXPROCS scaling of the
-# pipeline). Fixed iteration counts keep the run reproducible:
-# `make bench-json` regenerates the current snapshot, and
-# `BENCH_N=6 make bench-json` starts the next one.
+# streaming codec's allocation budget, the chunk-parallel codec's worker
+# sweep, and a full xdxload traffic run (serial baseline vs the scheduled
+# concurrent control plane, with plan-cache hit rate) embedded as the
+# "load" section. GOMAXPROCS and the CPU count are recorded so a snapshot
+# is never compared across core counts by accident. Fixed iteration counts
+# keep the run reproducible: `make bench-json` regenerates the current
+# snapshot, and `BENCH_N=7 make bench-json` starts the next one.
 #
-#   -smoke     3 iterations into a throwaway file — validates that every
-#              snapshot benchmark still runs and the JSON still parses;
-#              part of the merge gate (scripts/check.sh).
+#   -smoke     3 iterations and a scaled-down load run into a throwaway
+#              file — validates that every snapshot benchmark still runs
+#              and the JSON still parses; part of the merge gate
+#              (scripts/check.sh).
 #   -out=FILE  write somewhere other than BENCH_$BENCH_N.json.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH_N="${BENCH_N:-5}"
+BENCH_N="${BENCH_N:-6}"
 OUT="BENCH_${BENCH_N}.json"
 BENCHTIME=50x
+LOAD_ARGS="-tenants 4 -concurrency 32 -ops 256 -check -min-speedup 3"
 for arg in "$@"; do
 	case "$arg" in
 	-smoke)
 		BENCHTIME=3x
 		OUT="${TMPDIR:-/tmp}/bench_smoke_$$.json"
+		LOAD_ARGS="-tenants 2 -concurrency 8 -ops 24 -net-latency 2ms -check"
 		;;
 	-out=*) OUT="${arg#-out=}" ;;
 	*)
@@ -34,7 +39,13 @@ for arg in "$@"; do
 done
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+LOAD="$(mktemp)"
+trap 'rm -f "$RAW" "$LOAD"' EXIT
+
+# The traffic run first: it fails loudly (-check) if the control plane
+# regressed, before any benchmark time is spent.
+# shellcheck disable=SC2086
+go run ./cmd/xdxload $LOAD_ARGS -quiet -out "$LOAD"
 
 go test -run '^$' -bench 'BenchmarkAblation_ShipFormat' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
 go test -run '^$' -bench 'BenchmarkFigure9_EndToEnd$' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
@@ -76,10 +87,18 @@ END {
 	printf "  \"cpu\": \"%s\",\n", cpu
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
-	printf "  ]\n"
-	printf "}\n"
+	printf "  ],\n"
 }
 ' "$RAW" >"$OUT"
+
+# Close the snapshot with the machine shape and the embedded load report.
+{
+	printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc)}"
+	printf '  "num_cpu": %s,\n' "$(nproc)"
+	printf '  "load": '
+	cat "$LOAD"
+	printf '}\n'
+} >>"$OUT"
 
 # A snapshot that silently captured zero benchmarks is a broken snapshot.
 grep -q '"name":' "$OUT" || { echo "bench_snapshot: no benchmarks captured" >&2; exit 1; }

@@ -34,3 +34,8 @@ make soak
 # /metrics snapshot on -metrics-addr. Guards the daemon wiring the package
 # tests cannot see (flag parsing, the separate ops listener).
 ./scripts/obs_smoke.sh
+
+# Load-harness smoke: a small xdxload run over real loopback HTTP must show
+# nonzero throughput with zero failed exchanges in both the serial and the
+# scheduled drive mode — the control plane's end-to-end gate.
+./scripts/load_smoke.sh
