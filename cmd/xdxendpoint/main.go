@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"xdx/internal/core"
+	"xdx/internal/durable"
 	"xdx/internal/endpoint"
 	"xdx/internal/netsim"
 	"xdx/internal/obs"
@@ -43,6 +44,9 @@ func main() {
 	fault5xx := flag.Float64("fault-5xx", 0, "probability a request is answered with a plain 503")
 	faultMaxTruncate := flag.Int("fault-max-truncate", 0, "max bytes before a truncation cut (0 = default 4096)")
 	codecWorkers := flag.Int("codec-workers", 0, "chunk codec pool size per shipment (0 = one per CPU, 1 = serial)")
+	walDir := flag.String("wal-dir", "", "directory for the session write-ahead log; on start, journaled sessions are recovered so interrupted exchanges resume (empty = memory-only)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL sync policy: always (sync per commit), interval (background), or off")
+	snapshotEvery := flag.Int("snapshot-every", 256, "WAL appends between snapshot+compact cycles (0 = never compact)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log request and execution activity to stderr")
 	flag.Parse()
@@ -111,6 +115,27 @@ func main() {
 	}
 	if logger != nil || metrics != nil {
 		ep.SetObs(logger, metrics)
+	}
+
+	if *walDir != "" {
+		policy, err := durable.ParseFsync(*fsyncPolicy)
+		if err != nil {
+			log.Fatal("xdxendpoint: ", err)
+		}
+		journal, err := durable.OpenJournal(*walDir, durable.Options{
+			Fsync:         policy,
+			SnapshotEvery: *snapshotEvery,
+			Log:           logger,
+			Met:           metrics,
+		})
+		if err != nil {
+			log.Fatal("xdxendpoint: ", err)
+		}
+		defer journal.Close()
+		restored := ep.SetJournal(journal)
+		st := journal.RecoveryStats()
+		log.Printf("xdxendpoint: wal %s (fsync=%s): recovered %d sessions, %d records in %s",
+			*walDir, policy, restored, st.Records, st.Elapsed.Round(time.Microsecond))
 	}
 
 	// Collect abandoned resumable sessions in the background; the

@@ -1,0 +1,315 @@
+package durable
+
+// Journal is the session-level client of the WAL: it logs the endpoint's
+// resumable-session lifecycle (mint, chunk commit, end) as one XML payload
+// per frame, keeps a shadow copy of the live state, and compacts the log
+// into a snapshot of that shadow every SnapshotEvery appends. After a
+// crash, OpenJournal rebuilds the shadow from snapshot+log; the endpoint
+// re-seeds its session store from Sessions() — ledger checkpoint, seen
+// record IDs, and the committed chunk contents a resumed delivery's
+// execute needs.
+//
+// Record formats (one tree per frame):
+//
+//	<s id="SID"/>                                   session minted
+//	<c id="SID" key="K" frag="F" seq="N">recs</c>   chunk committed
+//	<e id="SID"/>                                   session ended
+//
+// Chunk records carry the post-dedup records with their instance IDs
+// (EmitAllIDs), so replay reconstructs both the instance map and the
+// idempotency ledger exactly. All three ops are idempotent under replay —
+// re-minting is a no-op, a chunk with a seq below the rebuilt checkpoint
+// is skipped, ending an unknown session is fine — which is what makes the
+// snapshot/truncate crash window of WAL.Snapshot safe.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xdx/internal/xmltree"
+)
+
+// SessionChunk is one committed chunk recovered from (or headed to) the
+// journal: the cross-edge instance key, the fragment name to resolve
+// against the resumed program, the chunk sequence, and the committed
+// records.
+type SessionChunk struct {
+	Key  string
+	Frag string
+	Seq  int64
+	Recs []*xmltree.Node
+}
+
+// JSession is the recovered durable state of one session.
+type JSession struct {
+	// ID names the session on the wire.
+	ID string
+	// Next is the rebuilt chunk checkpoint (lowest seq not yet committed).
+	Next int64
+	// Chunks are the committed chunks in commit order.
+	Chunks []SessionChunk
+}
+
+// Journal persists session state through a WAL.
+type Journal struct {
+	wal *WAL
+
+	mu       sync.Mutex
+	sessions map[string]*JSession
+	appends  int // since last snapshot
+	every    int
+
+	stats RecoveryStats
+}
+
+// OpenJournal opens the WAL in dir and recovers the journaled sessions.
+func OpenJournal(dir string, o Options) (*Journal, error) {
+	w, err := Open(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{wal: w, sessions: map[string]*JSession{}, every: o.SnapshotEvery}
+	st, err := w.Recover(j.replaySnapshot, j.replayRecord)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	j.stats = st
+	return j, nil
+}
+
+// RecoveryStats reports what recovery found when the journal was opened.
+func (j *Journal) RecoveryStats() RecoveryStats { return j.stats }
+
+// Sessions returns the recovered (or current) durable sessions, sorted by
+// ID. Chunk record trees are shared with the shadow state and must be
+// treated as immutable.
+func (j *Journal) Sessions() []*JSession {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*JSession, 0, len(j.sessions))
+	for _, s := range j.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Len reports the live journaled session count.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.sessions)
+}
+
+// Mint journals a new session. Re-minting a known session is a no-op.
+func (j *Journal) Mint(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.sessions[id] != nil {
+		return nil
+	}
+	n := &xmltree.Node{Name: "s"}
+	n.SetAttr("id", id)
+	if err := j.appendLocked(n); err != nil {
+		return err
+	}
+	j.sessions[id] = &JSession{ID: id}
+	return j.maybeCompactLocked()
+}
+
+// Chunk journals one committed chunk: it must be called before the chunk's
+// checkpoint is allowed to advance, so a crash after this call replays the
+// commit and a crash before it re-ships the chunk. The records are the
+// post-dedup set actually committed.
+func (j *Journal) Chunk(id, key, frag string, seq int64, recs []*xmltree.Node) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := &xmltree.Node{Name: "c"}
+	n.SetAttr("id", id)
+	n.SetAttr("key", key)
+	n.SetAttr("frag", frag)
+	n.SetAttr("seq", strconv.FormatInt(seq, 10))
+	n.Kids = recs
+	if err := j.appendLocked(n); err != nil {
+		return err
+	}
+	j.applyChunkLocked(id, SessionChunk{Key: key, Frag: frag, Seq: seq, Recs: recs})
+	return j.maybeCompactLocked()
+}
+
+// End journals the release of sessions (EndSession, sweeps) and drops them
+// from the shadow state, shrinking the next snapshot.
+func (j *Journal) End(ids ...string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var firstErr error
+	for _, id := range ids {
+		if j.sessions[id] == nil {
+			continue
+		}
+		n := &xmltree.Node{Name: "e"}
+		n.SetAttr("id", id)
+		if err := j.appendLocked(n); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		delete(j.sessions, id)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return j.maybeCompactLocked()
+}
+
+// Compact snapshots the shadow state and truncates the log.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+// Close syncs and releases the underlying WAL.
+func (j *Journal) Close() error { return j.wal.Close() }
+
+func (j *Journal) appendLocked(n *xmltree.Node) error {
+	var b strings.Builder
+	if err := xmltree.Write(&b, n, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+		return err
+	}
+	j.appends++
+	return j.wal.Append([]byte(b.String()))
+}
+
+func (j *Journal) maybeCompactLocked() error {
+	if j.every <= 0 || j.appends < j.every {
+		return nil
+	}
+	return j.compactLocked()
+}
+
+// compactLocked serializes the shadow state as <journal><s…><c…/></s></journal>
+// and hands it to WAL.Snapshot.
+func (j *Journal) compactLocked() error {
+	root := &xmltree.Node{Name: "journal"}
+	ids := make([]string, 0, len(j.sessions))
+	for id := range j.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := j.sessions[id]
+		sn := &xmltree.Node{Name: "s"}
+		sn.SetAttr("id", s.ID)
+		sn.SetAttr("next", strconv.FormatInt(s.Next, 10))
+		for _, c := range s.Chunks {
+			cn := &xmltree.Node{Name: "c"}
+			cn.SetAttr("key", c.Key)
+			cn.SetAttr("frag", c.Frag)
+			cn.SetAttr("seq", strconv.FormatInt(c.Seq, 10))
+			cn.Kids = c.Recs
+			sn.AddKid(cn)
+		}
+		root.AddKid(sn)
+	}
+	var b strings.Builder
+	if err := xmltree.Write(&b, root, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+		return err
+	}
+	if err := j.wal.Snapshot([]byte(b.String())); err != nil {
+		return err
+	}
+	j.appends = 0
+	return nil
+}
+
+// applyChunkLocked folds one chunk commit into the shadow state, with the
+// ledger's checkpoint rule (seq >= next advances next to seq+1; seqless
+// chunks leave it alone). Replayed duplicates — a stale log record applied
+// over a newer snapshot — are skipped by the same rule.
+func (j *Journal) applyChunkLocked(id string, c SessionChunk) {
+	s := j.sessions[id]
+	if s == nil {
+		s = &JSession{ID: id}
+		j.sessions[id] = s
+	}
+	if c.Seq >= 0 && c.Seq < s.Next {
+		return // already compacted into the snapshot; idempotent replay
+	}
+	s.Chunks = append(s.Chunks, c)
+	if c.Seq >= s.Next {
+		s.Next = c.Seq + 1
+	}
+}
+
+// replaySnapshot rebuilds the shadow state from a compacted snapshot.
+func (j *Journal) replaySnapshot(payload []byte) error {
+	root, err := xmltree.Parse(strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	if root.Name != "journal" {
+		return fmt.Errorf("unexpected snapshot root %q", root.Name)
+	}
+	for _, sn := range root.Kids {
+		if sn.Name != "s" {
+			continue
+		}
+		id, _ := sn.Attr("id")
+		if id == "" {
+			continue
+		}
+		s := &JSession{ID: id}
+		if v, ok := sn.Attr("next"); ok {
+			s.Next, _ = strconv.ParseInt(v, 10, 64)
+		}
+		for _, cn := range sn.Kids {
+			if cn.Name != "c" {
+				continue
+			}
+			s.Chunks = append(s.Chunks, parseChunk(cn))
+		}
+		j.sessions[id] = s
+	}
+	return nil
+}
+
+// replayRecord folds one log frame into the shadow state.
+func (j *Journal) replayRecord(payload []byte) error {
+	n, err := xmltree.Parse(strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	id, _ := n.Attr("id")
+	switch n.Name {
+	case "s":
+		if id != "" && j.sessions[id] == nil {
+			j.sessions[id] = &JSession{ID: id}
+		}
+	case "c":
+		if id != "" {
+			j.applyChunkLocked(id, parseChunk(n))
+		}
+	case "e":
+		delete(j.sessions, id)
+	default:
+		return fmt.Errorf("unknown journal record %q", n.Name)
+	}
+	return nil
+}
+
+func parseChunk(n *xmltree.Node) SessionChunk {
+	c := SessionChunk{Seq: -1}
+	c.Key, _ = n.Attr("key")
+	c.Frag, _ = n.Attr("frag")
+	if v, ok := n.Attr("seq"); ok {
+		c.Seq, _ = strconv.ParseInt(v, 10, 64)
+	}
+	c.Recs = n.Kids
+	return c
+}

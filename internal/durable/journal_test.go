@@ -1,0 +1,216 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xdx/internal/xmltree"
+)
+
+// chunkRecs builds n records with IDs derived from prefix.
+func chunkRecs(prefix string, n int) []*xmltree.Node {
+	recs := make([]*xmltree.Node, n)
+	for i := range recs {
+		recs[i] = &xmltree.Node{
+			Name: "item", ID: prefix + string(rune('a'+i)), Parent: "root",
+			Kids: []*xmltree.Node{{Name: "name", Text: "v" + prefix}},
+		}
+	}
+	return recs
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mint("sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mint("sess-1"); err != nil { // re-mint is a no-op
+		t.Fatal(err)
+	}
+	r0 := chunkRecs("x", 3)
+	r1 := chunkRecs("y", 2)
+	if err := j.Chunk("sess-1", "F1->F2", "F2", 0, r0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Chunk("sess-1", "F1->F2", "F2", 1, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mint("sess-2"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	back, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	sessions := back.Sessions()
+	if len(sessions) != 2 {
+		t.Fatalf("recovered %d sessions, want 2", len(sessions))
+	}
+	s := sessions[0]
+	if s.ID != "sess-1" || s.Next != 2 || len(s.Chunks) != 2 {
+		t.Fatalf("sess-1 recovered as %+v", s)
+	}
+	c := s.Chunks[0]
+	if c.Key != "F1->F2" || c.Frag != "F2" || c.Seq != 0 || len(c.Recs) != 3 {
+		t.Fatalf("chunk 0 recovered as %+v", c)
+	}
+	for i, rec := range c.Recs {
+		if !xmltree.Equal(rec, r0[i]) {
+			t.Fatalf("chunk 0 record %d mismatch:\n got %s\nwant %s",
+				i, xmltree.Marshal(rec, xmltree.WriteOptions{EmitAllIDs: true}),
+				xmltree.Marshal(r0[i], xmltree.WriteOptions{EmitAllIDs: true}))
+		}
+	}
+	if sessions[1].ID != "sess-2" || sessions[1].Next != 0 || len(sessions[1].Chunks) != 0 {
+		t.Fatalf("sess-2 recovered as %+v", sessions[1])
+	}
+}
+
+func TestJournalEndReleasesSession(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Mint("a")
+	j.Chunk("a", "k", "f", 0, chunkRecs("a", 1))
+	j.Mint("b")
+	if err := j.End("a", "never-seen"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	back, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	sessions := back.Sessions()
+	if len(sessions) != 1 || sessions[0].ID != "b" {
+		t.Fatalf("after End, recovered %+v", sessions)
+	}
+}
+
+// Compaction must preserve the recoverable state exactly while shrinking
+// the log, and stale pre-snapshot log records replayed over a newer
+// snapshot (the crash window between snapshot rename and log truncate)
+// must be idempotent.
+func TestJournalCompactPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Mint("s")
+	j.Chunk("s", "k", "f", 0, chunkRecs("p", 2))
+	j.Chunk("s", "k", "f", 1, chunkRecs("q", 2))
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Chunk("s", "k", "f", 2, chunkRecs("r", 1))
+	j.Close()
+
+	back, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := back.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("recovered %d sessions", len(sessions))
+	}
+	s := sessions[0]
+	if s.Next != 3 || len(s.Chunks) != 3 {
+		t.Fatalf("recovered next=%d chunks=%d, want 3/3", s.Next, len(s.Chunks))
+	}
+	back.Close()
+
+	// Crash window: stale records (seqs 0..1) replayed over the snapshot
+	// that already contains them must not duplicate chunks.
+	stale, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.mu.Lock()
+	stale.applyChunkLocked("s", SessionChunk{Key: "k", Frag: "f", Seq: 1, Recs: chunkRecs("q", 2)})
+	n := len(stale.sessions["s"].Chunks)
+	stale.mu.Unlock()
+	stale.Close()
+	if n != 3 {
+		t.Fatalf("stale replay duplicated chunks: %d", n)
+	}
+}
+
+func TestJournalSnapshotEveryAutoCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Mint("s")
+	for i := int64(0); i < 8; i++ {
+		if err := j.Chunk("s", "k", "f", i, chunkRecs("z", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	snap, err := os.Stat(filepath.Join(dir, snapFile))
+	if err != nil {
+		t.Fatalf("auto-compaction never snapshotted: %v", err)
+	}
+	if snap.Size() == 0 {
+		t.Error("empty snapshot")
+	}
+	log, err := os.Stat(filepath.Join(dir, logFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Size() > snap.Size() {
+		t.Errorf("log (%d bytes) not compacted below snapshot (%d bytes)", log.Size(), snap.Size())
+	}
+	back, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if s := back.Sessions(); len(s) != 1 || s[0].Next != 8 || len(s[0].Chunks) != 8 {
+		t.Fatalf("recovered %+v", s)
+	}
+}
+
+// A SIGKILL-shaped tear: truncate the journal's log mid-frame; recovery
+// replays the longest valid prefix.
+func TestJournalTornLogRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Mint("s")
+	j.Chunk("s", "k", "f", 0, chunkRecs("a", 2))
+	j.Chunk("s", "k", "f", 1, chunkRecs("b", 2))
+	j.Close()
+	logPath := filepath.Join(dir, logFile)
+	info, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	s := back.Sessions()
+	if len(s) != 1 || s[0].Next != 1 || len(s[0].Chunks) != 1 {
+		t.Fatalf("torn journal recovered %+v", s)
+	}
+}

@@ -1,0 +1,410 @@
+// Package durable is the crash-safety subsystem of the exchange
+// architecture (ROADMAP item 2): an append-only write-ahead log with
+// CRC32-framed, length-prefixed records, a configurable fsync policy,
+// snapshot+compact cycles, and recovery that truncates a torn tail and
+// replays the longest valid prefix. The reliability layer (PR 3) promises
+// exactly-once resumable exchanges; this package makes the state backing
+// that promise — session checkpoints, idempotency ledgers, committed
+// chunks — survive a SIGKILL, so a restarted endpoint resumes from its
+// last committed chunk instead of forgetting the transfer.
+//
+// On-disk layout of a WAL directory:
+//
+//	wal.log       frames appended since the last snapshot
+//	snapshot.xdx  one frame holding the compacted state (atomic rename)
+//
+// Frame format (all integers little-endian):
+//
+//	uint32 length | uint32 CRC32(payload) | payload
+//
+// Recovery replays the snapshot first, then every log frame whose length
+// is plausible and whose checksum matches; the first bad frame ends the
+// replay and the file is truncated there (the torn tail a crash mid-append
+// leaves behind). Replay handlers must therefore be idempotent against the
+// snapshot/truncate race: a crash between the snapshot rename and the log
+// truncation replays pre-snapshot records on top of the snapshot state.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"xdx/internal/obs"
+)
+
+// FsyncPolicy dials how eagerly the WAL forces appended frames to stable
+// storage — the classic durability/throughput trade measured in
+// EXPERIMENTS.md.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: nothing acknowledged is ever
+	// lost, at one fsync per committed chunk.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background ticker: a crash loses at most
+	// the last interval's appends (which the resume protocol re-ships).
+	FsyncInterval
+	// FsyncOff never syncs explicitly: durability is whatever the OS page
+	// cache survives. A process kill (the fault the crash smoke injects)
+	// still loses nothing — the data is in the kernel — but a power cut
+	// may.
+	FsyncOff
+)
+
+// ParseFsync parses a -fsync flag value: always, interval, or off.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return "always"
+}
+
+// Options configures a WAL.
+type Options struct {
+	// Fsync is the sync policy. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval.
+	// Default 50ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery, when > 0, is consumed by layers above (the session
+	// Journal) as the number of appends between snapshot+compact cycles.
+	SnapshotEvery int
+	// Log receives recovery and snapshot events. Nil is off.
+	Log obs.Logger
+	// Met receives the wal.* metric family. Nil is off.
+	Met *obs.Registry
+}
+
+// RecoveryStats reports what Recover found.
+type RecoveryStats struct {
+	// SnapshotBytes is the size of the replayed snapshot payload (0 when
+	// no snapshot exists).
+	SnapshotBytes int64
+	// Records is how many valid log frames were replayed.
+	Records int
+	// TornBytes is how many trailing bytes were discarded as a torn or
+	// corrupt tail.
+	TornBytes int64
+	// Elapsed is how long recovery took.
+	Elapsed time.Duration
+}
+
+const (
+	logFile      = "wal.log"
+	snapFile     = "snapshot.xdx"
+	frameHeader  = 8
+	maxFrameSize = 1 << 30 // length sanity bound: longer is a torn header
+)
+
+// WAL is an append-only log with CRC framing and snapshot+compact cycles.
+// It is safe for concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+	log  obs.Logger
+	met  *obs.Registry
+
+	mu        sync.Mutex
+	f         *os.File
+	recovered bool
+	dirty     bool // appended since last sync (interval policy)
+	closed    bool
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	hdr       [frameHeader]byte
+}
+
+// Open opens (creating if needed) the WAL in dir. Recover must be called
+// before the first Append.
+func Open(dir string, o Options) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open: %w", err)
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open: %w", err)
+	}
+	w := &WAL{dir: dir, opts: o, log: obs.OrNop(o.Log), met: o.Met, f: f, stop: make(chan struct{})}
+	if o.Fsync == FsyncInterval {
+		w.wg.Add(1)
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (w *WAL) syncLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.dirty && !w.closed {
+				w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Recover replays the snapshot (snap callback, skipped when no snapshot
+// exists) and then the longest valid prefix of the log (rec callback, one
+// call per frame), truncating any torn tail so the file ends on a frame
+// boundary. It must be called exactly once, before the first Append.
+func (w *WAL) Recover(snap func(payload []byte) error, rec func(payload []byte) error) (RecoveryStats, error) {
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var st RecoveryStats
+	if w.recovered {
+		return st, fmt.Errorf("durable: Recover called twice")
+	}
+
+	if data, err := os.ReadFile(filepath.Join(w.dir, snapFile)); err == nil {
+		payload, _, ok := parseFrame(data)
+		if !ok || len(data) != frameHeader+len(payload) {
+			return st, fmt.Errorf("durable: corrupt snapshot %s", filepath.Join(w.dir, snapFile))
+		}
+		if snap != nil {
+			if err := snap(payload); err != nil {
+				return st, fmt.Errorf("durable: replay snapshot: %w", err)
+			}
+		}
+		st.SnapshotBytes = int64(len(payload))
+	} else if !os.IsNotExist(err) {
+		return st, fmt.Errorf("durable: recover: %w", err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(w.dir, logFile))
+	if err != nil {
+		return st, fmt.Errorf("durable: recover: %w", err)
+	}
+	off := 0
+	for {
+		payload, n, ok := parseFrame(data[off:])
+		if !ok {
+			break
+		}
+		if rec != nil {
+			if err := rec(payload); err != nil {
+				return st, fmt.Errorf("durable: replay record %d: %w", st.Records, err)
+			}
+		}
+		st.Records++
+		off += n
+	}
+	if torn := len(data) - off; torn > 0 {
+		st.TornBytes = int64(torn)
+		if err := w.f.Truncate(int64(off)); err != nil {
+			return st, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return st, fmt.Errorf("durable: recover: %w", err)
+		}
+		w.log.Log(obs.LevelInfo, "wal torn tail truncated", "dir", w.dir, "bytes", torn)
+	}
+	if _, err := w.f.Seek(int64(off), 0); err != nil {
+		return st, fmt.Errorf("durable: recover: %w", err)
+	}
+	w.recovered = true
+	st.Elapsed = time.Since(start)
+	if w.met != nil {
+		w.met.Counter("wal.recovery.records").Add(int64(st.Records))
+		w.met.Counter("wal.recovery.torn_bytes").Add(st.TornBytes)
+		w.met.Histogram("wal.recovery.millis").Observe(float64(st.Elapsed) / float64(time.Millisecond))
+		w.met.Gauge("wal.snapshot.bytes").Set(st.SnapshotBytes)
+	}
+	return st, nil
+}
+
+// parseFrame decodes one frame from the head of data, returning the
+// payload, the total frame length consumed, and whether the frame was
+// valid (plausible length, full payload present, checksum match).
+func parseFrame(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	length := binary.LittleEndian.Uint32(data)
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if length > maxFrameSize || int(length) > len(data)-frameHeader {
+		return nil, 0, false
+	}
+	payload = data[frameHeader : frameHeader+int(length)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, false
+	}
+	return payload, frameHeader + int(length), true
+}
+
+// Append writes one frame. Under FsyncAlways it returns only after the
+// frame is on stable storage.
+func (w *WAL) Append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(payload)
+}
+
+func (w *WAL) appendLocked(payload []byte) error {
+	if !w.recovered {
+		return fmt.Errorf("durable: Append before Recover")
+	}
+	if w.closed {
+		return fmt.Errorf("durable: Append on closed WAL")
+	}
+	binary.LittleEndian.PutUint32(w.hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(w.hdr[:]); err != nil {
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	w.dirty = true
+	if w.met != nil {
+		w.met.Counter("wal.appends").Inc()
+		w.met.Counter("wal.append.bytes").Add(int64(frameHeader + len(payload)))
+	}
+	if w.opts.Fsync == FsyncAlways {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync: %w", err)
+	}
+	w.dirty = false
+	if w.met != nil {
+		w.met.Counter("wal.fsyncs").Inc()
+	}
+	return nil
+}
+
+// Snapshot atomically replaces the snapshot with state and compacts the
+// log to empty. Ordering makes a crash at any point safe: the new snapshot
+// is fully durable (temp file + fsync + rename + directory fsync) before
+// the log is truncated, and a crash in between merely replays old log
+// records over the new snapshot — which replay handlers must treat
+// idempotently.
+func (w *WAL) Snapshot(state []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.recovered {
+		return fmt.Errorf("durable: Snapshot before Recover")
+	}
+	if w.closed {
+		return fmt.Errorf("durable: Snapshot on closed WAL")
+	}
+	tmp := filepath.Join(w.dir, snapFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(state)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(state))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(state)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	syncDir(w.dir)
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: compact: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: compact: %w", err)
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if w.met != nil {
+		w.met.Counter("wal.snapshots").Inc()
+		w.met.Gauge("wal.snapshot.bytes").Set(int64(len(state)))
+	}
+	w.log.Log(obs.LevelDebug, "wal snapshot", "dir", w.dir, "bytes", len(state))
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable. Errors are
+// ignored: some filesystems refuse directory fsync, and the rename itself
+// already happened.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close syncs outstanding appends and releases the file. Further appends
+// fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	var err error
+	if w.recovered && w.dirty {
+		err = w.syncLocked()
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	w.wg.Wait()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"xdx/internal/core"
+	"xdx/internal/durable"
 	"xdx/internal/ldapstore"
 	"xdx/internal/obs"
 	"xdx/internal/reliable"
@@ -176,6 +177,7 @@ type Endpoint struct {
 	backend  Backend
 	srv      *soap.Server
 	sessions *reliable.SessionStore
+	journal  *durable.Journal
 	log      obs.Logger
 	met      *obs.Registry
 
@@ -226,6 +228,51 @@ func (e *Endpoint) Handler() http.Handler { return e.srv }
 // Sessions exposes the endpoint's resumable-session store, so daemons can
 // run its background sweeper and tests can observe session lifecycle.
 func (e *Endpoint) Sessions() *reliable.SessionStore { return e.sessions }
+
+// SetJournal makes the endpoint's resumable sessions durable: every chunk
+// commit is journaled before its checkpoint advances, and the sessions the
+// journal recovered are re-seeded into the store — ledger checkpoint, seen
+// record IDs, and the committed chunk contents, which hydrate into the
+// instance map when the resumed delivery arrives with its program. Session
+// evictions (EndSession, idle sweeps) release the journaled state so
+// compaction can shrink the log. Call once, after SetObs and before
+// serving traffic; it returns how many sessions were restored.
+func (e *Endpoint) SetJournal(j *durable.Journal) int {
+	e.journal = j
+	restored := 0
+	for _, js := range j.Sessions() {
+		s := e.sessions.GetOrCreate(js.ID)
+		s.Ledger.Restore(js.Next)
+		for _, c := range js.Chunks {
+			for _, rec := range c.Recs {
+				s.Ledger.MarkSeen(c.Key, rec.ID)
+			}
+		}
+		s.Mu.Lock()
+		s.Data = &targetSession{
+			ledger:    s.Ledger,
+			inbound:   map[string]*core.Instance{},
+			j:         j,
+			id:        js.ID,
+			recovered: js.Chunks,
+		}
+		s.Mu.Unlock()
+		restored++
+	}
+	log := e.log
+	e.sessions.OnEvict = func(ids []string) {
+		if err := j.End(ids...); err != nil {
+			log.Log(obs.LevelWarn, "journal end failed", "sessions", len(ids), "err", err.Error())
+		}
+	}
+	if e.met != nil {
+		e.met.Gauge("endpoint.sessions.recovered").Set(int64(restored))
+	}
+	if restored > 0 {
+		e.log.Log(obs.LevelInfo, "sessions recovered from journal", "endpoint", e.Name, "sessions", restored)
+	}
+	return restored
+}
 
 // SetObs attaches observability to the endpoint: the SOAP server's
 // soap.server.* request metrics, an endpoint.* family (probes, execute

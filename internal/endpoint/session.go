@@ -19,6 +19,8 @@ import (
 	"sync"
 
 	"xdx/internal/core"
+	"xdx/internal/durable"
+	"xdx/internal/obs"
 	"xdx/internal/reliable"
 	"xdx/internal/schema"
 	"xdx/internal/soap"
@@ -38,6 +40,16 @@ type targetSession struct {
 	mu      sync.Mutex
 	ledger  *reliable.Ledger
 	inbound map[string]*core.Instance
+
+	// j and id journal this session's commits when the endpoint is
+	// durable (SetJournal); nil j is the memory-only default.
+	j  *durable.Journal
+	id string
+	// recovered holds chunks replayed from the journal on boot, waiting
+	// for the first delivery attempt to hydrate them into inbound — the
+	// resumed request carries the program whose fragment dictionary the
+	// instances need (guarded by mu).
+	recovered []durable.SessionChunk
 
 	// stateMu guards the execute-once outcome and the in-flight latch. It
 	// is never held across backend execution or response writing, so
@@ -86,6 +98,12 @@ func (e *Endpoint) targetSessionFor(id string) *targetSession {
 	ts, ok := s.Data.(*targetSession)
 	if !ok {
 		ts = &targetSession{ledger: s.Ledger, inbound: map[string]*core.Instance{}}
+		if e.journal != nil {
+			ts.j, ts.id = e.journal, id
+			if err := e.journal.Mint(id); err != nil {
+				e.log.Log(obs.LevelWarn, "journal mint failed", "session", id, "err", err.Error())
+			}
+		}
 		s.Data = ts
 	}
 	return ts
@@ -100,6 +118,7 @@ func (e *Endpoint) targetSessionFor(id string) *targetSession {
 // the lock a straggler's map writes would race the retry's.
 func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *core.Fragment) *wire.ShipmentDecoder {
 	ts.mu.Lock()
+	ts.hydrateLocked(lookup)
 	inbound := ts.inbound
 	ts.mu.Unlock()
 	d := wire.NewShipmentDecoderInto(sch, lookup, inbound)
@@ -107,7 +126,49 @@ func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *c
 	d.OnChunk = ts.ledger.AdmitChunk
 	d.KeepRecord = ts.ledger.KeepRecord
 	d.ChunkDone = ts.ledger.ChunkDone
+	if ts.j != nil {
+		d.OnCommit = func(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error {
+			if err := ts.j.Chunk(ts.id, key, frag.Name, seq, recs); err != nil {
+				// The ledger marked these records seen before the journal
+				// write; forget them again or the retried chunk would dedup
+				// them away and lose data.
+				for _, rec := range recs {
+					ts.ledger.Unmark(key, rec.ID)
+				}
+				return err
+			}
+			return nil
+		}
+	}
 	return d
+}
+
+// hydrateLocked materializes chunks recovered from the journal into the
+// session's instance map, resolving fragment names through the resumed
+// request's program dictionary — the same lookup live commits use, so a
+// recovered instance is indistinguishable from one that never crashed.
+// Runs once, under ts.mu, on the first delivery attempt after a restart.
+func (ts *targetSession) hydrateLocked(lookup func(name string) *core.Fragment) {
+	if len(ts.recovered) == 0 || ts.inbound == nil {
+		return
+	}
+	for _, c := range ts.recovered {
+		f := lookup(c.Frag)
+		if f == nil {
+			// The resumed program does not know this fragment; without a
+			// definition the records cannot feed an execute. Should not
+			// happen — resumes re-send the same program — but skipping
+			// beats poisoning the whole session.
+			continue
+		}
+		in := ts.inbound[c.Key]
+		if in == nil {
+			in = &core.Instance{Frag: f}
+			ts.inbound[c.Key] = in
+		}
+		in.Records = append(in.Records, c.Recs...)
+	}
+	ts.recovered = nil
 }
 
 // respondSession is the session-mode responder: execute once, stamp the

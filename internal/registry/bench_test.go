@@ -2,8 +2,11 @@ package registry
 
 import (
 	"testing"
+	"time"
 
+	"xdx/internal/durable"
 	"xdx/internal/netsim"
+	"xdx/internal/reliable"
 )
 
 // benchExchange drives the full agency-mediated exchange (two live SOAP
@@ -31,4 +34,45 @@ func BenchmarkSoapRoundTripBuffered(b *testing.B) {
 // bodies without intermediate trees.
 func BenchmarkSoapRoundTripStreamed(b *testing.B) {
 	benchExchange(b, ExecOptions{Link: netsim.Loopback(), Streamed: true})
+}
+
+// BenchmarkReliableExchangeDurable measures the durability tax on a full
+// reliable (session + chunked) exchange: the same clean-link run with no
+// journal, then with the target journaling every chunk commit under each
+// fsync policy. The spread between "none" and "always" is the fsync
+// overhead row of EXPERIMENTS.md.
+func BenchmarkReliableExchangeDurable(b *testing.B) {
+	cfg := &reliable.Config{
+		Seed:      1,
+		ChunkSize: 8,
+		Policy: reliable.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    4 * time.Millisecond,
+			Budget:      64,
+		},
+	}
+	run := func(b *testing.B, journaled bool, pol durable.FsyncPolicy) {
+		ag, plan, _, tgtEP, done := startAuctionExchange(b)
+		defer done()
+		if journaled {
+			j, err := durable.OpenJournal(b.TempDir(), durable.Options{Fsync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			tgtEP.SetJournal(j)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ag.ExecuteOpts("Auction", plan, ExecOptions{Link: netsim.Loopback(), Reliability: cfg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, false, durable.FsyncOff) })
+	b.Run("off", func(b *testing.B) { run(b, true, durable.FsyncOff) })
+	b.Run("interval", func(b *testing.B) { run(b, true, durable.FsyncInterval) })
+	b.Run("always", func(b *testing.B) { run(b, true, durable.FsyncAlways) })
 }

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +32,12 @@ func (a *Agency) Save(dir string) error {
 	return a.saveLocked(dir)
 }
 
+// saveLocked persists every registration, atomically: each WSDL and the
+// index are written to a temp file and renamed into place, so a crash
+// mid-save leaves the directory with either the old or the new version of
+// every file — never a torn index that fails LoadAgency. Stale WSDLs of
+// deregistered services are removed afterwards; a crash before the removal
+// leaves unreferenced files the loader ignores.
 func (a *Agency) saveLocked(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("registry: save: %w", err)
@@ -41,6 +48,7 @@ func (a *Agency) saveLocked(dir string) error {
 		services = append(services, s)
 	}
 	sort.Strings(services)
+	wanted := map[string]bool{indexFile: true}
 	for _, service := range services {
 		for _, role := range []Role{RoleSource, RoleTarget} {
 			p := a.services[service][role]
@@ -48,11 +56,12 @@ func (a *Agency) saveLocked(dir string) error {
 				continue
 			}
 			file := fmt.Sprintf("%s__%s.wsdl", sanitize(service), role)
+			wanted[file] = true
 			data, err := p.WSDL.Marshal()
 			if err != nil {
 				return fmt.Errorf("registry: save %s/%s: %w", service, role, err)
 			}
-			if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+			if err := writeFileAtomic(filepath.Join(dir, file), data); err != nil {
 				return fmt.Errorf("registry: save: %w", err)
 			}
 			reg := &xmltree.Node{Name: "registration"}
@@ -63,16 +72,48 @@ func (a *Agency) saveLocked(dir string) error {
 			index.AddKid(reg)
 		}
 	}
-	f, err := os.Create(filepath.Join(dir, indexFile))
+	var b strings.Builder
+	if err := xmltree.Write(&b, index, xmltree.WriteOptions{Indent: true}); err != nil {
+		return fmt.Errorf("registry: save: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, indexFile), []byte(b.String())); err != nil {
+		return fmt.Errorf("registry: save: %w", err)
+	}
+	// The new index is in place; WSDLs of deregistered services are now
+	// unreferenced and can go.
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("registry: save: %w", err)
 	}
-	defer f.Close()
-	return xmltree.Write(f, index, xmltree.WriteOptions{Indent: true})
+	for _, ent := range entries {
+		name := ent.Name()
+		if !wanted[name] && strings.HasSuffix(name, ".wsdl") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, so readers
+// and crash recovery only ever see a complete file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadAgency restores an agency persisted with Save. A missing directory
-// or index yields an empty agency.
+// or index yields an empty agency. A single malformed entry — missing
+// attributes, a WSDL file that is gone or no longer parses — is skipped
+// with a logged warning instead of aborting the whole restore, so one bad
+// registration never keeps a daemon from coming back up; an unparsable
+// index is still an error (the atomic save should make that impossible).
 func LoadAgency(dir string) (*Agency, error) {
 	a := New()
 	f, err := os.Open(filepath.Join(dir, indexFile))
@@ -99,18 +140,21 @@ func LoadAgency(dir string) (*Agency, error) {
 		url, _ := reg.Attr("url")
 		file, _ := reg.Attr("file")
 		if service == "" || file == "" {
-			return nil, fmt.Errorf("registry: load: malformed registration entry")
+			log.Printf("registry: load: skipping malformed registration entry (service=%q file=%q)", service, file)
+			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, filepath.Base(file)))
 		if err != nil {
-			return nil, fmt.Errorf("registry: load %s/%s: %w", service, roleStr, err)
+			log.Printf("registry: load: skipping %s/%s: %v", service, roleStr, err)
+			continue
 		}
 		role := RoleSource
 		if roleStr == string(RoleTarget) {
 			role = RoleTarget
 		}
 		if err := a.Register(service, role, data, url); err != nil {
-			return nil, fmt.Errorf("registry: load %s/%s: %w", service, roleStr, err)
+			log.Printf("registry: load: skipping %s/%s: %v", service, roleStr, err)
+			continue
 		}
 	}
 	return a, nil

@@ -61,9 +61,72 @@ func TestLoadAgencyCorruptIndex(t *testing.T) {
 	if _, err := LoadAgency(dir); err == nil {
 		t.Error("corrupt index must fail")
 	}
-	os.WriteFile(filepath.Join(dir, indexFile), []byte(`<registry><registration service="s" role="source" url="u" file="missing.wsdl"/></registry>`), 0o644)
+	os.WriteFile(filepath.Join(dir, indexFile), []byte("<registry><registration "), 0o644)
 	if _, err := LoadAgency(dir); err == nil {
-		t.Error("missing WSDL file must fail")
+		t.Error("unparsable index must fail")
+	}
+}
+
+// A single bad registration — dangling WSDL reference, malformed entry,
+// unparsable WSDL — is skipped with a warning; the rest of the directory
+// still restores.
+func TestLoadAgencySkipsBadEntries(t *testing.T) {
+	sch := schema.CustomerInfo()
+	ag := New()
+	if err := ag.Register("good", RoleSource, wsdlFor(t, sch, sFragmentation(t, sch), "http://g"), "http://g"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ag.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Append bad entries around the good one.
+	index, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(`<registration service="gone" role="source" url="u" file="missing.wsdl"/>` +
+		`<registration service="" role="source" url="u" file=""/>` +
+		`<registration service="junk" role="source" url="u" file="junk.wsdl"/>` +
+		`</registry>`)
+	index = append(index[:len(index)-len("</registry>")], bad...)
+	if err := os.WriteFile(filepath.Join(dir, indexFile), index, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "junk.wsdl"), []byte("not a wsdl"), 0o644)
+	back, err := LoadAgency(dir)
+	if err != nil {
+		t.Fatalf("bad entries must be skipped, not fatal: %v", err)
+	}
+	if back.Party("good", RoleSource) == nil {
+		t.Error("good registration lost")
+	}
+	if got := len(back.Services()); got != 1 {
+		t.Errorf("restored %d services, want 1", got)
+	}
+}
+
+// A crashed save must never leave a torn index behind: the index is
+// renamed into place, so a leftover temp file is ignored and the previous
+// index still loads.
+func TestSaveAtomicLeavesLoadableIndex(t *testing.T) {
+	sch := schema.CustomerInfo()
+	ag := New()
+	if err := ag.Register("svc", RoleSource, wsdlFor(t, sch, sFragmentation(t, sch), "http://x"), "http://x"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ag.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-save: a torn temp index next to the real one.
+	os.WriteFile(filepath.Join(dir, indexFile+".tmp"), []byte("<registry><regist"), 0o644)
+	back, err := LoadAgency(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Party("svc", RoleSource) == nil {
+		t.Error("registration lost")
 	}
 }
 
@@ -81,6 +144,40 @@ func TestAutoSave(t *testing.T) {
 	}
 	if back.Party("svc", RoleSource) == nil {
 		t.Error("autosave did not persist the registration")
+	}
+}
+
+// Deregistered services must stay gone after a restart: autosave rewrites
+// the index without them and removes their now-unreferenced WSDL files.
+func TestAutoSaveDeregisterRoundTrip(t *testing.T) {
+	sch := schema.CustomerInfo()
+	dir := t.TempDir()
+	ag := New()
+	ag.SetAutoSave(dir)
+	if err := ag.Register("keep", RoleSource, wsdlFor(t, sch, sFragmentation(t, sch), "http://k"), "http://k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register("drop", RoleSource, wsdlFor(t, sch, sFragmentation(t, sch), "http://d"), "http://d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "drop__source.wsdl")); err != nil {
+		t.Fatalf("expected persisted WSDL before deregister: %v", err)
+	}
+	if !ag.Deregister("drop", RoleSource) {
+		t.Fatal("deregister reported nothing removed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "drop__source.wsdl")); !os.IsNotExist(err) {
+		t.Errorf("deregistered WSDL file still on disk (err=%v)", err)
+	}
+	back, err := LoadAgency(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Party("drop", RoleSource) != nil {
+		t.Error("deregistered service came back after load")
+	}
+	if back.Party("keep", RoleSource) == nil {
+		t.Error("surviving service lost")
 	}
 }
 

@@ -79,6 +79,42 @@ func (l *Ledger) KeepRecord(edge string, rec *xmltree.Node) bool {
 	return true
 }
 
+// Restore seeds the chunk checkpoint from recovered durable state. It is
+// for rebuilding a ledger on boot, before the session sees traffic; it
+// never moves the checkpoint backwards.
+func (l *Ledger) Restore(next int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if next > l.next {
+		l.next = next
+	}
+}
+
+// MarkSeen seeds one committed (edge, record ID) pair from recovered
+// durable state — unlike KeepRecord it neither filters nor counts a
+// dedup, it only remembers.
+func (l *Ledger) MarkSeen(edge, id string) {
+	if id == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seen[edge+"\x00"+id] = true
+}
+
+// Unmark forgets a committed (edge, record ID) pair. It is the rollback
+// for a commit whose durable journaling failed after KeepRecord already
+// marked its records: without it the retry of that chunk would dedup the
+// records away and lose them.
+func (l *Ledger) Unmark(edge, id string) {
+	if id == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.seen, edge+"\x00"+id)
+}
+
 // Checkpoint returns the next chunk seq the session expects — the ack a
 // resuming source skips to.
 func (l *Ledger) Checkpoint() int64 {
@@ -129,6 +165,13 @@ type SessionStore struct {
 	// before the store sees traffic.
 	OnChange func(live, swept int)
 
+	// OnEvict, when set, receives the IDs of every session leaving the
+	// store — explicit deletes and idle sweeps alike — so a durable
+	// endpoint can release their journaled state. It runs outside the
+	// store's lock, after the sessions are gone, and must be safe for
+	// concurrent use; set it before the store sees traffic.
+	OnEvict func(ids []string)
+
 	mu  sync.Mutex
 	m   map[string]*Session
 	now func() time.Time
@@ -161,19 +204,22 @@ func (s *SessionStore) GetOrCreate(id string) *Session {
 		s.mu.Unlock()
 		return sess
 	}
-	swept := s.sweepLocked(now)
+	gone := s.sweepLocked(now)
 	sess := &Session{ID: id, Ledger: NewLedger(), Created: now, touched: now}
 	s.m[id] = sess
 	live := len(s.m)
 	s.mu.Unlock()
-	s.notify(live, swept)
+	s.notify(live, gone)
 	return sess
 }
 
-// notify fires OnChange outside the lock.
-func (s *SessionStore) notify(live, swept int) {
+// notify fires OnChange and OnEvict outside the lock.
+func (s *SessionStore) notify(live int, gone []string) {
+	if s.OnEvict != nil && len(gone) > 0 {
+		s.OnEvict(gone)
+	}
 	if s.OnChange != nil {
-		s.OnChange(live, swept)
+		s.OnChange(live, len(gone))
 	}
 }
 
@@ -183,24 +229,24 @@ func (s *SessionStore) notify(live, swept int) {
 // (StartSweeper) so completed state is not held indefinitely.
 func (s *SessionStore) Sweep() int {
 	s.mu.Lock()
-	swept := s.sweepLocked(s.now())
+	gone := s.sweepLocked(s.now())
 	live := len(s.m)
 	s.mu.Unlock()
-	if swept > 0 {
-		s.notify(live, swept)
+	if len(gone) > 0 {
+		s.notify(live, gone)
 	}
-	return swept
+	return len(gone)
 }
 
-func (s *SessionStore) sweepLocked(now time.Time) int {
-	n := 0
+func (s *SessionStore) sweepLocked(now time.Time) []string {
+	var gone []string
 	for k, v := range s.m {
 		if now.Sub(v.touched) > s.MaxAge {
 			delete(s.m, k)
-			n++
+			gone = append(gone, k)
 		}
 	}
-	return n
+	return gone
 }
 
 // StartSweeper sweeps the store every interval (MaxAge/2 when zero) until
@@ -234,7 +280,13 @@ func (s *SessionStore) Delete(id string) {
 	live := len(s.m)
 	s.mu.Unlock()
 	if had {
-		s.notify(live, 0)
+		if s.OnEvict != nil {
+			s.OnEvict([]string{id})
+		}
+		if s.OnChange != nil {
+			// Deletes report zero swept: sweeping is idle collection only.
+			s.OnChange(live, 0)
+		}
 	}
 }
 

@@ -333,6 +333,15 @@ type ShipmentDecoder struct {
 	// ChunkDone, when set, fires after a chunk commits — the moment it is
 	// safe to checkpoint its seq.
 	ChunkDone func(seq int64)
+	// OnCommit, when set, fires inside each chunk commit with the
+	// post-dedup records about to enter the instance map — after
+	// KeepRecord filtered replays, before ChunkDone advances the
+	// checkpoint. A durable endpoint journals the chunk here: the write-
+	// ahead invariant is exactly this ordering (logged before
+	// checkpointable). An error aborts the commit — nothing reaches the
+	// map, the checkpoint stays — failing the delivery attempt so the
+	// driver retries or resumes.
+	OnCommit func(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error
 	// CommitLock, when set, is held across each chunk commit. A resumable
 	// session decodes concurrent delivery attempts into one shared
 	// instance map — a retried delivery can race a straggler whose torn
@@ -626,12 +635,22 @@ func (d *ShipmentDecoder) commitRecs(key string, frag *core.Fragment, seq int64,
 		// concurrent delivery attempt committed it first.
 		return nil
 	}
-	in := d.instanceFor(key, frag)
-	for _, rec := range recs {
-		if d.KeepRecord == nil || d.KeepRecord(key, rec) {
-			in.Records = append(in.Records, rec)
+	kept := recs
+	if d.KeepRecord != nil {
+		kept = make([]*xmltree.Node, 0, len(recs))
+		for _, rec := range recs {
+			if d.KeepRecord(key, rec) {
+				kept = append(kept, rec)
+			}
 		}
 	}
+	if d.OnCommit != nil {
+		if err := d.OnCommit(key, frag, seq, kept); err != nil {
+			return err
+		}
+	}
+	in := d.instanceFor(key, frag)
+	in.Records = append(in.Records, kept...)
 	if d.ChunkDone != nil {
 		d.ChunkDone(seq)
 	}

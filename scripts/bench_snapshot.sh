@@ -3,7 +3,9 @@
 # shipment-format ablations (XML, feed, bin, bin+flate on the MF and LF
 # layouts) with their wire sizes, the end-to-end Figure 9 run, the
 # streaming codec's allocation budget, the chunk-parallel codec's worker
-# sweep, and a full xdxload traffic run (serial baseline vs the scheduled
+# sweep, the durability set (WAL append cost per fsync policy, recovery
+# time vs log length, and the journaled reliable-exchange round trip),
+# and a full xdxload traffic run (serial baseline vs the scheduled
 # concurrent control plane, with plan-cache hit rate) embedded as the
 # "load" section. GOMAXPROCS and the CPU count are recorded so a snapshot
 # is never compared across core counts by accident. Fixed iteration counts
@@ -19,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH_N="${BENCH_N:-6}"
+BENCH_N="${BENCH_N:-7}"
 OUT="BENCH_${BENCH_N}.json"
 BENCHTIME=50x
 LOAD_ARGS="-tenants 4 -concurrency 32 -ops 256 -check -min-speedup 3"
@@ -51,6 +53,8 @@ go test -run '^$' -bench 'BenchmarkAblation_ShipFormat' -benchmem -benchtime "$B
 go test -run '^$' -bench 'BenchmarkFigure9_EndToEnd$' -benchmem -benchtime "$BENCHTIME" . >>"$RAW"
 go test -run '^$' -bench 'BenchmarkShipmentCodecStream$' -benchmem -benchtime "$BENCHTIME" ./internal/wire/ >>"$RAW"
 go test -run '^$' -bench 'BenchmarkShipmentCodecParallel' -benchmem -benchtime "$BENCHTIME" ./internal/wire/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkWALAppend|BenchmarkWALRecovery|BenchmarkJournalChunk' -benchmem -benchtime "$BENCHTIME" ./internal/durable/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkReliableExchangeDurable' -benchmem -benchtime "$BENCHTIME" ./internal/registry/ >>"$RAW"
 
 awk -v benchtime="$BENCHTIME" -v snapshot="BENCH_${BENCH_N}" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }

@@ -39,3 +39,9 @@ make soak
 # nonzero throughput with zero failed exchanges in both the serial and the
 # scheduled drive mode — the control plane's end-to-end gate.
 ./scripts/load_smoke.sh
+
+# Process-kill smoke: SIGKILL a durable target endpoint mid-exchange,
+# restart it over the same WAL directory, and the reliable exchange must
+# resume from the journaled checkpoint without re-shipping committed
+# records — the durability subsystem's end-to-end gate over real binaries.
+./scripts/crash_smoke.sh

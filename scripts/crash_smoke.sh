@@ -1,0 +1,121 @@
+#!/bin/sh
+# Process-kill smoke: a durable (-wal-dir) target endpoint is SIGKILLed in
+# the middle of a reliable exchange driven through xdxd, restarted over the
+# same WAL directory, and the exchange must still complete — resumed from
+# the journaled checkpoint (resumes >= 1) without re-shipping committed
+# records (deduped = 0). The shell twin of TestKillRestartChildEndpoint;
+# this one exercises the real binaries end to end. Ports are fixed but
+# obscure; override with XDX_CRASH_*_PORT if they clash locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SRC_PORT="${XDX_CRASH_SRC_PORT:-18180}"
+TGT_PORT="${XDX_CRASH_TGT_PORT:-18181}"
+TGT_OPS_PORT="${XDX_CRASH_TGT_OPS_PORT:-19180}"
+AGENCY_PORT="${XDX_CRASH_AGENCY_PORT:-18182}"
+WORK="$(mktemp -d)"
+SRC_PID=""
+TGT_PID=""
+AGENCY_PID=""
+trap 'kill -9 "$SRC_PID" "$TGT_PID" "$AGENCY_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/xdxendpoint" ./cmd/xdxendpoint
+go build -o "$WORK/xdxd" ./cmd/xdxd
+go build -o "$WORK/xdxgen" ./cmd/xdxgen
+
+wait_http() { # url what
+    i=0
+    until curl -fsS "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "crash_smoke: $2 never came up" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$WORK/xdxgen" -size 400000 -seed 42 -out "$WORK/doc.xml"
+
+"$WORK/xdxendpoint" -listen "127.0.0.1:$SRC_PORT" -layout MF -name src \
+    -data "$WORK/doc.xml" >/dev/null 2>&1 &
+SRC_PID=$!
+
+start_target() {
+    "$WORK/xdxendpoint" -listen "127.0.0.1:$TGT_PORT" -layout LF -name tgt \
+        -wal-dir "$WORK/wal" -fsync always -snapshot-every 0 \
+        -metrics-addr "127.0.0.1:$TGT_OPS_PORT" >/dev/null 2>&1 &
+    TGT_PID=$!
+    wait_http "http://127.0.0.1:$TGT_OPS_PORT/healthz" "target endpoint"
+}
+
+start_target
+wait_http "http://127.0.0.1:$SRC_PORT/" "source endpoint"
+
+# A patient retry policy: the restart below takes a few hundred ms and the
+# driver must keep retrying across it.
+"$WORK/xdxd" -listen "127.0.0.1:$AGENCY_PORT" -reliable -chunk 8 \
+    -retry-attempts 12 -retry-budget 64 -breaker-failures 50 \
+    -breaker-cooldown 100ms >/dev/null 2>&1 &
+AGENCY_PID=$!
+wait_http "http://127.0.0.1:$AGENCY_PORT/wsdl" "agency"
+
+soap_call() { # body
+    curl -fsS -X POST -H 'Content-Type: text/xml' -d \
+        "<soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\"><soap:Body>$1</soap:Body></soap:Envelope>" \
+        "http://127.0.0.1:$AGENCY_PORT/soap"
+}
+
+soap_call "<Discover service=\"Auction\" role=\"source\" url=\"http://127.0.0.1:$SRC_PORT/soap\"/>" >/dev/null
+soap_call "<Discover service=\"Auction\" role=\"target\" url=\"http://127.0.0.1:$TGT_PORT/soap\"/>" >/dev/null
+
+# Drive the exchange in the background, then kill the target once its WAL
+# has journaled a few chunk commits — mid-delivery by construction.
+soap_call '<Exchange service="Auction"/>' >"$WORK/exchange.xml" 2>"$WORK/exchange.err" &
+EXCHANGE_PID=$!
+
+i=0
+while :; do
+    APPENDS="$(curl -fsS "http://127.0.0.1:$TGT_OPS_PORT/metrics" 2>/dev/null \
+        | sed -n 's/.*"wal\.appends": \([0-9]*\).*/\1/p' || true)"
+    [ -n "${APPENDS:-}" ] && [ "$APPENDS" -ge 3 ] && break
+    if ! kill -0 "$EXCHANGE_PID" 2>/dev/null; then
+        echo "crash_smoke: exchange finished before the kill — widen the window" >&2
+        cat "$WORK/exchange.err" >&2 || true
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "crash_smoke: target never journaled enough appends" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+kill -9 "$TGT_PID"
+wait "$TGT_PID" 2>/dev/null || true
+start_target
+
+if ! wait "$EXCHANGE_PID"; then
+    echo "crash_smoke: exchange did not survive the kill+restart" >&2
+    cat "$WORK/exchange.err" >&2 || true
+    exit 1
+fi
+
+RESP="$(cat "$WORK/exchange.xml")"
+echo "$RESP" | grep -q 'ExchangeResponse' || {
+    echo "crash_smoke: no ExchangeResponse: $RESP" >&2
+    exit 1
+}
+RESUMES="$(echo "$RESP" | sed -n 's/.*resumes="\([0-9]*\)".*/\1/p')"
+DEDUPED="$(echo "$RESP" | sed -n 's/.*deduped="\([0-9]*\)".*/\1/p')"
+[ -n "$RESUMES" ] && [ "$RESUMES" -ge 1 ] || {
+    echo "crash_smoke: expected resumes >= 1, got '$RESUMES': $RESP" >&2
+    exit 1
+}
+[ "$DEDUPED" = "0" ] || {
+    echo "crash_smoke: expected deduped=0, got '$DEDUPED': $RESP" >&2
+    exit 1
+}
+echo "crash_smoke: ok (resumes=$RESUMES deduped=$DEDUPED)"
