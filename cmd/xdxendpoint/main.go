@@ -45,8 +45,11 @@ func main() {
 	faultMaxTruncate := flag.Int("fault-max-truncate", 0, "max bytes before a truncation cut (0 = default 4096)")
 	codecWorkers := flag.Int("codec-workers", 0, "chunk codec pool size per shipment (0 = one per CPU, 1 = serial)")
 	walDir := flag.String("wal-dir", "", "directory for the session write-ahead log; on start, journaled sessions are recovered so interrupted exchanges resume (empty = memory-only)")
-	fsyncPolicy := flag.String("fsync", "always", "WAL sync policy: always (sync per commit), interval (background), or off")
+	fsyncPolicy := flag.String("fsync", "always", "WAL sync policy: always (sync per commit), batch (group commit: coalesced syncs, always-equivalent acks), interval (background), or off")
 	snapshotEvery := flag.Int("snapshot-every", 256, "WAL appends between snapshot+compact cycles (0 = never compact)")
+	batchBytes := flag.Int("batch-bytes", 0, "fsync=batch: max coalesced bytes per commit group (0 = 1MiB)")
+	batchFrames := flag.Int("batch-frames", 0, "fsync=batch: max frames per commit group (0 = 256)")
+	batchHold := flag.Duration("batch-hold", 0, "fsync=batch: max time a lone appender waits for a group (0 = fsync interval/10)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log request and execution activity to stderr")
 	flag.Parse()
@@ -123,10 +126,13 @@ func main() {
 			log.Fatal("xdxendpoint: ", err)
 		}
 		journal, err := durable.OpenJournal(*walDir, durable.Options{
-			Fsync:         policy,
-			SnapshotEvery: *snapshotEvery,
-			Log:           logger,
-			Met:           metrics,
+			Fsync:          policy,
+			SnapshotEvery:  *snapshotEvery,
+			MaxBatchBytes:  *batchBytes,
+			MaxBatchFrames: *batchFrames,
+			MaxBatchHold:   *batchHold,
+			Log:            logger,
+			Met:            metrics,
 		})
 		if err != nil {
 			log.Fatal("xdxendpoint: ", err)

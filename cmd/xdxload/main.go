@@ -38,9 +38,11 @@ import (
 	"time"
 
 	"xdx/internal/core"
+	"xdx/internal/durable"
 	"xdx/internal/endpoint"
 	"xdx/internal/netsim"
 	"xdx/internal/registry"
+	"xdx/internal/reliable"
 	"xdx/internal/relstore"
 	"xdx/internal/soap"
 	"xdx/internal/telgen"
@@ -60,6 +62,7 @@ func main() {
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate per second (0 = unlimited)")
 	codec := flag.String("codec", "", "shipment codec for exchanges (xml, feed, bin, bin+flate)")
 	streamed := flag.Bool("streamed", false, "drive exchanges over the streaming wire path")
+	fsync := flag.String("fsync", "", "make every exchange a durable reliable session: journal each tenant target under this WAL fsync policy (always, batch, interval, off; empty = memory-only, no sessions)")
 	mode := flag.String("mode", "both", "serial, concurrent, or both")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
 	check := flag.Bool("check", false, "exit nonzero unless every driven mode had nonzero throughput and zero failures")
@@ -75,7 +78,7 @@ func main() {
 		log.Fatalf("xdxload: bad -mode %q", *mode)
 	}
 
-	w := newWorld(*tenants, *customers, *netLatency, *codec, *streamed, logf)
+	w := newWorld(*tenants, *customers, *netLatency, *codec, *streamed, *fsync, logf)
 	defer w.close()
 
 	// Default the queue to hold the full offered concurrency: the harness
@@ -108,6 +111,7 @@ func main() {
 		NumCPU:           runtime.NumCPU(),
 		Codec:            *codec,
 		Streamed:         *streamed,
+		Fsync:            *fsync,
 	}
 
 	if *mode == "both" || *mode == "serial" {
@@ -192,6 +196,7 @@ type report struct {
 	NumCPU           int         `json:"num_cpu"`
 	Codec            string      `json:"codec,omitempty"`
 	Streamed         bool        `json:"streamed"`
+	Fsync            string      `json:"fsync,omitempty"`
 	Serial           *modeStats  `json:"serial,omitempty"`
 	Concurrent       *modeStats  `json:"concurrent,omitempty"`
 	SpeedupX         float64     `json:"speedup_x,omitempty"`
@@ -223,17 +228,39 @@ type cacheStats struct {
 // world is the simulated deployment: one agency, N tenants' endpoint
 // pairs, every HTTP hop behind the injected latency.
 type world struct {
-	agency   *registry.Agency
-	link     netsim.Link
-	services []string
-	latency  time.Duration
-	codec    string
-	streamed bool
-	stops    []func()
+	agency      *registry.Agency
+	link        netsim.Link
+	services    []string
+	latency     time.Duration
+	codec       string
+	streamed    bool
+	reliability *reliable.Config
+	stops       []func()
 }
 
-func newWorld(tenants, customers int, latency time.Duration, codec string, streamed bool, logf func(string, ...any)) *world {
+func newWorld(tenants, customers int, latency time.Duration, codec string, streamed bool, fsync string, logf func(string, ...any)) *world {
 	w := &world{agency: registry.New(), latency: latency, codec: codec, streamed: streamed, link: netsim.Loopback()}
+	var fsyncPol durable.FsyncPolicy
+	if fsync != "" {
+		var err error
+		if fsyncPol, err = durable.ParseFsync(fsync); err != nil {
+			log.Fatal("xdxload: ", err)
+		}
+		// Durable drive: every exchange becomes a resumable chunked
+		// session, and every tenant target journals its chunk commits —
+		// many concurrent sessions sharing one WAL per tenant, which is
+		// the workload group commit amortizes.
+		w.reliability = &reliable.Config{
+			Seed:      1,
+			ChunkSize: 8,
+			Policy: reliable.Policy{
+				MaxAttempts: 3,
+				BaseDelay:   time.Millisecond,
+				MaxDelay:    4 * time.Millisecond,
+				Budget:      64,
+			},
+		}
+	}
 	sch := telgen.Schema()
 	sFr, err := core.PaperSFragmentation(sch)
 	if err != nil {
@@ -259,7 +286,23 @@ func newWorld(tenants, customers int, latency time.Duration, codec string, strea
 			log.Fatal("xdxload: ", err)
 		}
 		srcURL := w.serve(endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil).Handler())
-		tgtURL := w.serve(endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil).Handler())
+		tgtEP := endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil)
+		if fsync != "" {
+			walDir, err := os.MkdirTemp("", "xdxload-wal-*")
+			if err != nil {
+				log.Fatal("xdxload: ", err)
+			}
+			j, err := durable.OpenJournal(walDir, durable.Options{Fsync: fsyncPol, SnapshotEvery: 256})
+			if err != nil {
+				log.Fatal("xdxload: ", err)
+			}
+			tgtEP.SetJournal(j)
+			w.stops = append(w.stops, func() {
+				j.Close()
+				os.RemoveAll(walDir)
+			})
+		}
+		tgtURL := w.serve(tgtEP.Handler())
 		if err := w.agency.Register(svc, registry.RoleSource, wsdlFor(sch, sFr, srcURL), srcURL); err != nil {
 			log.Fatal("xdxload: ", err)
 		}
@@ -299,6 +342,7 @@ func (w *world) serveService(sched *registry.Scheduler) (string, func()) {
 	svc := registry.NewService(w.agency, w.link)
 	svc.Codec = w.codec
 	svc.Streamed = w.streamed
+	svc.Reliability = w.reliability
 	svc.Sched = sched
 	url := w.serve(svc.Handler())
 	stop := w.stops[len(w.stops)-1]

@@ -105,7 +105,20 @@ func (j *Journal) Len() int {
 	return len(j.sessions)
 }
 
+// Batched reports whether the underlying WAL runs group commit
+// (FsyncBatch) — the mode where ChunkAsync pipelines and Flush matters.
+func (j *Journal) Batched() bool { return j.wal.bat != nil }
+
+// Flush hurries the WAL's pending commit group out (FsyncBatch only):
+// call it before parking on tickets so a quiet session never waits out
+// the batch hold.
+func (j *Journal) Flush() { j.wal.Flush() }
+
 // Mint journals a new session. Re-minting a known session is a no-op.
+// Under group commit the mint frame is not waited on: it is ordered ahead
+// of the session's chunk frames in the same WAL, so any durable chunk
+// implies a durable mint — and a lost mint alone is harmless, since chunk
+// replay creates unknown sessions.
 func (j *Journal) Mint(id string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -114,8 +127,14 @@ func (j *Journal) Mint(id string) error {
 	}
 	n := &xmltree.Node{Name: "s"}
 	n.SetAttr("id", id)
-	if err := j.appendLocked(n); err != nil {
+	p, err := j.appendPendingLocked(n)
+	if err != nil {
 		return err
+	}
+	if !j.Batched() {
+		if err := p.Err(); err != nil {
+			return err
+		}
 	}
 	j.sessions[id] = &JSession{ID: id}
 	return j.maybeCompactLocked()
@@ -126,6 +145,22 @@ func (j *Journal) Mint(id string) error {
 // commit and a crash before it re-ships the chunk. The records are the
 // post-dedup set actually committed.
 func (j *Journal) Chunk(id, key, frag string, seq int64, recs []*xmltree.Node) error {
+	p, err := j.ChunkAsync(id, key, frag, seq, recs)
+	if err != nil {
+		return err
+	}
+	return p.Err()
+}
+
+// ChunkAsync journals one committed chunk without waiting for durability:
+// the returned ticket resolves when the frame's commit group has synced
+// (immediately under non-batch policies). The caller must not advance the
+// chunk's checkpoint — or acknowledge anything downstream of it — before
+// the ticket resolves successfully; that deferred ack is what lets the
+// decoder keep parsing the next chunk while this one's fsync is in
+// flight. An error return (encode or compaction failure) means nothing
+// was appended.
+func (j *Journal) ChunkAsync(id, key, frag string, seq int64, recs []*xmltree.Node) (*Pending, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	n := &xmltree.Node{Name: "c"}
@@ -134,15 +169,22 @@ func (j *Journal) Chunk(id, key, frag string, seq int64, recs []*xmltree.Node) e
 	n.SetAttr("frag", frag)
 	n.SetAttr("seq", strconv.FormatInt(seq, 10))
 	n.Kids = recs
-	if err := j.appendLocked(n); err != nil {
-		return err
+	p, err := j.appendPendingLocked(n)
+	if err != nil {
+		return nil, err
 	}
 	j.applyChunkLocked(id, SessionChunk{Key: key, Frag: frag, Seq: seq, Recs: recs})
-	return j.maybeCompactLocked()
+	if err := j.maybeCompactLocked(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // End journals the release of sessions (EndSession, sweeps) and drops them
-// from the shadow state, shrinking the next snapshot.
+// from the shadow state, shrinking the next snapshot. Under group commit
+// the end frames are not waited on: a lost end merely leaves a session to
+// be swept again, and the shadow deletion reaches the next snapshot
+// regardless.
 func (j *Journal) End(ids ...string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -153,7 +195,11 @@ func (j *Journal) End(ids ...string) error {
 		}
 		n := &xmltree.Node{Name: "e"}
 		n.SetAttr("id", id)
-		if err := j.appendLocked(n); err != nil {
+		p, err := j.appendPendingLocked(n)
+		if err == nil && !j.Batched() {
+			err = p.Err()
+		}
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -177,13 +223,16 @@ func (j *Journal) Compact() error {
 // Close syncs and releases the underlying WAL.
 func (j *Journal) Close() error { return j.wal.Close() }
 
-func (j *Journal) appendLocked(n *xmltree.Node) error {
+// appendPendingLocked encodes one record tree and hands it to the WAL,
+// returning the durability ticket. The error covers encoding only; the
+// append outcome arrives through the ticket.
+func (j *Journal) appendPendingLocked(n *xmltree.Node) (*Pending, error) {
 	var b strings.Builder
 	if err := xmltree.Write(&b, n, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
-		return err
+		return nil, err
 	}
 	j.appends++
-	return j.wal.Append([]byte(b.String()))
+	return j.wal.AppendAsync([]byte(b.String())), nil
 }
 
 func (j *Journal) maybeCompactLocked() error {

@@ -51,6 +51,14 @@ type targetSession struct {
 	// instances need (guarded by mu).
 	recovered []durable.SessionChunk
 
+	// pending (guarded by mu) is the pipelined-commit queue used when the
+	// journal runs group commit: chunks whose journal frame is submitted
+	// but not yet fsynced. Each entry's records enter the instance map
+	// and its seq checkpoints (ChunkDone) only when its durability ticket
+	// resolves, in submission order — so the ack-after-sync invariant of
+	// the synchronous path holds while parsing overlaps the sync.
+	pending []pendingCommit
+
 	// stateMu guards the execute-once outcome and the in-flight latch. It
 	// is never held across backend execution or response writing, so
 	// SessionStatus probes answer immediately while a slow execute runs on
@@ -61,6 +69,22 @@ type targetSession struct {
 	done    bool
 	resp    *xmltree.Node
 }
+
+// pendingCommit is one journaled-but-not-yet-durable chunk: the ticket to
+// park on, and everything needed to apply the chunk once it resolves.
+type pendingCommit struct {
+	p    *durable.Pending
+	out  map[string]*core.Instance // the attempt's decode target
+	key  string
+	frag *core.Fragment
+	seq  int64
+	recs []*xmltree.Node
+}
+
+// maxPendingCommits bounds the pipelined-commit window: past this many
+// in-flight chunks the decoder blocks on the oldest ticket, so a slow
+// disk applies backpressure to the wire instead of growing the queue.
+const maxPendingCommits = 256
 
 // replay returns the stored (immutable) response when the session already
 // executed, else nil.
@@ -121,12 +145,25 @@ func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *c
 	ts.hydrateLocked(lookup)
 	inbound := ts.inbound
 	ts.mu.Unlock()
+	if inbound == nil {
+		// Late retry after the execute released the map: decode into a
+		// throwaway so the pipelined apply below has a concrete target.
+		inbound = map[string]*core.Instance{}
+	}
 	d := wire.NewShipmentDecoderInto(sch, lookup, inbound)
 	d.CommitLock = &ts.mu
 	d.OnChunk = ts.ledger.AdmitChunk
 	d.KeepRecord = ts.ledger.KeepRecord
 	d.ChunkDone = ts.ledger.ChunkDone
-	if ts.j != nil {
+	if ts.j != nil && ts.j.Batched() {
+		// Pipelined group commit: submit the journal frame, queue the
+		// apply, keep parsing. The map append and checkpoint advance
+		// happen in commitAsyncLocked/resolve once the frame's group
+		// fsyncs.
+		d.CommitAsync = func(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error {
+			return ts.commitAsyncLocked(inbound, key, frag, seq, recs)
+		}
+	} else if ts.j != nil {
 		d.OnCommit = func(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error {
 			if err := ts.j.Chunk(ts.id, key, frag.Name, seq, recs); err != nil {
 				// The ledger marked these records seen before the journal
@@ -141,6 +178,105 @@ func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *c
 		}
 	}
 	return d
+}
+
+// commitAsyncLocked is the pipelined chunk commit (CommitAsync hook; runs
+// under ts.mu via CommitLock). It journals the chunk asynchronously and
+// queues the apply behind the durability ticket, first settling whatever
+// older commits have already synced — so the queue drains as fast as the
+// disk does, and the write-ahead ordering (journaled before applied,
+// applied before checkpointed) holds per chunk.
+func (ts *targetSession) commitAsyncLocked(out map[string]*core.Instance, key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error {
+	unmark := func() {
+		// KeepRecord marked these seen before the commit; forget them
+		// again or a retried chunk would dedup them away and lose data.
+		for _, rec := range recs {
+			ts.ledger.Unmark(key, rec.ID)
+		}
+	}
+	if err := ts.resolveReadyLocked(); err != nil {
+		unmark()
+		return err
+	}
+	for len(ts.pending) >= maxPendingCommits {
+		// Window full: the wire waits for the disk. Hurry the group out
+		// and park on the oldest ticket.
+		ts.j.Flush()
+		if err := ts.resolveHeadLocked(); err != nil {
+			unmark()
+			return err
+		}
+	}
+	p, err := ts.j.ChunkAsync(ts.id, key, frag.Name, seq, recs)
+	if err != nil {
+		unmark()
+		return err
+	}
+	ts.pending = append(ts.pending, pendingCommit{p: p, out: out, key: key, frag: frag, seq: seq, recs: recs})
+	return nil
+}
+
+// resolveReadyLocked applies, in order, every queued commit whose ticket
+// has already resolved, without blocking.
+func (ts *targetSession) resolveReadyLocked() error {
+	for len(ts.pending) > 0 {
+		select {
+		case <-ts.pending[0].p.Done():
+		default:
+			return nil
+		}
+		if err := ts.resolveHeadLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveHeadLocked waits for the oldest queued commit's ticket and
+// applies it: records enter the instance map and the seq checkpoints. A
+// failed ticket rolls back the whole queue — every queued chunk's records
+// are unmarked so a retry re-ships them — and fails the attempt.
+func (ts *targetSession) resolveHeadLocked() error {
+	pc := ts.pending[0]
+	if err := pc.p.Err(); err != nil {
+		for _, q := range ts.pending {
+			for _, rec := range q.recs {
+				ts.ledger.Unmark(q.key, rec.ID)
+			}
+		}
+		ts.pending = nil
+		return err
+	}
+	in := pc.out[pc.key]
+	if in == nil {
+		in = &core.Instance{Frag: pc.frag}
+		pc.out[pc.key] = in
+	}
+	in.Records = append(in.Records, pc.recs...)
+	ts.ledger.ChunkDone(pc.seq)
+	ts.pending = ts.pending[1:]
+	if len(ts.pending) == 0 {
+		ts.pending = nil
+	}
+	return nil
+}
+
+// drainPendingLocked settles the whole pipelined-commit queue: hurry the
+// journal's commit group out, then apply every queued chunk in order.
+// The session ack — checkpoint stamp, execute, HTTP response — runs
+// behind this barrier, which is what makes batch-mode acks exactly as
+// durable as FsyncAlways ones.
+func (ts *targetSession) drainPendingLocked() error {
+	if len(ts.pending) == 0 {
+		return nil
+	}
+	ts.j.Flush()
+	for len(ts.pending) > 0 {
+		if err := ts.resolveHeadLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // hydrateLocked materializes chunks recovered from the journal into the
@@ -199,6 +335,12 @@ func (t *targetScan) respondSession(w io.Writer) error {
 	if resp := ts.replay(); resp != nil {
 		t.e.met.Counter("endpoint.session.replays").Inc()
 		return xmltree.Write(w, resp, xmltree.WriteOptions{EmitAllIDs: true})
+	}
+	// Settle the pipelined commits before acking anything: the checkpoint
+	// stamped below and the execute's view of the instance map must only
+	// cover chunks whose journal frames are on stable storage.
+	if err := ts.drainPendingLocked(); err != nil {
+		return err
 	}
 	ts.setRunning(true)
 	resp, err := t.e.runTarget(t.g, t.a, ts.inbound, t.pipelined)

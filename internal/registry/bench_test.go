@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -75,4 +77,57 @@ func BenchmarkReliableExchangeDurable(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, true, durable.FsyncOff) })
 	b.Run("interval", func(b *testing.B) { run(b, true, durable.FsyncInterval) })
 	b.Run("always", func(b *testing.B) { run(b, true, durable.FsyncAlways) })
+	// batch is group commit: always-equivalent durability (every acked
+	// chunk fsynced) with the syncs coalesced and overlapped with parse.
+	b.Run("batch", func(b *testing.B) { run(b, true, durable.FsyncBatch) })
+}
+
+// BenchmarkDurableMultiSession drives n concurrent reliable exchanges —
+// n distinct durable sessions — against one batch-journaled target. Each
+// iteration completes all n; near-flat ns/op across the widths means
+// near-linear session scaling, because the sessions share commit groups
+// and amortize each fsync across every session that queued a frame while
+// the previous sync was in flight.
+func BenchmarkDurableMultiSession(b *testing.B) {
+	cfg := &reliable.Config{
+		Seed:      1,
+		ChunkSize: 8,
+		Policy: reliable.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    4 * time.Millisecond,
+			Budget:      64,
+		},
+	}
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			ag, plan, _, tgtEP, done := startAuctionExchange(b)
+			defer done()
+			j, err := durable.OpenJournal(b.TempDir(), durable.Options{Fsync: durable.FsyncBatch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			tgtEP.SetJournal(j)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, n)
+				for s := 0; s < n; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						_, errs[s] = ag.ExecuteOpts("Auction", plan, ExecOptions{Link: netsim.Loopback(), Reliability: cfg})
+					}(s)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }

@@ -118,8 +118,16 @@ func (p *crashProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // directory over an empty store, and the reliable driver completes the
 // exchange against the restarted endpoint — resumed from the journaled
 // checkpoint, zero duplicate committed records, target contents
-// byte-identical to an uninterrupted run.
+// byte-identical to an uninterrupted run. Runs once per durable fsync
+// mode whose acks claim crash safety: the serial always path and the
+// group-commit batch pipeline must satisfy the exact same matrix.
 func TestDurableEndpointRestartResumes(t *testing.T) {
+	for _, pol := range []durable.FsyncPolicy{durable.FsyncAlways, durable.FsyncBatch} {
+		t.Run(pol.String(), func(t *testing.T) { testDurableEndpointRestartResumes(t, pol) })
+	}
+}
+
+func testDurableEndpointRestartResumes(t *testing.T, pol durable.FsyncPolicy) {
 	// Baseline: what the target must hold after an uninterrupted run.
 	agA, planA, tgtA, _, doneA := startAuctionExchange(t)
 	if _, err := agA.ExecuteOpts("Auction", planA, ExecOptions{Link: netsim.Loopback(), Streamed: true}); err != nil {
@@ -152,7 +160,7 @@ func TestDurableEndpointRestartResumes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j, err := durable.OpenJournal(walDir, durable.Options{Fsync: durable.FsyncAlways})
+		j, err := durable.OpenJournal(walDir, durable.Options{Fsync: pol})
 		if err != nil {
 			t.Fatal(err)
 		}

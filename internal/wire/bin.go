@@ -261,11 +261,18 @@ func writeBinChunk(w io.Writer, recs []*xmltree.Node, sch *schema.Schema, compre
 // records, allocating nodes from arena (nil falls back to the heap). Any
 // failure — torn base64, a truncated flate stream, a short payload —
 // rejects the chunk whole; nothing partial escapes.
-func readBinChunk(text string, sch *schema.Schema, enc string, arena *xmltree.Arena) ([]*xmltree.Node, error) {
-	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(text))
+func readBinChunk(text []byte, sch *schema.Schema, enc string, arena *xmltree.Arena) ([]*xmltree.Node, error) {
+	text = bytes.TrimSpace(text)
+	b64buf := bufpool.Buffer()
+	defer bufpool.PutBuffer(b64buf)
+	need := base64.StdEncoding.DecodedLen(len(text))
+	b64buf.Grow(need)
+	raw := b64buf.Bytes()[:need]
+	n, err := base64.StdEncoding.Decode(raw, text)
 	if err != nil {
 		return nil, fmt.Errorf("wire: bin: %v", err)
 	}
+	raw = raw[:n]
 	switch enc {
 	case "":
 		return decodeBinRecords(raw, sch, arena)
@@ -344,11 +351,30 @@ func (d *binDecoder) delta(prev *string) (string, error) {
 	if p > uint64(len(*prev)) {
 		return "", fmt.Errorf("wire: bin: delta prefix %d exceeds previous key", p)
 	}
-	suffix, err := d.str()
+	n, err := d.uvarint()
 	if err != nil {
 		return "", err
 	}
-	s := (*prev)[:p] + suffix
+	suffix, err := d.take(n)
+	if err != nil {
+		return "", err
+	}
+	// Splice the suffix onto the kept prefix with a single allocation —
+	// an intermediate suffix string plus a concat would cost two per key,
+	// and keys are the densest field in a chunk.
+	var s string
+	switch {
+	case len(suffix) == 0 && int(p) == len(*prev):
+		s = *prev
+	case p == 0:
+		s = string(suffix)
+	default:
+		var sb strings.Builder
+		sb.Grow(int(p) + len(suffix))
+		sb.WriteString((*prev)[:p])
+		sb.Write(suffix)
+		s = sb.String()
+	}
 	*prev = s
 	return s, nil
 }
@@ -407,6 +433,7 @@ func (d *binDecoder) node(parentID string, isRoot bool, depth int) (*xmltree.Nod
 		if cnt > uint64(len(d.data)-d.pos) {
 			return nil, errBinTruncated
 		}
+		n.Attrs = make([]xmltree.Attr, 0, cnt)
 		for i := uint64(0); i < cnt; i++ {
 			aname, err := d.strInterned()
 			if err != nil {
@@ -425,6 +452,9 @@ func (d *binDecoder) node(parentID string, isRoot bool, depth int) (*xmltree.Nod
 	}
 	if kids > uint64(len(d.data)-d.pos) {
 		return nil, errBinTruncated
+	}
+	if kids > 0 {
+		n.Kids = make([]*xmltree.Node, 0, kids)
 	}
 	for i := uint64(0); i < kids; i++ {
 		k, err := d.node(n.ID, false, depth+1)
@@ -445,7 +475,7 @@ func decodeBinRecords(payload []byte, sch *schema.Schema, arena *xmltree.Arena) 
 	if payload[0] != binVersion {
 		return nil, fmt.Errorf("wire: bin: unknown payload version %#x", payload[0])
 	}
-	d := &binDecoder{data: payload, pos: 1, dict: dictFor(sch), arena: arena}
+	d := binDecoder{data: payload, pos: 1, dict: dictFor(sch), arena: arena}
 	cnt, err := d.uvarint()
 	if err != nil {
 		return nil, err
@@ -453,7 +483,7 @@ func decodeBinRecords(payload []byte, sch *schema.Schema, arena *xmltree.Arena) 
 	if cnt > uint64(len(payload)) {
 		return nil, errBinTruncated
 	}
-	var recs []*xmltree.Node
+	recs := make([]*xmltree.Node, 0, cnt)
 	for i := uint64(0); i < cnt; i++ {
 		rec, err := d.node("", true, 0)
 		if err != nil {

@@ -226,12 +226,12 @@ func TestReadBinChunkRejects(t *testing.T) {
 		{"unknown enc", "AQA=", "gzip"},
 		{"truncated flate", "AQA=", "flate"},
 	} {
-		if _, err := readBinChunk(c.text, sch, c.enc, nil); err == nil {
+		if _, err := readBinChunk([]byte(c.text), sch, c.enc, nil); err == nil {
 			t.Errorf("%s: decoded clean", c.name)
 		}
 	}
 	// A well-formed empty chunk (version byte + zero record count) is fine.
-	recs, err := readBinChunk("AQA=", sch, "", nil)
+	recs, err := readBinChunk([]byte("AQA="), sch, "", nil)
 	if err != nil || len(recs) != 0 {
 		t.Errorf("empty chunk: recs=%v err=%v", recs, err)
 	}

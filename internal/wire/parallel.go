@@ -169,7 +169,7 @@ type parseJob struct {
 	frag        *core.Fragment
 	seq         int64
 	format, enc string
-	text        string
+	buf         *bytes.Buffer // staged raw text; pooled, owned by the job until parsed
 	recs        []*xmltree.Node
 	err         error
 	done        chan struct{}
@@ -197,7 +197,9 @@ func (d *ShipmentDecoder) parseAsync(job *parseJob) {
 	defer func() { <-d.sem }()
 	start := time.Now()
 	var arena xmltree.Arena
-	job.recs, job.err = parseRawChunk(job.text, job.format, job.enc, job.frag, d.sch, &arena)
+	job.recs, job.err = parseRawChunk(job.buf.Bytes(), job.format, job.enc, job.frag, d.sch, &arena)
+	bufpool.PutBuffer(job.buf)
+	job.buf = nil
 	d.Met.Histogram("wire.decode.parse_ms").ObserveSince(start)
 	close(job.done)
 }

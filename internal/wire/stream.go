@@ -17,11 +17,11 @@ package wire
 // buffered peers interoperate freely.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
 	"bufio"
@@ -342,6 +342,18 @@ type ShipmentDecoder struct {
 	// map, the checkpoint stays — failing the delivery attempt so the
 	// driver retries or resumes.
 	OnCommit func(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error
+	// CommitAsync, when set, replaces OnCommit AND the decoder's own
+	// apply: it receives each chunk's post-dedup records at commit time
+	// and takes ownership of appending them to the instance map and
+	// firing the checkpoint advance (ChunkDone) once the commit is
+	// actually durable. The pipelined durable endpoint plugs in here —
+	// it submits the journal frame and returns immediately, so the
+	// scanner parses the next chunk while the previous one's fsync is in
+	// flight, and only the *ack* (checkpoint + response) waits. OnChunk
+	// admission, KeepRecord dedup, and CommitLock still apply exactly as
+	// in the synchronous path. An error aborts the commit and fails the
+	// delivery attempt.
+	CommitAsync func(key string, frag *core.Fragment, seq int64, recs []*xmltree.Node) error
 	// CommitLock, when set, is held across each chunk commit. A resumable
 	// session decodes concurrent delivery attempts into one shared
 	// instance map — a retried delivery can race a straggler whose torn
@@ -382,7 +394,10 @@ type ShipmentDecoder struct {
 
 	// raw accumulates the character data of feed- and bin-format chunks;
 	// both parse at commit time, so they share the chunk-atomic guarantee.
-	raw       *strings.Builder
+	// The buffer is pooled: it returns to bufpool after the chunk parses
+	// (in-line or in its pool worker), so staging costs no steady-state
+	// allocation per chunk.
+	raw       *bytes.Buffer
 	rawFormat string
 	rawEnc    string
 	stack     []*xmltree.Node
@@ -458,7 +473,7 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 		}
 		d.stageKey, d.stageFrag, d.stageSeq = key, f, seq
 		if format == "feed" || format == "bin" {
-			d.raw = &strings.Builder{}
+			d.raw = bufpool.Buffer()
 			d.rawFormat, d.rawEnc = format, enc
 		}
 		return nil
@@ -577,16 +592,18 @@ func (d *ShipmentDecoder) EndElement(string) error {
 func (d *ShipmentDecoder) commitChunk() error {
 	if d.raw != nil {
 		key, frag, seq := d.stageKey, d.stageFrag, d.stageSeq
-		format, enc, text := d.rawFormat, d.rawEnc, d.raw.String()
+		format, enc, raw := d.rawFormat, d.rawEnc, d.raw
+		d.raw = nil // ownership moves to the parse below
 		d.resetStage()
 		if w := d.decodeWorkers(); w > 1 {
-			job := &parseJob{key: key, frag: frag, seq: seq, format: format, enc: enc, text: text, done: make(chan struct{})}
+			job := &parseJob{key: key, frag: frag, seq: seq, format: format, enc: enc, buf: raw, done: make(chan struct{})}
 			d.jobs = append(d.jobs, job)
 			d.Met.Gauge("wire.decode.queue").Set(int64(len(d.jobs)))
 			go d.parseAsync(job)
 			return d.drainJobs(decQueueSlack * w)
 		}
-		recs, err := parseRawChunk(text, format, enc, frag, d.sch, &d.arena)
+		recs, err := parseRawChunk(raw.Bytes(), format, enc, frag, d.sch, &d.arena)
+		bufpool.PutBuffer(raw)
 		if err != nil {
 			return err
 		}
@@ -603,10 +620,10 @@ func (d *ShipmentDecoder) commitChunk() error {
 // parseRawChunk turns one raw chunk payload into records; arena supplies
 // the nodes (one arena per decode unit — the serial decoder's, or a pool
 // worker's own).
-func parseRawChunk(text, format, enc string, frag *core.Fragment, sch *schema.Schema, arena *xmltree.Arena) ([]*xmltree.Node, error) {
+func parseRawChunk(text []byte, format, enc string, frag *core.Fragment, sch *schema.Schema, arena *xmltree.Arena) ([]*xmltree.Node, error) {
 	switch format {
 	case "feed":
-		in, err := ReadFeed(strings.NewReader(text), frag, sch)
+		in, err := ReadFeed(bytes.NewReader(text), frag, sch)
 		if err != nil {
 			return nil, err
 		}
@@ -644,6 +661,12 @@ func (d *ShipmentDecoder) commitRecs(key string, frag *core.Fragment, seq int64,
 			}
 		}
 	}
+	if d.CommitAsync != nil {
+		// The async consumer owns the map append and the ChunkDone
+		// checkpoint from here; the decoder's job for this chunk is done
+		// the moment the commit is submitted.
+		return d.CommitAsync(key, frag, seq, kept)
+	}
 	if d.OnCommit != nil {
 		if err := d.OnCommit(key, frag, seq, kept); err != nil {
 			return err
@@ -659,6 +682,9 @@ func (d *ShipmentDecoder) commitRecs(key string, frag *core.Fragment, seq int64,
 
 // resetStage clears the per-chunk staging state after a commit or drop.
 func (d *ShipmentDecoder) resetStage() {
+	if d.raw != nil {
+		bufpool.PutBuffer(d.raw)
+	}
 	d.raw, d.rawFormat, d.rawEnc = nil, "", ""
 	d.stageKey, d.stageFrag, d.stageSeq, d.stageRecs = "", nil, -1, nil
 }

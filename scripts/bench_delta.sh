@@ -1,0 +1,73 @@
+#!/bin/sh
+# Informational benchmark drift report: per-benchmark ns/op (and allocs/op)
+# deltas between two committed BENCH_N.json snapshots — by default the two
+# highest-numbered ones in the repo root. Purely a visibility aid: the
+# merge gate prints it (and ignores its exit status) so a perf cliff shows
+# up in the check log next to the change that caused it, but snapshots are
+# taken deliberately (make bench-json), not on every merge, so this never
+# fails the gate.
+#
+#   usage: bench_delta.sh [OLD.json NEW.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ $# -eq 2 ]; then
+    OLD="$1"
+    NEW="$2"
+else
+    set -- $(ls BENCH_*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9]*\)\.json$/\1/p' | sort -n | tail -2)
+    if [ $# -lt 2 ]; then
+        echo "bench_delta: fewer than two BENCH_N.json snapshots; nothing to compare"
+        exit 0
+    fi
+    OLD="BENCH_$1.json"
+    NEW="BENCH_$2.json"
+fi
+
+[ -f "$OLD" ] && [ -f "$NEW" ] || {
+    echo "bench_delta: missing $OLD or $NEW" >&2
+    exit 1
+}
+
+echo "bench_delta: $OLD -> $NEW"
+awk -v old="$OLD" -v new="$NEW" '
+function val(line, key,    s) {
+	s = line
+	if (!sub(".*\"" key "\": *", "", s)) return ""
+	sub("[,}].*", "", s)
+	return s
+}
+/"name":/ {
+	name = val($0, "name")
+	ns = val($0, "ns_per_op")
+	al = val($0, "allocs_per_op")
+	if (name == "" || ns == "") next
+	if (FILENAME == old) {
+		ons[name] = ns
+		oal[name] = al
+	} else {
+		order[++n] = name
+		nns[name] = ns
+		nal[name] = al
+	}
+}
+END {
+	printf "  %-55s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		if (!(name in ons)) {
+			printf "  %-55s %14s %14s %8s %12s\n", name, "-", nns[name], "new", nal[name]
+			continue
+		}
+		d = (nns[name] - ons[name]) / ons[name] * 100
+		ad = ""
+		if (oal[name] != "" && nal[name] != "" && oal[name] > 0)
+			ad = sprintf("%+.0f%%", (nal[name] - oal[name]) / oal[name] * 100)
+		printf "  %-55s %14s %14s %+7.1f%% %12s\n", name, ons[name], nns[name], d, ad
+	}
+	for (name in ons)
+		if (!(name in nns))
+			printf "  %-55s %14s %14s %8s\n", name, ons[name], "-", "gone"
+}
+' "$OLD" "$NEW"

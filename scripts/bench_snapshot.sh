@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH_N="${BENCH_N:-7}"
+BENCH_N="${BENCH_N:-8}"
 OUT="BENCH_${BENCH_N}.json"
 BENCHTIME=50x
 LOAD_ARGS="-tenants 4 -concurrency 32 -ops 256 -check -min-speedup 3"
@@ -55,6 +55,7 @@ go test -run '^$' -bench 'BenchmarkShipmentCodecStream$' -benchmem -benchtime "$
 go test -run '^$' -bench 'BenchmarkShipmentCodecParallel' -benchmem -benchtime "$BENCHTIME" ./internal/wire/ >>"$RAW"
 go test -run '^$' -bench 'BenchmarkWALAppend|BenchmarkWALRecovery|BenchmarkJournalChunk' -benchmem -benchtime "$BENCHTIME" ./internal/durable/ >>"$RAW"
 go test -run '^$' -bench 'BenchmarkReliableExchangeDurable' -benchmem -benchtime "$BENCHTIME" ./internal/registry/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkDurableMultiSession' -benchmem -benchtime "$BENCHTIME" ./internal/registry/ >>"$RAW"
 
 awk -v benchtime="$BENCHTIME" -v snapshot="BENCH_${BENCH_N}" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }

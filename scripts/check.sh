@@ -25,6 +25,11 @@ make bench-smoke
 # merge-gated property, not a one-off number.
 ./scripts/alloc_smoke.sh
 
+# Benchmark drift report between the two most recent committed snapshots.
+# Informational only — snapshots are taken deliberately, not per merge —
+# so its status never gates.
+./scripts/bench_delta.sh || true
+
 # Fault-injection soak: the reliable-exchange e2e over the widened seed
 # matrix, under the race detector. Deterministic, so a failure here is a
 # reliability regression, not flake.

@@ -4,8 +4,14 @@
 # same WAL directory, and the exchange must still complete — resumed from
 # the journaled checkpoint (resumes >= 1) without re-shipping committed
 # records (deduped = 0). The shell twin of TestKillRestartChildEndpoint;
-# this one exercises the real binaries end to end. Ports are fixed but
-# obscure; override with XDX_CRASH_*_PORT if they clash locally.
+# this one exercises the real binaries end to end.
+#
+# The dance runs once per fsync policy: "always" (sync per commit) and
+# "batch" (group commit). Under batch the kill additionally waits for
+# fsyncs >= 2, so a synced chunk prefix exists on disk — acked chunks are
+# exactly the fsynced ones, which is the always-equivalence the batch mode
+# promises. Ports are fixed but obscure; override with XDX_CRASH_*_PORT if
+# they clash locally.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,21 +42,25 @@ wait_http() { # url what
     done
 }
 
+metric() { # name -> value (empty if unreadable)
+    curl -fsS "http://127.0.0.1:$TGT_OPS_PORT/metrics" 2>/dev/null \
+        | sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p" || true
+}
+
 "$WORK/xdxgen" -size 400000 -seed 42 -out "$WORK/doc.xml"
 
 "$WORK/xdxendpoint" -listen "127.0.0.1:$SRC_PORT" -layout MF -name src \
     -data "$WORK/doc.xml" >/dev/null 2>&1 &
 SRC_PID=$!
 
-start_target() {
+start_target() { # fsync-policy wal-dir
     "$WORK/xdxendpoint" -listen "127.0.0.1:$TGT_PORT" -layout LF -name tgt \
-        -wal-dir "$WORK/wal" -fsync always -snapshot-every 0 \
+        -wal-dir "$2" -fsync "$1" -snapshot-every 0 \
         -metrics-addr "127.0.0.1:$TGT_OPS_PORT" >/dev/null 2>&1 &
     TGT_PID=$!
     wait_http "http://127.0.0.1:$TGT_OPS_PORT/healthz" "target endpoint"
 }
 
-start_target
 wait_http "http://127.0.0.1:$SRC_PORT/" "source endpoint"
 
 # A patient retry policy: the restart below takes a few hundred ms and the
@@ -68,54 +78,81 @@ soap_call() { # body
 }
 
 soap_call "<Discover service=\"Auction\" role=\"source\" url=\"http://127.0.0.1:$SRC_PORT/soap\"/>" >/dev/null
-soap_call "<Discover service=\"Auction\" role=\"target\" url=\"http://127.0.0.1:$TGT_PORT/soap\"/>" >/dev/null
 
-# Drive the exchange in the background, then kill the target once its WAL
-# has journaled a few chunk commits — mid-delivery by construction.
-soap_call '<Exchange service="Auction"/>' >"$WORK/exchange.xml" 2>"$WORK/exchange.err" &
-EXCHANGE_PID=$!
+run_arm() { # fsync-policy
+    FSYNC="$1"
+    WAL="$WORK/wal-$FSYNC"
+    start_target "$FSYNC" "$WAL"
+    soap_call "<Discover service=\"Auction\" role=\"target\" url=\"http://127.0.0.1:$TGT_PORT/soap\"/>" >/dev/null
 
-i=0
-while :; do
-    APPENDS="$(curl -fsS "http://127.0.0.1:$TGT_OPS_PORT/metrics" 2>/dev/null \
-        | sed -n 's/.*"wal\.appends": \([0-9]*\).*/\1/p' || true)"
-    [ -n "${APPENDS:-}" ] && [ "$APPENDS" -ge 3 ] && break
-    if ! kill -0 "$EXCHANGE_PID" 2>/dev/null; then
-        echo "crash_smoke: exchange finished before the kill — widen the window" >&2
+    # Drive the exchange in the background, then kill the target once its
+    # WAL has journaled a few chunk commits — mid-delivery by construction.
+    # Under batch, also wait for two fsyncs: the first commit group must
+    # be durably on disk, not just queued, or there is nothing to resume.
+    soap_call '<Exchange service="Auction"/>' >"$WORK/exchange.xml" 2>"$WORK/exchange.err" &
+    EXCHANGE_PID=$!
+
+    i=0
+    while :; do
+        APPENDS="$(metric 'wal\.appends')"
+        READY=0
+        if [ -n "${APPENDS:-}" ] && [ "$APPENDS" -ge 3 ]; then
+            if [ "$FSYNC" = batch ]; then
+                FSYNCS="$(metric 'wal\.fsyncs')"
+                [ -n "${FSYNCS:-}" ] && [ "$FSYNCS" -ge 2 ] && READY=1
+            else
+                READY=1
+            fi
+        fi
+        [ "$READY" = 1 ] && break
+        if ! kill -0 "$EXCHANGE_PID" 2>/dev/null; then
+            echo "crash_smoke[$FSYNC]: exchange finished before the kill — widen the window" >&2
+            cat "$WORK/exchange.err" >&2 || true
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 600 ]; then
+            echo "crash_smoke[$FSYNC]: target never journaled enough appends" >&2
+            exit 1
+        fi
+        sleep 0.05
+    done
+
+    kill -9 "$TGT_PID"
+    wait "$TGT_PID" 2>/dev/null || true
+    start_target "$FSYNC" "$WAL"
+
+    if ! wait "$EXCHANGE_PID"; then
+        echo "crash_smoke[$FSYNC]: exchange did not survive the kill+restart" >&2
         cat "$WORK/exchange.err" >&2 || true
         exit 1
     fi
-    i=$((i + 1))
-    if [ "$i" -gt 600 ]; then
-        echo "crash_smoke: target never journaled enough appends" >&2
+
+    RESP="$(cat "$WORK/exchange.xml")"
+    echo "$RESP" | grep -q 'ExchangeResponse' || {
+        echo "crash_smoke[$FSYNC]: no ExchangeResponse: $RESP" >&2
         exit 1
-    fi
-    sleep 0.05
+    }
+    RESUMES="$(echo "$RESP" | sed -n 's/.*resumes="\([0-9]*\)".*/\1/p')"
+    DEDUPED="$(echo "$RESP" | sed -n 's/.*deduped="\([0-9]*\)".*/\1/p')"
+    [ -n "$RESUMES" ] && [ "$RESUMES" -ge 1 ] || {
+        echo "crash_smoke[$FSYNC]: expected resumes >= 1, got '$RESUMES': $RESP" >&2
+        exit 1
+    }
+    [ "$DEDUPED" = "0" ] || {
+        echo "crash_smoke[$FSYNC]: expected deduped=0, got '$DEDUPED': $RESP" >&2
+        exit 1
+    }
+    echo "crash_smoke: $FSYNC ok (resumes=$RESUMES deduped=$DEDUPED)"
+
+    # Tear the target down so the next arm starts from an empty store and
+    # a fresh WAL on the same ports.
+    kill -9 "$TGT_PID"
+    wait "$TGT_PID" 2>/dev/null || true
+    TGT_PID=""
+}
+
+for policy in always batch; do
+    run_arm "$policy"
 done
-
-kill -9 "$TGT_PID"
-wait "$TGT_PID" 2>/dev/null || true
-start_target
-
-if ! wait "$EXCHANGE_PID"; then
-    echo "crash_smoke: exchange did not survive the kill+restart" >&2
-    cat "$WORK/exchange.err" >&2 || true
-    exit 1
-fi
-
-RESP="$(cat "$WORK/exchange.xml")"
-echo "$RESP" | grep -q 'ExchangeResponse' || {
-    echo "crash_smoke: no ExchangeResponse: $RESP" >&2
-    exit 1
-}
-RESUMES="$(echo "$RESP" | sed -n 's/.*resumes="\([0-9]*\)".*/\1/p')"
-DEDUPED="$(echo "$RESP" | sed -n 's/.*deduped="\([0-9]*\)".*/\1/p')"
-[ -n "$RESUMES" ] && [ "$RESUMES" -ge 1 ] || {
-    echo "crash_smoke: expected resumes >= 1, got '$RESUMES': $RESP" >&2
-    exit 1
-}
-[ "$DEDUPED" = "0" ] || {
-    echo "crash_smoke: expected deduped=0, got '$DEDUPED': $RESP" >&2
-    exit 1
-}
-echo "crash_smoke: ok (resumes=$RESUMES deduped=$DEDUPED)"
+echo "crash_smoke: ok"
