@@ -44,6 +44,7 @@ func main() {
 	fault5xx := flag.Float64("fault-5xx", 0, "probability a request is answered with a plain 503")
 	faultMaxTruncate := flag.Int("fault-max-truncate", 0, "max bytes before a truncation cut (0 = default 4096)")
 	codecWorkers := flag.Int("codec-workers", 0, "chunk codec pool size per shipment (0 = one per CPU, 1 = serial)")
+	noDelta := flag.Bool("no-delta", false, "retain no delta bases: DeltaStatus always answers cold, so agencies ship full snapshots")
 	walDir := flag.String("wal-dir", "", "directory for the session write-ahead log; on start, journaled sessions are recovered so interrupted exchanges resume (empty = memory-only)")
 	fsyncPolicy := flag.String("fsync", "always", "WAL sync policy: always (sync per commit), batch (group commit: coalesced syncs, always-equivalent acks), interval (background), or off")
 	snapshotEvery := flag.Int("snapshot-every", 256, "WAL appends between snapshot+compact cycles (0 = never compact)")
@@ -95,6 +96,9 @@ func main() {
 	}
 	ep := endpoint.New(*name, &endpoint.RelBackend{Store: store, Speed: *speed, CanCombine: !*dumb}, defs)
 	ep.SetCodecWorkers(*codecWorkers)
+	if *noDelta {
+		ep.SetDeltaRetention(false)
+	}
 	if *codecs != "" {
 		names := strings.Split(*codecs, ",")
 		for i := range names {

@@ -62,6 +62,7 @@ func main() {
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate per second (0 = unlimited)")
 	codec := flag.String("codec", "", "shipment codec for exchanges (xml, feed, bin, bin+flate)")
 	streamed := flag.Bool("streamed", false, "drive exchanges over the streaming wire path")
+	delta := flag.Bool("delta", false, "drive repeat exchanges in delta mode (implies the reliable session path)")
 	fsync := flag.String("fsync", "", "make every exchange a durable reliable session: journal each tenant target under this WAL fsync policy (always, batch, interval, off; empty = memory-only, no sessions)")
 	mode := flag.String("mode", "both", "serial, concurrent, or both")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
@@ -78,7 +79,7 @@ func main() {
 		log.Fatalf("xdxload: bad -mode %q", *mode)
 	}
 
-	w := newWorld(*tenants, *customers, *netLatency, *codec, *streamed, *fsync, logf)
+	w := newWorld(*tenants, *customers, *netLatency, *codec, *streamed, *fsync, *delta, logf)
 	defer w.close()
 
 	// Default the queue to hold the full offered concurrency: the harness
@@ -234,12 +235,13 @@ type world struct {
 	latency     time.Duration
 	codec       string
 	streamed    bool
+	delta       bool
 	reliability *reliable.Config
 	stops       []func()
 }
 
-func newWorld(tenants, customers int, latency time.Duration, codec string, streamed bool, fsync string, logf func(string, ...any)) *world {
-	w := &world{agency: registry.New(), latency: latency, codec: codec, streamed: streamed, link: netsim.Loopback()}
+func newWorld(tenants, customers int, latency time.Duration, codec string, streamed bool, fsync string, delta bool, logf func(string, ...any)) *world {
+	w := &world{agency: registry.New(), latency: latency, codec: codec, streamed: streamed, delta: delta, link: netsim.Loopback()}
 	var fsyncPol durable.FsyncPolicy
 	if fsync != "" {
 		var err error
@@ -250,6 +252,20 @@ func newWorld(tenants, customers int, latency time.Duration, codec string, strea
 		// session, and every tenant target journals its chunk commits —
 		// many concurrent sessions sharing one WAL per tenant, which is
 		// the workload group commit amortizes.
+		w.reliability = &reliable.Config{
+			Seed:      1,
+			ChunkSize: 8,
+			Policy: reliable.Policy{
+				MaxAttempts: 3,
+				BaseDelay:   time.Millisecond,
+				MaxDelay:    4 * time.Millisecond,
+				Budget:      64,
+			},
+		}
+	}
+	if delta && w.reliability == nil {
+		// Delta exchanges ride the reliable session path; without a
+		// journal the sessions are memory-only.
 		w.reliability = &reliable.Config{
 			Seed:      1,
 			ChunkSize: 8,
@@ -343,6 +359,7 @@ func (w *world) serveService(sched *registry.Scheduler) (string, func()) {
 	svc.Codec = w.codec
 	svc.Streamed = w.streamed
 	svc.Reliability = w.reliability
+	svc.Delta = w.delta
 	svc.Sched = sched
 	url := w.serve(svc.Handler())
 	stop := w.stops[len(w.stops)-1]

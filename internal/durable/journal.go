@@ -13,14 +13,23 @@ package durable
 //
 //	<s id="SID"/>                                   session minted
 //	<c id="SID" key="K" frag="F" seq="N">recs</c>   chunk committed
+//	<c id="SID" key="K" seq="N" del="1">ids</c>     tombstone chunk committed
 //	<e id="SID"/>                                   session ended
 //
 // Chunk records carry the post-dedup records with their instance IDs
 // (EmitAllIDs), so replay reconstructs both the instance map and the
-// idempotency ledger exactly. All three ops are idempotent under replay —
-// re-minting is a no-op, a chunk with a seq below the rebuilt checkpoint
-// is skipped, ending an unknown session is fine — which is what makes the
-// snapshot/truncate crash window of WAL.Snapshot safe.
+// idempotency ledger exactly; tombstone chunks (delta exchanges) carry
+// the deleted record IDs as empty <d ID=…/> kids. All ops are idempotent
+// under replay — re-minting is a no-op, a chunk with a seq below the
+// rebuilt checkpoint is skipped, ending an unknown session is fine — which
+// is what makes the snapshot/truncate crash window of WAL.Snapshot safe.
+//
+// Decoding is strict: a log frame whose CRC holds but whose payload is
+// missing its id or carries an unparsable seq is reported to the WAL as
+// ErrMalformedFrame, which stops replay there and truncates the rest as a
+// torn tail — a half-decoded chunk must never silently restore a zeroed
+// checkpoint. A malformed snapshot is a hard recovery error (snapshots are
+// written atomically; damage there is real corruption, not a torn append).
 
 import (
 	"fmt"
@@ -41,6 +50,10 @@ type SessionChunk struct {
 	Frag string
 	Seq  int64
 	Recs []*xmltree.Node
+	// Del marks a tombstone chunk of a delta exchange: Recs are empty
+	// <d ID=…/> markers naming the deleted record IDs, not records to
+	// hydrate into the instance map.
+	Del bool
 }
 
 // JSession is the recovered durable state of one session.
@@ -161,19 +174,51 @@ func (j *Journal) Chunk(id, key, frag string, seq int64, recs []*xmltree.Node) e
 // flight. An error return (encode or compaction failure) means nothing
 // was appended.
 func (j *Journal) ChunkAsync(id, key, frag string, seq int64, recs []*xmltree.Node) (*Pending, error) {
+	return j.chunkAsync(id, SessionChunk{Key: key, Frag: frag, Seq: seq, Recs: recs})
+}
+
+// Tomb journals one committed tombstone chunk (the deletions of a delta
+// exchange) synchronously; see TombAsync.
+func (j *Journal) Tomb(id, key string, seq int64, ids []string) error {
+	p, err := j.TombAsync(id, key, seq, ids)
+	if err != nil {
+		return err
+	}
+	return p.Err()
+}
+
+// TombAsync journals one committed tombstone chunk without waiting for
+// durability — the delta-exchange counterpart of ChunkAsync. The deleted
+// record IDs travel as empty <d ID=…/> kids and replay into a Del chunk,
+// so recovery re-applies the deletions instead of hydrating phantom
+// records.
+func (j *Journal) TombAsync(id, key string, seq int64, ids []string) (*Pending, error) {
+	recs := make([]*xmltree.Node, 0, len(ids))
+	for _, rid := range ids {
+		recs = append(recs, &xmltree.Node{Name: "d", ID: rid})
+	}
+	return j.chunkAsync(id, SessionChunk{Key: key, Seq: seq, Recs: recs, Del: true})
+}
+
+func (j *Journal) chunkAsync(id string, c SessionChunk) (*Pending, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	n := &xmltree.Node{Name: "c"}
 	n.SetAttr("id", id)
-	n.SetAttr("key", key)
-	n.SetAttr("frag", frag)
-	n.SetAttr("seq", strconv.FormatInt(seq, 10))
-	n.Kids = recs
+	n.SetAttr("key", c.Key)
+	if c.Frag != "" {
+		n.SetAttr("frag", c.Frag)
+	}
+	n.SetAttr("seq", strconv.FormatInt(c.Seq, 10))
+	if c.Del {
+		n.SetAttr("del", "1")
+	}
+	n.Kids = c.Recs
 	p, err := j.appendPendingLocked(n)
 	if err != nil {
 		return nil, err
 	}
-	j.applyChunkLocked(id, SessionChunk{Key: key, Frag: frag, Seq: seq, Recs: recs})
+	j.applyChunkLocked(id, c)
 	if err := j.maybeCompactLocked(); err != nil {
 		return nil, err
 	}
@@ -259,8 +304,13 @@ func (j *Journal) compactLocked() error {
 		for _, c := range s.Chunks {
 			cn := &xmltree.Node{Name: "c"}
 			cn.SetAttr("key", c.Key)
-			cn.SetAttr("frag", c.Frag)
+			if c.Frag != "" {
+				cn.SetAttr("frag", c.Frag)
+			}
 			cn.SetAttr("seq", strconv.FormatInt(c.Seq, 10))
+			if c.Del {
+				cn.SetAttr("del", "1")
+			}
 			cn.Kids = c.Recs
 			sn.AddKid(cn)
 		}
@@ -311,54 +361,87 @@ func (j *Journal) replaySnapshot(payload []byte) error {
 		}
 		id, _ := sn.Attr("id")
 		if id == "" {
-			continue
+			return fmt.Errorf("snapshot session without id")
 		}
 		s := &JSession{ID: id}
-		if v, ok := sn.Attr("next"); ok {
-			s.Next, _ = strconv.ParseInt(v, 10, 64)
+		// The compactor always stamps next; a session element without it, or
+		// with an unparsable value, is corruption — restoring checkpoint 0
+		// here would rewind the ledger and mis-dedup resumed chunks.
+		v, ok := sn.Attr("next")
+		if !ok {
+			return fmt.Errorf("snapshot session %q without next checkpoint", id)
 		}
+		next, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || next < 0 {
+			return fmt.Errorf("snapshot session %q: bad next checkpoint %q", id, v)
+		}
+		s.Next = next
 		for _, cn := range sn.Kids {
 			if cn.Name != "c" {
 				continue
 			}
-			s.Chunks = append(s.Chunks, parseChunk(cn))
+			c, err := parseChunk(cn)
+			if err != nil {
+				return fmt.Errorf("snapshot session %q: %v", id, err)
+			}
+			s.Chunks = append(s.Chunks, c)
 		}
 		j.sessions[id] = s
 	}
 	return nil
 }
 
-// replayRecord folds one log frame into the shadow state.
+// replayRecord folds one log frame into the shadow state. Any decode
+// failure — unparsable XML, a missing id, a mangled seq — is reported as
+// ErrMalformedFrame so the WAL stops replay there and truncates the rest
+// as a torn tail, instead of restoring a half-decoded (zeroed) record.
 func (j *Journal) replayRecord(payload []byte) error {
 	n, err := xmltree.Parse(strings.NewReader(string(payload)))
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
 	}
 	id, _ := n.Attr("id")
+	if id == "" {
+		return fmt.Errorf("%w: %s record without id", ErrMalformedFrame, n.Name)
+	}
 	switch n.Name {
 	case "s":
-		if id != "" && j.sessions[id] == nil {
+		if j.sessions[id] == nil {
 			j.sessions[id] = &JSession{ID: id}
 		}
 	case "c":
-		if id != "" {
-			j.applyChunkLocked(id, parseChunk(n))
+		c, err := parseChunk(n)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
 		}
+		j.applyChunkLocked(id, c)
 	case "e":
 		delete(j.sessions, id)
 	default:
-		return fmt.Errorf("unknown journal record %q", n.Name)
+		return fmt.Errorf("%w: unknown journal record %q", ErrMalformedFrame, n.Name)
 	}
 	return nil
 }
 
-func parseChunk(n *xmltree.Node) SessionChunk {
-	c := SessionChunk{Seq: -1}
+// parseChunk decodes one <c> element strictly: the seq attribute must be
+// present and parse, because defaulting it would rewind the rebuilt
+// checkpoint (applyChunkLocked derives next from it).
+func parseChunk(n *xmltree.Node) (SessionChunk, error) {
+	var c SessionChunk
 	c.Key, _ = n.Attr("key")
 	c.Frag, _ = n.Attr("frag")
-	if v, ok := n.Attr("seq"); ok {
-		c.Seq, _ = strconv.ParseInt(v, 10, 64)
+	v, ok := n.Attr("seq")
+	if !ok {
+		return c, fmt.Errorf("chunk record without seq")
+	}
+	seq, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return c, fmt.Errorf("chunk record with bad seq %q", v)
+	}
+	c.Seq = seq
+	if v, _ := n.Attr("del"); v == "1" {
+		c.Del = true
 	}
 	c.Recs = n.Kids
-	return c
+	return c, nil
 }

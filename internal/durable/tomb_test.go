@@ -1,0 +1,120 @@
+package durable
+
+import (
+	"testing"
+
+	"xdx/internal/xmltree"
+)
+
+// tombRec builds a minimal journaled record tree.
+func tombRec(id string) *xmltree.Node {
+	return &xmltree.Node{Name: "item", ID: id, Kids: []*xmltree.Node{{Name: "iname", Text: "x-" + id}}}
+}
+
+// TestJournalTombBatchPipeline journals a record chunk and a tombstone
+// chunk through the group-commit pipeline (TombAsync + Flush), reopens the
+// WAL, and checks recovery rebuilds both in commit order with the
+// checkpoint advanced past the deletion — the batched path must order and
+// persist Del frames exactly like the serial Tomb path does.
+func TestJournalTombBatchPipeline(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mint("sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := j.ChunkAsync("sess-1", "k1", "ITEM", 0, []*xmltree.Node{tombRec("4"), tombRec("9")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := j.TombAsync("sess-1", "k1", 1, []string{"4", "17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Flush()
+	if err := pc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, Options{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ss := j2.Sessions()
+	if len(ss) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(ss))
+	}
+	s := ss[0]
+	if s.Next != 2 {
+		t.Errorf("recovered checkpoint Next = %d, want 2 (tombstone chunk must advance it)", s.Next)
+	}
+	if len(s.Chunks) != 2 {
+		t.Fatalf("recovered %d chunks, want 2", len(s.Chunks))
+	}
+	if s.Chunks[0].Del || len(s.Chunks[0].Recs) != 2 {
+		t.Errorf("chunk 0 = {Del:%v recs:%d}, want record chunk with 2 records",
+			s.Chunks[0].Del, len(s.Chunks[0].Recs))
+	}
+	tc := s.Chunks[1]
+	if !tc.Del || tc.Seq != 1 || tc.Key != "k1" {
+		t.Fatalf("chunk 1 = {Del:%v Seq:%d Key:%q}, want Del chunk seq 1 key k1", tc.Del, tc.Seq, tc.Key)
+	}
+	var ids []string
+	for _, r := range tc.Recs {
+		if r.Name != "d" || len(r.Kids) != 0 {
+			t.Errorf("tombstone marker %q has kids or wrong name — it would hydrate as a record", r.Name)
+		}
+		ids = append(ids, r.ID)
+	}
+	if len(ids) != 2 || ids[0] != "4" || ids[1] != "17" {
+		t.Errorf("recovered tombstone IDs = %v, want [4 17]", ids)
+	}
+}
+
+// TestJournalTombReplayIsIdempotent re-journals the same tombstone seq
+// twice (a crash between WAL append and ack makes redelivery legal) and
+// checks recovery keeps a single checkpoint advance — the dedup rule for
+// record chunks must hold for deletion chunks too.
+func TestJournalTombReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mint("sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Tomb("sess-1", "k1", 0, []string{"3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Tomb("sess-1", "k1", 0, []string{"3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ss := j2.Sessions()
+	if len(ss) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(ss))
+	}
+	if ss[0].Next != 1 {
+		t.Errorf("Next = %d after duplicate tombstone replay, want 1", ss[0].Next)
+	}
+	if n := len(ss[0].Chunks); n != 1 {
+		t.Errorf("recovered %d chunks after duplicate tombstone replay, want 1", n)
+	}
+}

@@ -27,6 +27,7 @@ package durable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -36,6 +37,15 @@ import (
 
 	"xdx/internal/obs"
 )
+
+// ErrMalformedFrame marks a log frame whose payload passed the CRC check
+// but does not decode into a valid record — a mangled attribute, a missing
+// identifier, an unparsable sequence number. Replay handlers wrap it to
+// tell Recover "stop here and treat the rest as a torn tail": restoring a
+// half-decoded record (checkpoint 0, seq 0) would silently rewind session
+// state, which is strictly worse than discarding the suffix and letting
+// the resume protocol re-ship.
+var ErrMalformedFrame = errors.New("durable: malformed frame")
 
 // FsyncPolicy dials how eagerly the WAL forces appended frames to stable
 // storage — the classic durability/throughput trade measured in
@@ -127,6 +137,10 @@ type RecoveryStats struct {
 	// TornBytes is how many trailing bytes were discarded as a torn or
 	// corrupt tail.
 	TornBytes int64
+	// MalformedFrames is 1 when replay stopped at a CRC-valid frame whose
+	// payload would not decode (ErrMalformedFrame); the frame and
+	// everything after it are counted in TornBytes.
+	MalformedFrames int
 	// Elapsed is how long recovery took.
 	Elapsed time.Duration
 }
@@ -250,6 +264,17 @@ func (w *WAL) Recover(snap func(payload []byte) error, rec func(payload []byte) 
 		}
 		if rec != nil {
 			if err := rec(payload); err != nil {
+				if errors.Is(err, ErrMalformedFrame) {
+					// The frame's bytes are intact (CRC matched) but the
+					// payload does not decode into a record. Replaying a
+					// half-decoded record would silently restore zeroed
+					// state, so stop here and discard the frame and
+					// everything after it as a torn tail.
+					st.MalformedFrames++
+					w.log.Log(obs.LevelWarn, "wal malformed frame; truncating as torn tail",
+						"dir", w.dir, "record", st.Records, "err", err.Error())
+					break
+				}
 				return st, fmt.Errorf("durable: replay record %d: %w", st.Records, err)
 			}
 		}
@@ -274,6 +299,7 @@ func (w *WAL) Recover(snap func(payload []byte) error, rec func(payload []byte) 
 	if w.met != nil {
 		w.met.Counter("wal.recovery.records").Add(int64(st.Records))
 		w.met.Counter("wal.recovery.torn_bytes").Add(st.TornBytes)
+		w.met.Counter("wal.recovery.malformed").Add(int64(st.MalformedFrames))
 		w.met.Histogram("wal.recovery.millis").Observe(float64(st.Elapsed) / float64(time.Millisecond))
 		w.met.Gauge("wal.snapshot.bytes").Set(st.SnapshotBytes)
 	}

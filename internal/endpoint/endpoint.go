@@ -66,6 +66,9 @@ func (b *RelBackend) Write(in *core.Instance) error { return b.Store.Load(in) }
 // BuildIndexes implements Backend.
 func (b *RelBackend) BuildIndexes() error { return b.Store.BuildIndexes() }
 
+// Clear implements Clearer by dropping every stored row.
+func (b *RelBackend) Clear() { b.Store.Clear() }
+
 // Provider implements Backend.
 func (b *RelBackend) Provider() *core.StatsProvider {
 	card, bytes := b.Store.Stats()
@@ -166,6 +169,19 @@ func (b *VirtualBackend) BuildIndexes() error { return b.Base.BuildIndexes() }
 // Provider implements Backend.
 func (b *VirtualBackend) Provider() *core.StatsProvider { return b.Base.Provider() }
 
+// Clear implements Clearer when the base backend does.
+func (b *VirtualBackend) Clear() {
+	if c, ok := b.Base.(Clearer); ok {
+		c.Clear()
+	}
+}
+
+// Clearer marks backends whose contents a stream-tagged exchange replaces:
+// each such exchange carries the full logical snapshot — shipped whole or
+// patched together from a delta — so prior rows are dropped before the
+// write and repeat exchanges converge instead of accumulating.
+type Clearer interface{ Clear() }
+
 // Endpoint serves a backend over SOAP.
 type Endpoint struct {
 	// Name identifies the endpoint in logs and faults.
@@ -194,6 +210,21 @@ type Endpoint struct {
 
 	calMu    sync.Mutex
 	calCache map[string]*shipCalibration
+
+	// deltaMu guards deltaBases: the per-stream retained snapshots delta
+	// exchanges patch against. Memory-only by design — after a restart
+	// every stream is cold and the agency falls back to a full reship.
+	deltaMu    sync.Mutex
+	deltaBases map[string]*deltaBase
+	deltaOff   bool
+}
+
+// deltaBase is one stream's retained snapshot: the instance map of the
+// last successful stream-tagged exchange, valid only while the plan
+// epoch it was built under still matches.
+type deltaBase struct {
+	epoch string
+	out   map[string]*core.Instance
 }
 
 // shipCalibration holds measured wire/tree size ratios for one codec:
@@ -208,13 +239,15 @@ type shipCalibration struct {
 // New wires a backend into a SOAP endpoint.
 func New(name string, be Backend, defs *wsdlx.Definitions) *Endpoint {
 	e := &Endpoint{Name: name, WSDL: defs, backend: be, srv: soap.NewServer(),
-		sessions: reliable.NewSessionStore(),
-		codecs:   wire.Codecs(),
-		log:      obs.Nop,
-		calCache: map[string]*shipCalibration{}}
+		sessions:   reliable.NewSessionStore(),
+		codecs:     wire.Codecs(),
+		log:        obs.Nop,
+		calCache:   map[string]*shipCalibration{},
+		deltaBases: map[string]*deltaBase{}}
 	e.srv.Handle("GetWSDL", e.getWSDL)
 	e.srv.Handle("ProbeStats", e.probeStats)
 	e.srv.Handle("ProbeCost", e.probeCost)
+	e.srv.Handle("DeltaStatus", e.deltaStatus)
 	e.srv.Handle("SessionStatus", e.sessionStatus)
 	e.srv.Handle("EndSession", e.endSession)
 	e.srv.HandleStream("ExecuteSource", e.executeSourceStream)
@@ -244,6 +277,12 @@ func (e *Endpoint) SetJournal(j *durable.Journal) int {
 		s := e.sessions.GetOrCreate(js.ID)
 		s.Ledger.Restore(js.Next)
 		for _, c := range js.Chunks {
+			if c.Del {
+				// Tombstone chunks carry deletion IDs, not record
+				// arrivals; marking them seen would dedup away a real
+				// record shipped later under the same ID.
+				continue
+			}
 			for _, rec := range c.Recs {
 				s.Ledger.MarkSeen(c.Key, rec.ID)
 			}
@@ -504,6 +543,78 @@ func (e *Endpoint) probeCost(req *xmltree.Node) (*xmltree.Node, error) {
 	return resp, nil
 }
 
+// deltaStatus answers a DeltaStatus probe: whether this endpoint holds a
+// warm delta base for the stream at the given epoch. A cold answer tells
+// the agency to ship the full snapshot; delta deliveries that arrive cold
+// anyway (the probe raced a restart) fault with xdx:ColdDelta instead.
+func (e *Endpoint) deltaStatus(req *xmltree.Node) (*xmltree.Node, error) {
+	stream, _ := req.Attr("stream")
+	if stream == "" {
+		return nil, &soap.Fault{Code: "soap:Client", String: "DeltaStatus without stream"}
+	}
+	epoch, _ := req.Attr("epoch")
+	resp := &xmltree.Node{Name: "DeltaStatusResponse"}
+	resp.SetAttr("stream", stream)
+	warm := "0"
+	if e.deltaWarm(stream, epoch) {
+		warm = "1"
+	}
+	resp.SetAttr("warm", warm)
+	return resp, nil
+}
+
+// SetDeltaRetention toggles delta-base retention. Off, the endpoint
+// answers every DeltaStatus probe cold and retains nothing, so agencies
+// always ship full snapshots — a memory knob for targets with many
+// streams. On (the default) is required for delta exchanges to engage.
+func (e *Endpoint) SetDeltaRetention(on bool) {
+	e.deltaMu.Lock()
+	e.deltaOff = !on
+	if e.deltaOff {
+		e.deltaBases = map[string]*deltaBase{}
+	}
+	e.deltaMu.Unlock()
+}
+
+// deltaWarm reports whether a stream's retained base can absorb a delta
+// built against the given epoch.
+func (e *Endpoint) deltaWarm(stream, epoch string) bool {
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	b := e.deltaBases[stream]
+	return b != nil && b.epoch == epoch
+}
+
+// deltaBaseFor returns a stream's retained snapshot when its epoch
+// matches, else nil.
+func (e *Endpoint) deltaBaseFor(stream, epoch string) map[string]*core.Instance {
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	if b := e.deltaBases[stream]; b != nil && b.epoch == epoch {
+		return b.out
+	}
+	return nil
+}
+
+// storeDeltaBase retains a stream's just-executed snapshot as the base
+// the next delta patches against.
+func (e *Endpoint) storeDeltaBase(stream, epoch string, out map[string]*core.Instance) {
+	e.deltaMu.Lock()
+	if !e.deltaOff {
+		e.deltaBases[stream] = &deltaBase{epoch: epoch, out: out}
+	}
+	e.deltaMu.Unlock()
+}
+
+// clearBackend drops the backend's stored rows before a stream-tagged
+// exchange writes its snapshot; backends that cannot clear keep their
+// append semantics.
+func (e *Endpoint) clearBackend() {
+	if c, ok := e.backend.(Clearer); ok {
+		c.Clear()
+	}
+}
+
 // executeSource runs the source slice of a program: scans plus the
 // operations placed at this system, returning the cross-edge shipment.
 // A service argument (§3.2) arrives as filterElem/filterValue attributes
@@ -514,13 +625,9 @@ func (e *Endpoint) executeSource(req *xmltree.Node, codec wire.Codec) (*xmltree.
 	if err != nil {
 		return nil, err
 	}
-	scan := e.scanByElems
-	if filterElem, ok := req.Attr("filterElem"); ok && filterElem != "" {
-		filterValue, _ := req.Attr("filterValue")
-		scan, err = e.filteredScan(filterElem, filterValue)
-		if err != nil {
-			return nil, err
-		}
+	scan, err := e.sourceScan(req)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	outbound, _, err := sliceExecutor(req)(g, e.backend.Layout().Schema, a, core.LocSource, core.SliceIO{
@@ -568,10 +675,40 @@ func (e *Endpoint) scanByElems(f *core.Fragment) (*core.Instance, error) {
 	return nil, fmt.Errorf("endpoint %s: no layout fragment matching %q", e.Name, f.Name)
 }
 
+// sourceScan resolves the scan an ExecuteSource request's slice runs
+// over. A compiled pushdown filter (the filter attribute, §3.2's service
+// arguments generalized to comparisons) wins; the legacy
+// filterElem/filterValue equality pair stays for old callers; without
+// either, plain layout scans.
+func (e *Endpoint) sourceScan(req *xmltree.Node) (func(*core.Fragment) (*core.Instance, error), error) {
+	if expr, ok := req.Attr("filter"); ok && expr != "" {
+		f, err := core.CompileFilter(expr, e.backend.Layout().Schema)
+		if err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		// A filter whose path lies outside this layout's root fragment can
+		// never match a root record; fault loudly rather than serve an
+		// exchange that silently shipped nothing.
+		if err := f.CheckRoot(e.backend.Layout()); err != nil {
+			return nil, &soap.Fault{Code: "soap:Client", String: err.Error()}
+		}
+		e.met.Counter("endpoint.source.filtered").Inc()
+		return e.filteredScan(f.Predicate())
+	}
+	if filterElem, ok := req.Attr("filterElem"); ok && filterElem != "" {
+		filterValue, _ := req.Attr("filterValue")
+		return e.filteredScan(func(rec *xmltree.Node) bool {
+			n := rec.Find(filterElem)
+			return n != nil && n.Text == filterValue
+		})
+	}
+	return e.scanByElems, nil
+}
+
 // filteredScan materializes the whole layout once, trims it consistently
-// to the root records whose filterElem leaf equals filterValue, and serves
-// program Scans from the trimmed instances.
-func (e *Endpoint) filteredScan(filterElem, filterValue string) (func(*core.Fragment) (*core.Instance, error), error) {
+// to the root records keep accepts, and serves program Scans from the
+// trimmed instances.
+func (e *Endpoint) filteredScan(keep func(*xmltree.Node) bool) (func(*core.Fragment) (*core.Instance, error), error) {
 	layout := e.backend.Layout()
 	sources := make(map[string]*core.Instance, layout.Len())
 	for _, f := range layout.Fragments {
@@ -581,10 +718,7 @@ func (e *Endpoint) filteredScan(filterElem, filterValue string) (func(*core.Frag
 		}
 		sources[f.Name] = in
 	}
-	kept, err := core.FilterSources(layout, sources, func(rec *xmltree.Node) bool {
-		n := rec.Find(filterElem)
-		return n != nil && n.Text == filterValue
-	})
+	kept, err := core.FilterSources(layout, sources, keep)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,9 @@ type targetSession struct {
 	mu      sync.Mutex
 	ledger  *reliable.Ledger
 	inbound map[string]*core.Instance
+	// tombs accumulates, per edge key, the record IDs a delta shipment
+	// tombstones (guarded by mu, alongside inbound).
+	tombs map[string][]string
 
 	// j and id journal this session's commits when the endpoint is
 	// durable (SetJournal); nil j is the memory-only default.
@@ -79,6 +82,10 @@ type pendingCommit struct {
 	frag *core.Fragment
 	seq  int64
 	recs []*xmltree.Node
+	// del marks a tombstone chunk: ids join the session's tombstone set
+	// instead of recs entering the instance map.
+	del bool
+	ids []string
 }
 
 // maxPendingCommits bounds the pipelined-commit window: past this many
@@ -155,6 +162,9 @@ func (ts *targetSession) decoder(sch *schema.Schema, lookup func(name string) *c
 	d.OnChunk = ts.ledger.AdmitChunk
 	d.KeepRecord = ts.ledger.KeepRecord
 	d.ChunkDone = ts.ledger.ChunkDone
+	d.OnTombs = func(key string, seq int64, ids []string) error {
+		return ts.commitTombLocked(key, seq, ids)
+	}
 	if ts.j != nil && ts.j.Batched() {
 		// Pipelined group commit: submit the journal frame, queue the
 		// apply, keep parsing. The map append and checkpoint advance
@@ -216,6 +226,50 @@ func (ts *targetSession) commitAsyncLocked(out map[string]*core.Instance, key st
 	return nil
 }
 
+// commitTombLocked commits one tombstone chunk (the decoder's OnTombs
+// hook; runs under ts.mu via CommitLock) with the same write-ahead
+// discipline as record chunks: journaled before applied, applied before
+// checkpointed. Batch journals ride the pipelined-commit queue, sync
+// journals block, and the memory-only default applies immediately.
+// Tombstone IDs never pass KeepRecord, so there is nothing to unmark on
+// failure.
+func (ts *targetSession) commitTombLocked(key string, seq int64, ids []string) error {
+	if ts.j != nil && ts.j.Batched() {
+		if err := ts.resolveReadyLocked(); err != nil {
+			return err
+		}
+		for len(ts.pending) >= maxPendingCommits {
+			ts.j.Flush()
+			if err := ts.resolveHeadLocked(); err != nil {
+				return err
+			}
+		}
+		p, err := ts.j.TombAsync(ts.id, key, seq, ids)
+		if err != nil {
+			return err
+		}
+		ts.pending = append(ts.pending, pendingCommit{p: p, key: key, seq: seq, del: true, ids: ids})
+		return nil
+	}
+	if ts.j != nil {
+		if err := ts.j.Tomb(ts.id, key, seq, ids); err != nil {
+			return err
+		}
+	}
+	ts.applyTombLocked(key, ids)
+	ts.ledger.ChunkDone(seq)
+	return nil
+}
+
+// applyTombLocked adds tombstoned record IDs to the session's deletion
+// set, which the delta apply subtracts from the retained base.
+func (ts *targetSession) applyTombLocked(key string, ids []string) {
+	if ts.tombs == nil {
+		ts.tombs = map[string][]string{}
+	}
+	ts.tombs[key] = append(ts.tombs[key], ids...)
+}
+
 // resolveReadyLocked applies, in order, every queued commit whose ticket
 // has already resolved, without blocking.
 func (ts *targetSession) resolveReadyLocked() error {
@@ -247,12 +301,16 @@ func (ts *targetSession) resolveHeadLocked() error {
 		ts.pending = nil
 		return err
 	}
-	in := pc.out[pc.key]
-	if in == nil {
-		in = &core.Instance{Frag: pc.frag}
-		pc.out[pc.key] = in
+	if pc.del {
+		ts.applyTombLocked(pc.key, pc.ids)
+	} else {
+		in := pc.out[pc.key]
+		if in == nil {
+			in = &core.Instance{Frag: pc.frag}
+			pc.out[pc.key] = in
+		}
+		in.Records = append(in.Records, pc.recs...)
 	}
-	in.Records = append(in.Records, pc.recs...)
 	ts.ledger.ChunkDone(pc.seq)
 	ts.pending = ts.pending[1:]
 	if len(ts.pending) == 0 {
@@ -289,6 +347,16 @@ func (ts *targetSession) hydrateLocked(lookup func(name string) *core.Fragment) 
 		return
 	}
 	for _, c := range ts.recovered {
+		if c.Del {
+			// A journaled tombstone chunk: the IDs rejoin the deletion
+			// set; there are no records to materialize.
+			ids := make([]string, 0, len(c.Recs))
+			for _, rec := range c.Recs {
+				ids = append(ids, rec.ID)
+			}
+			ts.applyTombLocked(c.Key, ids)
+			continue
+		}
 		f := lookup(c.Frag)
 		if f == nil {
 			// The resumed program does not know this fragment; without a
@@ -342,11 +410,35 @@ func (t *targetScan) respondSession(w io.Writer) error {
 	if err := ts.drainPendingLocked(); err != nil {
 		return err
 	}
+	run := ts.inbound
+	if t.delta {
+		base := t.e.deltaBaseFor(t.stream, t.epoch)
+		if base == nil {
+			// The warm base vanished between delivery start and execute (a
+			// raced restart); the agency reacts with a full reship.
+			t.e.met.Counter("endpoint.delta.cold").Inc()
+			return soap.ColdDeltaFault("stream " + t.stream + " epoch " + t.epoch)
+		}
+		run = patchDelta(base, ts.inbound, ts.tombs)
+		t.e.met.Counter("endpoint.delta.applies").Inc()
+	}
+	exec := run
+	if t.stream != "" {
+		// Stream-tagged exchanges carry (or patch up to) the full logical
+		// snapshot: replace the previous one instead of appending to it,
+		// and hand the executor copy-on-write views so the retained base
+		// never sees combine-time mutations.
+		t.e.clearBackend()
+		exec = shareInstances(run)
+	}
 	ts.setRunning(true)
-	resp, err := t.e.runTarget(t.g, t.a, ts.inbound, t.pipelined)
+	resp, err := t.e.runTarget(t.g, t.a, exec, t.pipelined)
 	ts.setRunning(false)
 	if err != nil {
 		return err
+	}
+	if t.stream != "" {
+		t.e.storeDeltaBase(t.stream, t.epoch, run)
 	}
 	resp.SetAttr("checkpoint", strconv.FormatInt(ts.ledger.Checkpoint(), 10))
 	resp.SetAttr("deduped", strconv.FormatInt(ts.ledger.Deduped(), 10))
@@ -364,6 +456,48 @@ func (t *targetScan) respondSession(w io.Writer) error {
 	// anyway.
 	ts.inbound = nil
 	return werr
+}
+
+// patchDelta overlays a delta shipment onto the retained base: per
+// shipped edge, tombstoned and re-shipped record IDs drop out of the base
+// and the inbound records append — the inverse of how the source derived
+// the delta, so the patched map equals the full shipment it stands in
+// for. Edges absent from the delta vanished from the source's output (all
+// their IDs are tombstoned) and are simply omitted.
+func patchDelta(base, delta map[string]*core.Instance, tombs map[string][]string) map[string]*core.Instance {
+	out := make(map[string]*core.Instance, len(delta))
+	for key, din := range delta {
+		drop := make(map[string]bool, len(tombs[key])+len(din.Records))
+		for _, id := range tombs[key] {
+			drop[id] = true
+		}
+		for _, rec := range din.Records {
+			drop[rec.ID] = true
+		}
+		var recs []*xmltree.Node
+		if bin := base[key]; bin != nil {
+			recs = make([]*xmltree.Node, 0, len(bin.Records)+len(din.Records))
+			for _, rec := range bin.Records {
+				if !drop[rec.ID] {
+					recs = append(recs, rec)
+				}
+			}
+		}
+		recs = append(recs, din.Records...)
+		out[key] = &core.Instance{Frag: din.Frag, Records: recs}
+	}
+	return out
+}
+
+// shareInstances wraps every instance in a copy-on-write view (see
+// core.Instance.Share), keeping the underlying records immutable while
+// the target slice executes over them.
+func shareInstances(in map[string]*core.Instance) map[string]*core.Instance {
+	out := make(map[string]*core.Instance, len(in))
+	for k, v := range in {
+		out[k] = v.Share()
+	}
+	return out
 }
 
 // sessionStatus answers a SessionStatus probe: the chunk checkpoint a

@@ -91,13 +91,9 @@ func (e *Endpoint) respondSourceStream(env soap.Header, req *xmltree.Node, w io.
 	if negotiated {
 		stampCodec(w, codec)
 	}
-	scan := e.scanByElems
-	if filterElem, ok := req.Attr("filterElem"); ok && filterElem != "" {
-		filterValue, _ := req.Attr("filterValue")
-		scan, err = e.filteredScan(filterElem, filterValue)
-		if err != nil {
-			return err
-		}
+	scan, err := e.sourceScan(req)
+	if err != nil {
+		return err
 	}
 	sch := e.backend.Layout().Schema
 	start := time.Now()
@@ -160,6 +156,9 @@ type targetScan struct {
 	subProg  bool
 
 	pipelined   bool
+	stream      string
+	epoch       string
+	delta       bool
 	ts          *targetSession
 	tb          *xmltree.TreeBuilder
 	dec         *wire.ShipmentDecoder
@@ -184,6 +183,21 @@ func (t *targetScan) StartElement(name string, attrs []xmltree.Attr) error {
 		t.pipelined = attrTrue(findAttr(attrs, "pipelined"))
 		if id := findAttr(attrs, "session"); id != "" {
 			t.ts = t.e.targetSessionFor(id)
+		}
+		t.stream = findAttr(attrs, "stream")
+		t.epoch = findAttr(attrs, "epoch")
+		t.delta = attrTrue(findAttr(attrs, "delta"))
+		if t.delta {
+			if t.ts == nil {
+				return &soap.Fault{Code: "soap:Client", String: "delta shipment requires a session"}
+			}
+			// Fail the delivery before any chunk flows: without a warm
+			// base the delta cannot be applied, and the agency's fallback
+			// is a full reship on a fresh session.
+			if !t.e.deltaWarm(t.stream, t.epoch) {
+				t.e.met.Counter("endpoint.delta.cold").Inc()
+				return soap.ColdDeltaFault("stream " + t.stream + " epoch " + t.epoch)
+			}
 		}
 	case 2:
 		switch name {

@@ -2,13 +2,19 @@ package registry
 
 import (
 	"fmt"
+	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"xdx/internal/core"
 	"xdx/internal/durable"
+	"xdx/internal/endpoint"
 	"xdx/internal/netsim"
 	"xdx/internal/reliable"
+	"xdx/internal/relstore"
+	"xdx/internal/xmark"
 )
 
 // benchExchange drives the full agency-mediated exchange (two live SOAP
@@ -80,6 +86,99 @@ func BenchmarkReliableExchangeDurable(b *testing.B) {
 	// batch is group commit: always-equivalent durability (every acked
 	// chunk fsynced) with the syncs coalesced and overlapped with parse.
 	b.Run("batch", func(b *testing.B) { run(b, true, durable.FsyncBatch) })
+}
+
+// BenchmarkDeltaExchange measures what churn rate costs on the wire: each
+// iteration churns the source by the named fraction (equal parts deletes,
+// updates, inserts), reloads it, and re-runs the exchange. The delta arms
+// ship only the diff against the target's retained base; the full arm
+// re-ships the whole snapshot at the same churn rate, so the
+// wire-bytes/op spread between full/churn=1% and delta/churn=1% is the
+// delta protocol's headline saving (recorded in BENCH_9.json).
+func BenchmarkDeltaExchange(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		frac  float64
+		delta bool
+	}{
+		{"full/churn=1pct", 0.01, false},
+		{"delta/churn=1pct", 0.01, true},
+		{"delta/churn=10pct", 0.10, true},
+		{"delta/churn=50pct", 0.50, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sch := xmark.Schema()
+			doc := xmark.Generate(xmark.Config{TargetBytes: 60_000, Seed: 42})
+			sFr := core.MostFragmented(sch)
+			tFr := core.LeastFragmented(sch)
+			srcStore, err := relstore.NewStore(sFr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srcStore.LoadDocument(doc.Clone()); err != nil {
+				b.Fatal(err)
+			}
+			tgtStore, err := relstore.NewStore(tFr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcEP := endpoint.New("S", &endpoint.RelBackend{Store: srcStore, Speed: 1, CanCombine: true}, nil)
+			tgtEP := endpoint.New("T", &endpoint.RelBackend{Store: tgtStore, Speed: 1, CanCombine: true}, nil)
+			srcSrv := httptest.NewServer(srcEP.Handler())
+			defer srcSrv.Close()
+			tgtSrv := httptest.NewServer(tgtEP.Handler())
+			defer tgtSrv.Close()
+			ag := New()
+			if err := ag.Register("Auction", RoleSource, wsdlFor(b, sch, sFr, srcSrv.URL), srcSrv.URL); err != nil {
+				b.Fatal(err)
+			}
+			if err := ag.Register("Auction", RoleTarget, wsdlFor(b, sch, tFr, tgtSrv.URL), tgtSrv.URL); err != nil {
+				b.Fatal(err)
+			}
+			plan, err := ag.Plan("Auction", PlanOptions{Algorithm: AlgGreedy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := &reliable.Config{
+				Seed:      1,
+				ChunkSize: 8,
+				Policy: reliable.Policy{
+					MaxAttempts: 3,
+					BaseDelay:   time.Millisecond,
+					MaxDelay:    4 * time.Millisecond,
+					Budget:      64,
+				},
+			}
+			opts := ExecOptions{Link: netsim.Loopback(), Reliability: cfg, Delta: tc.delta}
+			// Warm the base and the reconciliation index so every timed
+			// iteration is a repeat exchange.
+			if _, err := ag.ExecuteOpts("Auction", plan, opts); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			var wire int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				churnAuction(doc, rng, tc.frac, i+1)
+				srcStore.Clear()
+				if err := srcStore.LoadDocument(doc.Clone()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep, err := ag.ExecuteOpts("Auction", plan, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tc.delta && !rep.Delta {
+					b.Fatal("warm repeat exchange did not run as a delta")
+				}
+				wire += rep.WireBytes
+			}
+			b.ReportMetric(float64(wire)/float64(b.N), "wire-bytes/op")
+		})
+	}
 }
 
 // BenchmarkDurableMultiSession drives n concurrent reliable exchanges —

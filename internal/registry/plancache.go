@@ -180,6 +180,8 @@ func planKey(src, tgt *Party, opts PlanOptions) string {
 	b.WriteString(strconv.Itoa(opts.Gen.MaxPrograms))
 	b.WriteByte('|')
 	b.WriteString(opts.Codec)
+	b.WriteByte('|')
+	b.WriteString(opts.Filter)
 	return b.String()
 }
 

@@ -66,18 +66,34 @@ type Agency struct {
 	// discard derivations that raced a Register/Deregister.
 	epoch atomic.Int64
 	plans planCache
+
+	// recon remembers, per exchange stream, what the previous successful
+	// delivery shipped (record hashes), so repeat exchanges under
+	// ExecOptions.Delta ship only the difference.
+	recon *reliable.ReconIndex
+
+	log obs.Logger
+	met *obs.Registry
 }
 
 // New returns an empty agency.
 func New() *Agency {
-	a := &Agency{services: make(map[string]map[Role]*Party)}
+	a := &Agency{services: make(map[string]map[Role]*Party), recon: reliable.NewReconIndex()}
 	a.plans.init()
 	return a
 }
 
 // SetMetrics exports the agency's control-plane metrics (plan-cache hits,
-// misses, evictions, size) into m. Call before serving traffic.
-func (a *Agency) SetMetrics(m *obs.Registry) { a.plans.export(m) }
+// misses, evictions, size) into m and makes m the sink for the agency's own
+// counters (autosave errors). Call before serving traffic.
+func (a *Agency) SetMetrics(m *obs.Registry) {
+	a.met = m
+	a.plans.export(m)
+}
+
+// SetLogger wires the agency's own control-plane logger (autosave failures
+// and other background errors that have no caller to return to).
+func (a *Agency) SetLogger(l obs.Logger) { a.log = l }
 
 // PlanCacheStats reports the plan cache's lifetime counters and current
 // entry count — the hit-rate source for load harnesses and tests.
@@ -173,7 +189,14 @@ func (a *Agency) Deregister(service string, role Role) bool {
 		a.epoch.Add(1)
 		a.plans.invalidate(service)
 		if a.autosaveDir != "" {
-			_ = a.saveLocked(a.autosaveDir)
+			// Deregister has no error return its callers act on, but a
+			// failed autosave means the directory on disk still lists this
+			// service — silent persistence loss. Surface it.
+			if err := a.saveLocked(a.autosaveDir); err != nil {
+				a.met.Counter("registry.autosave.errors").Inc()
+				obs.OrNop(a.log).Log(obs.LevelWarn, "registry autosave failed",
+					"dir", a.autosaveDir, "service", service, "err", err.Error())
+			}
 		}
 	}
 	return removed
@@ -238,6 +261,13 @@ type PlanOptions struct {
 	// calibrated statistics, so the optimizer's comm term reflects true
 	// wire bytes — a lean codec can flip placements toward shipping.
 	Codec string
+	// Filter is a pushdown predicate (§3.2 service arguments) in the small
+	// XPath subset of core.CompileFilter: child steps plus a leaf value
+	// comparison, e.g. "Account/AcctNum >= 100" or "CustName = 'Ann'". It
+	// is compiled and schema-checked at plan time — a filter that does not
+	// compile fails the plan — and evaluated source-side, so endpoints scan
+	// and ship only matching root records and their descendants.
+	Filter string
 }
 
 // Plan is the outcome of steps 2 and 3: a data-transfer program with its
@@ -311,6 +341,19 @@ func (a *Agency) derivePlan(service string, src, tgt *Party, opts PlanOptions) (
 	m, err := core.NewMapping(src.Fragmentation, tgtFrag)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Filter != "" {
+		// The filter travels to the source at execute time; compiling it
+		// here fails bad expressions at plan time, against the schema both
+		// parties agreed on — including paths outside the source's root
+		// fragment, which could only ever filter out every record.
+		f, err := core.CompileFilter(opts.Filter, src.Fragmentation.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+		if err := f.CheckRoot(src.Fragmentation); err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
 	}
 	model, err := a.probe(src, tgt, opts)
 	if err != nil {
@@ -526,6 +569,14 @@ type Report struct {
 	// DedupedRecords is how many replayed records the target's idempotency
 	// ledger dropped across resumed deliveries.
 	DedupedRecords int64
+	// Delta reports whether the delivery actually ran in delta mode (a
+	// requested delta falls back to a full re-ship when the reconciliation
+	// index or the target's base is cold, or the fragmentation epoch
+	// changed). DeltaRecords is how many added/changed records the delta
+	// shipped; TombstoneRecords how many deletions it announced.
+	Delta            bool
+	DeltaRecords     int
+	TombstoneRecords int
 	// Trace is the exchange's span tree — the root "exchange" span with
 	// per-phase children (source attempts, delivery attempts, resume
 	// probes, commit). Always populated by ExecuteOpts; End() has been
@@ -557,6 +608,17 @@ type ExecOptions struct {
 	// only root-fragment records whose FilterElem leaf equals FilterValue
 	// (and their descendants) are exchanged.
 	FilterElem, FilterValue string
+	// Filter is the compiled-pushdown generalization of FilterElem: a
+	// core.CompileFilter expression (child steps + leaf comparison)
+	// evaluated source-side. When both are set, Filter wins.
+	Filter string
+	// Delta asks for an incremental delivery: the agency diffs the fresh
+	// shipment against its reconciliation index for this service and ships
+	// only added/changed records plus tombstones for deletions, falling
+	// back to a full re-ship whenever either side's state is cold or the
+	// fragmentation epoch changed. Requires Reliability (deltas ride the
+	// sessioned chunk protocol).
+	Delta bool
 	// Pipelined asks both endpoints to run their program slices on the
 	// streaming executor (stages connected by channels) instead of the
 	// batch one. Semantics are identical; scheduling overlaps.
@@ -657,6 +719,9 @@ func (a *Agency) ExecuteOpts(service string, plan *Plan, opts ExecOptions) (*Rep
 		})
 		return report, err
 	}
+	if opts.Delta && opts.Reliability == nil {
+		return nil, fmt.Errorf("registry: ExecOptions.Delta requires Reliability (deltas ride the sessioned chunk protocol)")
+	}
 	start := time.Now()
 	met := opts.Metrics
 	log := obs.OrNop(opts.Logger)
@@ -735,6 +800,9 @@ func (a *Agency) executeTree(service string, plan *Plan, opts ExecOptions) (*Rep
 	if opts.FilterElem != "" {
 		reqS.SetAttr("filterElem", opts.FilterElem)
 		reqS.SetAttr("filterValue", opts.FilterValue)
+	}
+	if opts.Filter != "" {
+		reqS.SetAttr("filter", opts.Filter)
 	}
 	if opts.Pipelined {
 		reqS.SetAttr("pipelined", "1")

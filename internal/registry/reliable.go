@@ -21,14 +21,18 @@ package registry
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"xdx/internal/core"
 	"xdx/internal/netsim"
 	"xdx/internal/obs"
 	"xdx/internal/reliable"
+	"xdx/internal/soap"
 	"xdx/internal/wire"
 	"xdx/internal/xmltree"
 )
@@ -101,6 +105,9 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 		reqS.SetAttr("filterElem", opts.FilterElem)
 		reqS.SetAttr("filterValue", opts.FilterValue)
 	}
+	if opts.Filter != "" {
+		reqS.SetAttr("filter", opts.Filter)
+	}
 	if opts.Pipelined {
 		reqS.SetAttr("pipelined", "1")
 	}
@@ -158,89 +165,184 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	// chunk it acked last and resumes emission there. ShipBytes counts the
 	// actual wire bytes across all attempts — retransmission is a real
 	// communication cost.
-	chunks := reliable.ChunkShipment(inbound, ex.ChunkSize())
-	sessionID := ex.SessionID()
-	open := `<ExecuteTarget session="` + sessionID + `"`
-	if opts.Pipelined {
-		open += ` pipelined="1"`
-	}
-	open += `>`
 	ct := ex.Client(tgt.URL)
-	var respT *xmltree.Node
-	delSpan := trace.Child("deliver")
-	delSpan.Set("session", sessionID)
-	delSpan.Set("chunks", strconv.Itoa(len(chunks)))
-	next := int64(0)
-	err = ex.Do("ExecuteTarget", tgt.URL, func(try int) error {
-		at := delSpan.Child("attempt")
-		at.Set("try", strconv.Itoa(try))
-		defer at.End()
-		if try > 0 {
-			probe := at.Child("probe")
-			next = resumePoint(ct.Call("SessionStatus", sessionStatusReq(sessionID)))
-			probe.Set("next", strconv.FormatInt(next, 10))
-			probe.End()
-			if next > 0 {
-				report.Resumes++
-				opts.Metrics.Counter("exchange.resumes").Inc()
-			}
+	stream, epoch := service, deltaEpoch(src, tgt)
+
+	// deliver drives one resumable session carrying the given record and
+	// tombstone chunks; the delta and full re-ship paths share it.
+	deliver := func(sessionID string, chunks []reliable.Chunk, tombs []tombChunk, delta bool) (*xmltree.Node, error) {
+		open := `<ExecuteTarget session="` + sessionID + `"`
+		if opts.Pipelined {
+			open += ` pipelined="1"`
 		}
-		tb := &xmltree.TreeBuilder{}
-		if err := ct.CallStream("ExecuteTarget", func(w io.Writer) error {
-			if _, err := io.WriteString(w, open); err != nil {
-				return err
-			}
-			if err := xmltree.Write(w, progXML, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
-				return err
-			}
-			m := netsim.NewMeter(w)
-			// Accumulated on every exit path: an attempt torn mid-chunk
-			// still spent its bytes on the wire, and WireBytes counts the
-			// retransmission cost across all attempts.
-			defer func() {
-				report.WireBytes += m.Bytes()
-				report.ShipBytes = report.WireBytes
-			}()
-			sw := wire.NewShipmentWriterCodec(m, sch, codec)
-			sw.SetWorkers(opts.ParallelChunks)
-			sw.SetObs(opts.Metrics)
-			for _, c := range chunks {
-				if c.Seq < next {
-					continue // acked on a prior attempt
+		if opts.Delta {
+			// Every sessioned delivery of a delta-enabled exchange names its
+			// stream and epoch, so the target retains the applied snapshot
+			// as the base the next delta patches.
+			open += ` stream="` + attrEscape(stream) + `" epoch="` + epoch + `"`
+		}
+		if delta {
+			open += ` delta="1"`
+		}
+		open += `>`
+		var respT *xmltree.Node
+		delSpan := trace.Child("deliver")
+		defer delSpan.End()
+		delSpan.Set("session", sessionID)
+		delSpan.Set("chunks", strconv.Itoa(len(chunks)+len(tombs)))
+		if delta {
+			delSpan.Set("delta", "1")
+		}
+		next := int64(0)
+		err := ex.Do("ExecuteTarget", tgt.URL, func(try int) error {
+			at := delSpan.Child("attempt")
+			at.Set("try", strconv.Itoa(try))
+			defer at.End()
+			if try > 0 {
+				probe := at.Child("probe")
+				next = resumePoint(ct.Call("SessionStatus", sessionStatusReq(sessionID)))
+				probe.Set("next", strconv.FormatInt(next, 10))
+				probe.End()
+				if next > 0 {
+					report.Resumes++
+					opts.Metrics.Counter("exchange.resumes").Inc()
 				}
-				if err := sw.EmitChunk(c.Key, c.Frag, c.Recs, c.Seq); err != nil {
-					sw.Close()
+			}
+			tb := &xmltree.TreeBuilder{}
+			if err := ct.CallStream("ExecuteTarget", func(w io.Writer) error {
+				if _, err := io.WriteString(w, open); err != nil {
 					return err
 				}
-			}
-			if err := sw.Close(); err != nil {
+				if err := xmltree.Write(w, progXML, xmltree.WriteOptions{EmitAllIDs: true}); err != nil {
+					return err
+				}
+				m := netsim.NewMeter(w)
+				// Accumulated on every exit path: an attempt torn mid-chunk
+				// still spent its bytes on the wire, and WireBytes counts the
+				// retransmission cost across all attempts.
+				defer func() {
+					report.WireBytes += m.Bytes()
+					report.ShipBytes = report.WireBytes
+				}()
+				sw := wire.NewShipmentWriterCodec(m, sch, codec)
+				sw.SetWorkers(opts.ParallelChunks)
+				sw.SetObs(opts.Metrics)
+				sw.SetDelta(delta)
+				for _, c := range chunks {
+					if c.Seq < next {
+						continue // acked on a prior attempt
+					}
+					if err := sw.EmitChunk(c.Key, c.Frag, c.Recs, c.Seq); err != nil {
+						sw.Close()
+						return err
+					}
+				}
+				for _, tc := range tombs {
+					if tc.seq < next {
+						continue
+					}
+					if err := sw.EmitTombstones(tc.key, tc.ids, tc.seq); err != nil {
+						sw.Close()
+						return err
+					}
+				}
+				if err := sw.Close(); err != nil {
+					return err
+				}
+				_, err := io.WriteString(w, `</ExecuteTarget>`)
+				return err
+			}, tb); err != nil {
+				at.Set("err", err.Error())
+				if soap.IsColdDelta(err) {
+					// The target has no base to patch; no retry of this
+					// session can warm it. Surface to the fallback below.
+					return reliable.Permanent(err)
+				}
 				return err
 			}
-			_, err := io.WriteString(w, `</ExecuteTarget>`)
-			return err
-		}, tb); err != nil {
-			at.Set("err", err.Error())
-			return err
+			if tb.Root() == nil || tb.Root().Name != "ExecuteTargetResponse" {
+				at.Set("err", "no response")
+				return reliable.Permanent(fmt.Errorf("registry: target returned no response"))
+			}
+			respT = tb.Root()
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		if tb.Root() == nil || tb.Root().Name != "ExecuteTargetResponse" {
-			at.Set("err", "no response")
-			return reliable.Permanent(fmt.Errorf("registry: target returned no response"))
+		// The response is in hand, so the target's session state (ledger,
+		// stored replay response) has served its purpose; release it now
+		// rather than holding it for the store's full idle window. Best
+		// effort — the target's sweeper collects it if this call is lost.
+		commit := trace.Child("commit")
+		ct.Call("EndSession", endSessionReq(sessionID))
+		commit.End()
+		return respT, nil
+	}
+
+	fullChunks := func() []reliable.Chunk { return reliable.ChunkShipment(inbound, ex.ChunkSize()) }
+	var respT *xmltree.Node
+	var hashes map[string]reliable.EdgeHashes
+	hashesOK := false
+	log := obs.OrNop(opts.Logger)
+	if opts.Delta {
+		hashes, hashesOK = reliable.HashShipment(inbound)
+	}
+	switch {
+	case !opts.Delta:
+		respT, err = deliver(ex.SessionID(), fullChunks(), nil, false)
+	case !hashesOK:
+		// Records without IDs cannot be reconciled; this shipment shape is
+		// never delta-able, so don't bother warming the index either.
+		opts.Metrics.Counter("exchange.delta.unkeyed").Inc()
+		log.Log(obs.LevelInfo, "delta disabled: shipment carries records without IDs", "service", service)
+		respT, err = deliver(ex.SessionID(), fullChunks(), nil, false)
+	default:
+		base, warm := a.recon.Snapshot(stream, epoch)
+		if warm {
+			warm = targetDeltaWarm(ct, stream, epoch)
 		}
-		respT = tb.Root()
-		return nil
-	})
-	delSpan.End()
+		if !warm {
+			// Cold on either side (first exchange, restart, or epoch
+			// change): full re-ship, then warm the index for next time.
+			opts.Metrics.Counter("exchange.delta.cold").Inc()
+			respT, err = deliver(ex.SessionID(), fullChunks(), nil, false)
+		} else {
+			d := reliable.DiffShipment(inbound, base)
+			chunks := reliable.ChunkShipment(d.Ship, ex.ChunkSize())
+			seq := int64(len(chunks))
+			var tombs []tombChunk
+			for _, key := range sortedTombKeys(d.Tombs) {
+				tombs = append(tombs, tombChunk{key: key, ids: d.Tombs[key], seq: seq})
+				seq++
+			}
+			report.Delta, report.DeltaRecords, report.TombstoneRecords = true, d.Records, d.Tombstones
+			respT, err = deliver(ex.SessionID(), chunks, tombs, true)
+			if err != nil && soap.IsColdDelta(err) {
+				// The target lost its base between the warm probe and the
+				// delivery (sweep or restart mid-flight). Full re-ship on a
+				// fresh session — the dead session's ledger state must not
+				// skip chunks of a differently-numbered shipment.
+				opts.Metrics.Counter("exchange.delta.fallbacks").Inc()
+				log.Log(obs.LevelWarn, "delta fell back to full re-ship: target base cold", "service", service)
+				report.Delta, report.DeltaRecords, report.TombstoneRecords = false, 0, 0
+				respT, err = deliver(ex.SessionID(), fullChunks(), nil, false)
+			} else if err == nil {
+				opts.Metrics.Counter("exchange.delta.exchanges").Inc()
+				opts.Metrics.Counter("exchange.delta.records").Add(int64(d.Records))
+				opts.Metrics.Counter("exchange.delta.tombstones").Add(int64(d.Tombstones))
+			}
+		}
+	}
 	report.Retries = ex.Retries()
 	if err != nil {
 		return report, fmt.Errorf("registry: target execution: %w", err)
 	}
-	// The response is in hand, so the target's session state (ledger,
-	// stored replay response) has served its purpose; release it now
-	// rather than holding it for the store's full idle window. Best
-	// effort — the target's sweeper collects it if this call is lost.
-	commit := trace.Child("commit")
-	ct.Call("EndSession", endSessionReq(sessionID))
-	commit.End()
+	if opts.Delta && hashesOK {
+		// The delivery succeeded, so the target's snapshot now equals the
+		// fresh shipment: commit its hashes as the next exchange's base.
+		a.recon.Commit(stream, epoch, hashes)
+	}
 	report.ShipTime = opts.Link.TransferTime(report.ShipBytes)
 	if v, ok := respT.Attr("execMillis"); ok {
 		report.TargetTime = parseMillis(v)
@@ -256,6 +358,61 @@ func (a *Agency) executeReliable(service string, plan *Plan, opts ExecOptions) (
 	}
 	return report, nil
 }
+
+// tombChunk is one pending tombstone emission: the deleted record IDs of
+// an edge, sequenced after the delta's record chunks so the session ledger
+// checkpoints deletions like any chunk.
+type tombChunk struct {
+	key string
+	ids []string
+	seq int64
+}
+
+// sortedTombKeys orders tombstone edges deterministically, matching
+// ChunkShipment's sorted-key sequencing.
+func sortedTombKeys(tombs map[string][]string) []string {
+	keys := make([]string, 0, len(tombs))
+	for k := range tombs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// deltaEpoch fingerprints the fragmentation agreement a reconciliation
+// index is valid under: both parties' fragment signatures (and URLs). Any
+// re-registration that changes a fragment set or endpoint changes the
+// epoch, and both sides fall back to a full re-ship. The filter expression
+// is deliberately NOT part of the epoch: a changed filter surfaces as
+// adds/deletes in the content diff, which is exactly what a delta ships.
+func deltaEpoch(src, tgt *Party) string {
+	var b strings.Builder
+	writeFragSig(&b, src)
+	b.WriteByte('\x1f')
+	writeFragSig(&b, tgt)
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// targetDeltaWarm asks the target whether it holds a base snapshot for the
+// stream at this epoch. Any failure reads as cold — the fallback is a full
+// re-ship, which is always correct.
+func targetDeltaWarm(ct *soap.Client, stream, epoch string) bool {
+	req := &xmltree.Node{Name: "DeltaStatus"}
+	req.SetAttr("stream", stream)
+	req.SetAttr("epoch", epoch)
+	resp, err := ct.Call("DeltaStatus", req)
+	if err != nil || resp == nil {
+		return false
+	}
+	v, _ := resp.Attr("warm")
+	return v == "1"
+}
+
+// attrEscape escapes a string for embedding in a double-quoted XML
+// attribute of a hand-built open tag.
+var attrEscape = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;").Replace
 
 // sessionStatusReq builds a SessionStatus probe for a session.
 func sessionStatusReq(id string) *xmltree.Node {

@@ -35,6 +35,14 @@ type Service struct {
 	// service drives (ExecOptions.ParallelChunks): 0 is one worker per
 	// CPU, 1 or less runs the codecs in-line.
 	ParallelChunks int
+	// Delta drives repeat exchanges in delta mode by default (requires
+	// Reliability); a delta attribute on the Exchange request overrides it
+	// per call.
+	Delta bool
+	// Filter is the service-wide pushdown filter expression applied
+	// source-side to every exchange; a filter attribute on the request
+	// overrides it per call.
+	Filter string
 	// Sched, when set, drives every Exchange request through the
 	// admission-controlled worker pool: plan derivation and the drive both
 	// run on a pool worker under the requesting service's tenant budgets,
@@ -253,13 +261,24 @@ func (s *Service) exchangeNow(req *xmltree.Node) (*xmltree.Node, error) {
 		alg = AlgOptimal
 	}
 	codec := s.reqCodec(req)
+	filter := s.Filter
+	if v, ok := req.Attr("filter"); ok {
+		filter = v
+	}
+	delta := s.Delta
+	if v, ok := req.Attr("delta"); ok {
+		delta = v == "1" || v == "true"
+	}
+	if delta && s.Reliability == nil {
+		return nil, &soap.Fault{Code: "soap:Client", String: "delta exchanges require the reliable path"}
+	}
 	// Planning probes the live endpoints for statistics; under a
 	// reliability config those probes deserve the same retry policy as the
 	// exchange itself (planning is idempotent, so retry it wholesale).
 	var plan *Plan
 	planOnce := func() error {
 		var perr error
-		plan, perr = s.Agency.Plan(service, PlanOptions{Algorithm: alg, Codec: codec})
+		plan, perr = s.Agency.Plan(service, PlanOptions{Algorithm: alg, Codec: codec, Filter: filter})
 		return perr
 	}
 	var err error
@@ -280,6 +299,8 @@ func (s *Service) exchangeNow(req *xmltree.Node) (*xmltree.Node, error) {
 		Logger:         s.log,
 		Metrics:        s.met,
 		ParallelChunks: s.ParallelChunks,
+		Delta:          delta,
+		Filter:         filter,
 	})
 	if err != nil {
 		return nil, err
@@ -290,6 +311,15 @@ func (s *Service) exchangeNow(req *xmltree.Node) (*xmltree.Node, error) {
 		resp.SetAttr("retries", strconv.Itoa(report.Retries))
 		resp.SetAttr("resumes", strconv.Itoa(report.Resumes))
 		resp.SetAttr("deduped", strconv.FormatInt(report.DedupedRecords, 10))
+	}
+	if delta {
+		d := "0"
+		if report.Delta {
+			d = "1"
+		}
+		resp.SetAttr("delta", d)
+		resp.SetAttr("deltaRecords", strconv.Itoa(report.DeltaRecords))
+		resp.SetAttr("tombstoneRecords", strconv.Itoa(report.TombstoneRecords))
 	}
 	resp.SetAttr("codec", report.Codec)
 	resp.SetAttr("shipBytes", strconv.FormatInt(report.ShipBytes, 10))

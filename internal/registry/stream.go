@@ -160,6 +160,9 @@ func (a *Agency) executeStreamed(service string, plan *Plan, opts ExecOptions) (
 		reqS.SetAttr("filterElem", opts.FilterElem)
 		reqS.SetAttr("filterValue", opts.FilterValue)
 	}
+	if opts.Filter != "" {
+		reqS.SetAttr("filter", opts.Filter)
+	}
 	if opts.Pipelined {
 		reqS.SetAttr("pipelined", "1")
 	}

@@ -1,0 +1,112 @@
+package reliable
+
+import (
+	"testing"
+
+	"xdx/internal/core"
+	"xdx/internal/xmltree"
+)
+
+func reconRec(id, text string) *xmltree.Node {
+	return &xmltree.Node{Name: "item", ID: id, Kids: []*xmltree.Node{{Name: "v", Text: text}}}
+}
+
+func reconShipment(edge string, recs ...*xmltree.Node) map[string]*core.Instance {
+	return map[string]*core.Instance{edge: {Records: recs}}
+}
+
+func TestHashRecordSensitivity(t *testing.T) {
+	base := HashRecord(reconRec("a", "1"))
+	if HashRecord(reconRec("a", "1")) != base {
+		t.Error("hash not deterministic")
+	}
+	for name, mut := range map[string]*xmltree.Node{
+		"text":   reconRec("a", "2"),
+		"id":     reconRec("b", "1"),
+		"name":   {Name: "item2", ID: "a", Kids: []*xmltree.Node{{Name: "v", Text: "1"}}},
+		"kid":    {Name: "item", ID: "a", Kids: []*xmltree.Node{{Name: "v", Text: "1"}, {Name: "w"}}},
+		"attr":   {Name: "item", ID: "a", Attrs: []xmltree.Attr{{Name: "x", Value: "y"}}, Kids: []*xmltree.Node{{Name: "v", Text: "1"}}},
+		"parent": {Name: "item", ID: "a", Parent: "p", Kids: []*xmltree.Node{{Name: "v", Text: "1"}}},
+	} {
+		if HashRecord(mut) == base {
+			t.Errorf("%s change did not change hash", name)
+		}
+	}
+	// Shape boundaries must not alias: one kid with text "ab" vs text "a"
+	// plus sibling content.
+	a := &xmltree.Node{Name: "n", Kids: []*xmltree.Node{{Name: "k", Text: "ab"}}}
+	b := &xmltree.Node{Name: "n", Kids: []*xmltree.Node{{Name: "k", Text: "a"}, {Name: "b"}}}
+	if HashRecord(a) == HashRecord(b) {
+		t.Error("sibling boundary aliased")
+	}
+}
+
+func TestHashShipmentFlagsMissingIDs(t *testing.T) {
+	edges, ok := HashShipment(reconShipment("e", reconRec("a", "1"), reconRec("b", "2")))
+	if !ok || len(edges["e"]) != 2 {
+		t.Fatalf("complete shipment hashed as %v ok=%v", edges, ok)
+	}
+	if _, ok := HashShipment(reconShipment("e", &xmltree.Node{Name: "item"})); ok {
+		t.Error("ID-less record reported as reconcilable")
+	}
+}
+
+func TestDiffShipment(t *testing.T) {
+	base, _ := HashShipment(reconShipment("e", reconRec("a", "1"), reconRec("b", "2"), reconRec("c", "3")))
+	// a unchanged, b updated, c deleted, d added.
+	d := DiffShipment(reconShipment("e", reconRec("a", "1"), reconRec("b", "20"), reconRec("d", "4")), base)
+	if d.Records != 2 {
+		t.Fatalf("Records = %d, want 2 (update+add)", d.Records)
+	}
+	got := map[string]bool{}
+	for _, r := range d.Ship["e"].Records {
+		got[r.ID] = true
+	}
+	if !got["b"] || !got["d"] || got["a"] {
+		t.Fatalf("shipped %v, want b and d only", got)
+	}
+	if d.Tombstones != 1 || len(d.Tombs["e"]) != 1 || d.Tombs["e"][0] != "c" {
+		t.Fatalf("tombstones %v, want [c]", d.Tombs)
+	}
+}
+
+func TestDiffShipmentNoChange(t *testing.T) {
+	ship := reconShipment("e", reconRec("a", "1"))
+	base, _ := HashShipment(ship)
+	d := DiffShipment(ship, base)
+	if d.Records != 0 || d.Tombstones != 0 {
+		t.Fatalf("no-op churn produced %d records %d tombstones", d.Records, d.Tombstones)
+	}
+	if in := d.Ship["e"]; in == nil || len(in.Records) != 0 {
+		t.Fatal("edge must still announce itself with an empty instance")
+	}
+}
+
+func TestDiffShipmentVanishedEdge(t *testing.T) {
+	base := map[string]EdgeHashes{"gone": {"x": 1, "y": 2}, "empty": {}}
+	d := DiffShipment(reconShipment("e", reconRec("a", "1")), base)
+	if len(d.Tombs["gone"]) != 2 || d.Tombs["gone"][0] != "x" {
+		t.Fatalf("vanished edge tombstones %v", d.Tombs)
+	}
+	if _, ok := d.Tombs["empty"]; ok {
+		t.Error("empty vanished edge produced tombstones")
+	}
+}
+
+func TestReconIndexEpochGuard(t *testing.T) {
+	r := NewReconIndex()
+	if _, ok := r.Snapshot("s", "e1"); ok {
+		t.Fatal("cold index reported warm")
+	}
+	r.Commit("s", "e1", map[string]EdgeHashes{"e": {"a": 1}})
+	if snap, ok := r.Snapshot("s", "e1"); !ok || snap["e"]["a"] != 1 {
+		t.Fatal("committed index not visible")
+	}
+	if _, ok := r.Snapshot("s", "e2"); ok {
+		t.Fatal("epoch mismatch reported warm")
+	}
+	r.Invalidate("s")
+	if _, ok := r.Snapshot("s", "e1"); ok {
+		t.Fatal("invalidated index reported warm")
+	}
+}

@@ -63,6 +63,24 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &f) && f.Code == CodeOverloaded
 }
 
+// CodeColdDelta is the fault code a target answers a delta delivery with
+// when it has no warm base snapshot for the exchange stream (endpoint
+// restart, swept state, or a fragmentation-epoch change): the agency must
+// fall back to a full re-ship. Retrying the delta cannot help, so the
+// fault is permanent for the session that received it.
+const CodeColdDelta = "xdx:ColdDelta"
+
+// ColdDeltaFault builds the cold-base answer to a delta delivery.
+func ColdDeltaFault(detail string) *Fault {
+	return &Fault{Code: CodeColdDelta, String: "no warm delta base for stream", Detail: detail}
+}
+
+// IsColdDelta reports whether err is (or wraps) a cold-delta fault.
+func IsColdDelta(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Code == CodeColdDelta
+}
+
 // faultStatus picks the HTTP status a server-side fault is sent under: the
 // fault's own HTTPStatus when a handler set one (e.g. 503 on load shed),
 // 500 otherwise.

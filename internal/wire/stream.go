@@ -57,6 +57,18 @@ type ShipmentWriter struct {
 	fifo       []*encJob     // submitted chunks awaiting in-order splice
 	firstErr   error         // first failed chunk; sticky
 	met        *obs.Registry
+	delta      bool
+}
+
+// SetDelta marks the shipment as a delta: the open tag carries delta="1",
+// telling the target to patch its previous snapshot instead of replacing
+// it. Must be called before the first Emit.
+func (sw *ShipmentWriter) SetDelta(on bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if !sw.opened {
+		sw.delta = on
+	}
 }
 
 // NewShipmentWriter starts a shipment onto w. When preferFeed is set, flat
@@ -103,14 +115,58 @@ func (sw *ShipmentWriter) emit(key string, frag *core.Fragment, recs []*xmltree.
 		return sw.firstErr
 	}
 	workers := sw.encodeWorkers()
-	if !sw.opened {
-		sw.opened = true
-		sw.bw.WriteString("<shipment>")
-	}
+	sw.openLocked()
 	if workers > 1 {
 		return sw.emitParallel(key, frag, recs, seq)
 	}
 	return renderChunk(sw.bw, sw.sch, sw.codec, key, frag, recs, seq)
+}
+
+// openLocked writes the shipment open tag once. Caller holds sw.mu.
+func (sw *ShipmentWriter) openLocked() {
+	if sw.opened {
+		return
+	}
+	sw.opened = true
+	if sw.delta {
+		sw.bw.WriteString(`<shipment delta="1">`)
+	} else {
+		sw.bw.WriteString("<shipment>")
+	}
+}
+
+// EmitTombstones writes one sequenced tombstone chunk: the record IDs the
+// delta's source no longer has for this edge. Tombstones are always tagged
+// XML regardless of codec — they are tiny — and always sequenced, so the
+// session ledger checkpoints them like any chunk. In parallel mode the
+// render pool is drained first: the agency emits tombstones after every
+// record chunk, so the drain keeps the byte stream identical to the serial
+// writer's.
+func (sw *ShipmentWriter) EmitTombstones(key string, ids []string, seq int64) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed {
+		return fmt.Errorf("wire: emit on closed shipment writer")
+	}
+	if sw.firstErr != nil {
+		return sw.firstErr
+	}
+	sw.encodeWorkers()
+	sw.openLocked()
+	if err := sw.spliceLocked(0); err != nil {
+		return err
+	}
+	sw.bw.WriteString(`<tombstones edge="`)
+	xmltree.Escape(sw.bw, key)
+	writeSeqAttr(sw.bw, seq)
+	sw.bw.WriteString(`">`)
+	for _, id := range ids {
+		sw.bw.WriteString(`<d ID="`)
+		xmltree.Escape(sw.bw, id)
+		sw.bw.WriteString(`"/>`)
+	}
+	sw.bw.WriteString("</tombstones>")
+	return nil
 }
 
 // renderChunk writes the complete wire bytes of one instance chunk. It is
@@ -209,9 +265,12 @@ func (sw *ShipmentWriter) Close() error {
 	}
 	sw.closed = true
 	err := sw.spliceLocked(0)
-	if sw.opened {
+	switch {
+	case sw.opened:
 		sw.bw.WriteString("</shipment>")
-	} else {
+	case sw.delta:
+		sw.bw.WriteString(`<shipment delta="1"/>`)
+	default:
 		sw.bw.WriteString("<shipment/>")
 	}
 	if ferr := sw.bw.Flush(); err == nil {
@@ -364,6 +423,16 @@ type ShipmentDecoder struct {
 	// committed while this one was parsing it is dropped wholesale, which
 	// keeps records exactly-once even when they carry no IDs.
 	CommitLock sync.Locker
+	// OnTombs, when set, owns each tombstone chunk: it receives the edge
+	// key, the chunk seq, and the deleted record IDs at commit time, and is
+	// responsible for applying the deletion and firing the checkpoint
+	// advance once durable — mirroring CommitAsync for record chunks.
+	// Without it, tombstones accumulate in Tombs and ChunkDone fires
+	// directly. OnChunk admission and CommitLock apply either way.
+	OnTombs func(key string, seq int64, ids []string) error
+	// Tombs collects, per edge key, the tombstoned record IDs of a delta
+	// shipment when no OnTombs hook is set.
+	Tombs map[string][]string
 	// Workers dials the raw-chunk parse pool (parallel.go): 0 (the
 	// default) is one worker per CPU, 1 or less parses in-line. Set it
 	// before scanning. Whatever the count, chunks commit in stream order
@@ -375,6 +444,7 @@ type ShipmentDecoder struct {
 	out     map[string]*core.Instance
 	started bool
 	done    bool
+	delta   bool
 	depth   int
 	skip    int
 
@@ -391,6 +461,7 @@ type ShipmentDecoder struct {
 	stageFrag *core.Fragment
 	stageSeq  int64
 	stageRecs []*xmltree.Node
+	stageTomb bool
 
 	// raw accumulates the character data of feed- and bin-format chunks;
 	// both parse at commit time, so they share the chunk-atomic guarantee.
@@ -432,9 +503,35 @@ func (d *ShipmentDecoder) StartElement(name string, attrs []xmltree.Attr) error 
 		if name != "shipment" {
 			return fmt.Errorf("wire: expected shipment, got %q", name)
 		}
+		for _, a := range attrs {
+			if a.Name == "delta" && (a.Value == "1" || a.Value == "true") {
+				d.delta = true
+			}
+		}
 		d.started = true
 		return nil
 	case 2:
+		if name == "tombstones" {
+			var key string
+			seq := int64(-1)
+			for _, a := range attrs {
+				switch a.Name {
+				case "edge":
+					key = a.Value
+				case "seq":
+					if v, err := strconv.ParseInt(a.Value, 10, 64); err == nil {
+						seq = v
+					}
+				}
+			}
+			if d.OnChunk != nil && !d.OnChunk(seq) {
+				d.depth--
+				d.skip = 1
+				return nil
+			}
+			d.stageKey, d.stageSeq, d.stageTomb = key, seq, true
+			return nil
+		}
 		if name != "instance" {
 			// Foreign elements inside a shipment are skipped, as the tree
 			// decoder ignores what it does not recognize.
@@ -590,6 +687,22 @@ func (d *ShipmentDecoder) EndElement(string) error {
 // order on the scanner goroutine (drainJobs); tagged-XML chunks drain the
 // pool before committing so mixed-format shipments keep their order.
 func (d *ShipmentDecoder) commitChunk() error {
+	if d.stageTomb {
+		key, seq, recs := d.stageKey, d.stageSeq, d.stageRecs
+		d.resetStage()
+		// Tombstones commit in stream order like every chunk: drain the
+		// parse pool before applying the deletion.
+		if err := d.drainJobs(0); err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(recs))
+		for _, r := range recs {
+			if r.ID != "" {
+				ids = append(ids, r.ID)
+			}
+		}
+		return d.commitTombs(key, seq, ids)
+	}
 	if d.raw != nil {
 		key, frag, seq := d.stageKey, d.stageFrag, d.stageSeq
 		format, enc, raw := d.rawFormat, d.rawEnc, d.raw
@@ -680,6 +793,33 @@ func (d *ShipmentDecoder) commitRecs(key string, frag *core.Fragment, seq int64,
 	return nil
 }
 
+// commitTombs applies one tombstone chunk under the same admission,
+// locking, and checkpoint discipline as commitRecs.
+func (d *ShipmentDecoder) commitTombs(key string, seq int64, ids []string) error {
+	if d.CommitLock != nil {
+		d.CommitLock.Lock()
+		defer d.CommitLock.Unlock()
+	}
+	if seq >= 0 && d.OnChunk != nil && !d.OnChunk(seq) {
+		return nil
+	}
+	if d.OnTombs != nil {
+		return d.OnTombs(key, seq, ids)
+	}
+	if d.Tombs == nil {
+		d.Tombs = make(map[string][]string)
+	}
+	d.Tombs[key] = append(d.Tombs[key], ids...)
+	if d.ChunkDone != nil {
+		d.ChunkDone(seq)
+	}
+	return nil
+}
+
+// Delta reports whether the shipment announced itself as a delta
+// (patch-previous-snapshot) shipment.
+func (d *ShipmentDecoder) Delta() bool { return d.delta }
+
 // resetStage clears the per-chunk staging state after a commit or drop.
 func (d *ShipmentDecoder) resetStage() {
 	if d.raw != nil {
@@ -687,6 +827,7 @@ func (d *ShipmentDecoder) resetStage() {
 	}
 	d.raw, d.rawFormat, d.rawEnc = nil, "", ""
 	d.stageKey, d.stageFrag, d.stageSeq, d.stageRecs = "", nil, -1, nil
+	d.stageTomb = false
 }
 
 // Result returns the decoded instance map once the shipment element has

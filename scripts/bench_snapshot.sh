@@ -5,9 +5,12 @@
 # streaming codec's allocation budget, the chunk-parallel codec's worker
 # sweep, the durability set (WAL append cost per fsync policy, recovery
 # time vs log length, and the journaled reliable-exchange round trip),
-# and a full xdxload traffic run (serial baseline vs the scheduled
+# a full xdxload traffic run (serial baseline vs the scheduled
 # concurrent control plane, with plan-cache hit rate) embedded as the
-# "load" section. GOMAXPROCS and the CPU count are recorded so a snapshot
+# "load" section, and the delta-exchange churn sweep (wire bytes per
+# repeat exchange at 1%/10%/50% churn, delta vs full re-ship — the
+# full/churn=1pct : delta/churn=1pct wire-bytes ratio is the delta
+# protocol's headline saving). GOMAXPROCS and the CPU count are recorded so a snapshot
 # is never compared across core counts by accident. Fixed iteration counts
 # keep the run reproducible: `make bench-json` regenerates the current
 # snapshot, and `BENCH_N=7 make bench-json` starts the next one.
@@ -21,7 +24,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH_N="${BENCH_N:-8}"
+BENCH_N="${BENCH_N:-9}"
 OUT="BENCH_${BENCH_N}.json"
 BENCHTIME=50x
 LOAD_ARGS="-tenants 4 -concurrency 32 -ops 256 -check -min-speedup 3"
@@ -56,6 +59,7 @@ go test -run '^$' -bench 'BenchmarkShipmentCodecParallel' -benchmem -benchtime "
 go test -run '^$' -bench 'BenchmarkWALAppend|BenchmarkWALRecovery|BenchmarkJournalChunk' -benchmem -benchtime "$BENCHTIME" ./internal/durable/ >>"$RAW"
 go test -run '^$' -bench 'BenchmarkReliableExchangeDurable' -benchmem -benchtime "$BENCHTIME" ./internal/registry/ >>"$RAW"
 go test -run '^$' -bench 'BenchmarkDurableMultiSession' -benchmem -benchtime "$BENCHTIME" ./internal/registry/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkDeltaExchange' -benchmem -benchtime "$BENCHTIME" ./internal/registry/ >>"$RAW"
 
 awk -v benchtime="$BENCHTIME" -v snapshot="BENCH_${BENCH_N}" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }

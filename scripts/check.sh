@@ -45,6 +45,12 @@ make soak
 # scheduled drive mode — the control plane's end-to-end gate.
 ./scripts/load_smoke.sh
 
+# Delta-correctness smoke: the churn property test (patched target equals
+# full re-ship record-for-record) plus the mid-delta crash/fallback arm,
+# re-run without the race detector as a fast standalone gate — a delta
+# that ships the wrong records must never reach a snapshot run.
+go test -count=1 -run 'TestDeltaExchangeChurnProperty|TestDeltaExchangeCrashRestartFallsBack' ./internal/registry/
+
 # Process-kill smoke: SIGKILL a durable target endpoint mid-exchange,
 # restart it over the same WAL directory, and the reliable exchange must
 # resume from the journaled checkpoint without re-shipping committed

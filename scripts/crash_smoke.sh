@@ -47,15 +47,22 @@ metric() { # name -> value (empty if unreadable)
         | sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p" || true
 }
 
-"$WORK/xdxgen" -size 400000 -seed 42 -out "$WORK/doc.xml"
+# Big enough that the delivery spans many poll intervals below; at 400 KB
+# the batch arm's group commit made the whole exchange faster than the
+# first metrics scrape, so the kill landed after the response (flaky).
+"$WORK/xdxgen" -size 1600000 -seed 42 -out "$WORK/doc.xml"
 
 "$WORK/xdxendpoint" -listen "127.0.0.1:$SRC_PORT" -layout MF -name src \
     -data "$WORK/doc.xml" >/dev/null 2>&1 &
 SRC_PID=$!
 
 start_target() { # fsync-policy wal-dir
+    # -batch-frames 8 keeps the group commit real (8-frame groups) while
+    # pacing the delivery with a sync per group, so the kill window stays
+    # wide; the default 256-frame groups let the whole exchange coalesce
+    # into a couple of syncs and finish before the poll loop samples it.
     "$WORK/xdxendpoint" -listen "127.0.0.1:$TGT_PORT" -layout LF -name tgt \
-        -wal-dir "$2" -fsync "$1" -snapshot-every 0 \
+        -wal-dir "$2" -fsync "$1" -snapshot-every 0 -batch-frames 8 \
         -metrics-addr "127.0.0.1:$TGT_OPS_PORT" >/dev/null 2>&1 &
     TGT_PID=$!
     wait_http "http://127.0.0.1:$TGT_OPS_PORT/healthz" "target endpoint"
@@ -111,12 +118,19 @@ run_arm() { # fsync-policy
             exit 1
         fi
         i=$((i + 1))
-        if [ "$i" -gt 600 ]; then
+        if [ "$i" -gt 1500 ]; then
             echo "crash_smoke[$FSYNC]: target never journaled enough appends" >&2
             exit 1
         fi
-        sleep 0.05
+        sleep 0.02
     done
+
+    # The kill is only meaningful mid-delivery; a response that completed
+    # in the sampling gap would pass `wait` below with resumes=0.
+    if ! kill -0 "$EXCHANGE_PID" 2>/dev/null; then
+        echo "crash_smoke[$FSYNC]: exchange finished before the kill — widen the window" >&2
+        exit 1
+    fi
 
     kill -9 "$TGT_PID"
     wait "$TGT_PID" 2>/dev/null || true
